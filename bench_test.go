@@ -1,0 +1,191 @@
+// Package ehnabench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks. Each benchmark runs the corresponding
+// experiment at the Quick preset and reports the headline numbers through
+// b.ReportMetric, so
+//
+//	go test -bench . -benchtime 1x
+//
+// reprints the whole evaluation. cmd/experiments runs the same code at the
+// Full preset for the numbers recorded in EXPERIMENTS.md.
+package ehnabench
+
+import (
+	"testing"
+
+	"ehna/internal/datagen"
+	"ehna/internal/eval"
+	"ehna/internal/experiments"
+)
+
+func quick() experiments.Settings { return experiments.Quick() }
+
+// benchFig4 is the generic Figure 4 panel runner.
+func benchFig4(b *testing.B, d datagen.Dataset) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig4(quick(), d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(r.Ps) - 1
+		b.ReportMetric(r.Precisions["EHNA"][0], "EHNA_p@first")
+		b.ReportMetric(r.Precisions["EHNA"][last], "EHNA_p@last")
+		b.ReportMetric(r.Precisions["Node2Vec"][0], "N2V_p@first")
+	}
+}
+
+// BenchmarkFig4ReconstructionDigg regenerates Figure 4a.
+func BenchmarkFig4ReconstructionDigg(b *testing.B) { benchFig4(b, datagen.Digg) }
+
+// BenchmarkFig4ReconstructionYelp regenerates Figure 4b.
+func BenchmarkFig4ReconstructionYelp(b *testing.B) { benchFig4(b, datagen.Yelp) }
+
+// BenchmarkFig4ReconstructionTmall regenerates Figure 4c.
+func BenchmarkFig4ReconstructionTmall(b *testing.B) { benchFig4(b, datagen.Tmall) }
+
+// BenchmarkFig4ReconstructionDBLP regenerates Figure 4d.
+func BenchmarkFig4ReconstructionDBLP(b *testing.B) { benchFig4(b, datagen.DBLP) }
+
+// benchLinkPred is the generic Tables III–VI runner.
+func benchLinkPred(b *testing.B, d datagen.Dataset) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunLinkPred(quick(), d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cell := r.Cells[eval.WeightedL2]["EHNA"]
+		b.ReportMetric(cell.AUC, "EHNA_WL2_AUC")
+		b.ReportMetric(cell.F1, "EHNA_WL2_F1")
+		b.ReportMetric(r.Cells[eval.Hadamard]["EHNA"].AUC, "EHNA_Had_AUC")
+	}
+}
+
+// BenchmarkTable3LinkPredDigg regenerates Table III.
+func BenchmarkTable3LinkPredDigg(b *testing.B) { benchLinkPred(b, datagen.Digg) }
+
+// BenchmarkTable4LinkPredYelp regenerates Table IV.
+func BenchmarkTable4LinkPredYelp(b *testing.B) { benchLinkPred(b, datagen.Yelp) }
+
+// BenchmarkTable5LinkPredTmall regenerates Table V.
+func BenchmarkTable5LinkPredTmall(b *testing.B) { benchLinkPred(b, datagen.Tmall) }
+
+// BenchmarkTable6LinkPredDBLP regenerates Table VI.
+func BenchmarkTable6LinkPredDBLP(b *testing.B) { benchLinkPred(b, datagen.DBLP) }
+
+// BenchmarkTable7Ablation regenerates Table VII (on the Digg analogue; the
+// Full preset in cmd/experiments covers all four datasets).
+func BenchmarkTable7Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunAblation(quick(), []datagen.Dataset{datagen.Digg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.F1["EHNA"][datagen.Digg], "EHNA_F1")
+		b.ReportMetric(r.F1["EHNA-NA"][datagen.Digg], "NA_F1")
+		b.ReportMetric(r.F1["EHNA-RW"][datagen.Digg], "RW_F1")
+		b.ReportMetric(r.F1["EHNA-SL"][datagen.Digg], "SL_F1")
+	}
+}
+
+// BenchmarkTable8Efficiency regenerates Table VIII.
+func BenchmarkTable8Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunEfficiency(quick(), []datagen.Dataset{datagen.Digg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Seconds["EHNA"][datagen.Digg], "EHNA_s")
+		b.ReportMetric(r.Seconds["HTNE"][datagen.Digg], "HTNE_s")
+		b.ReportMetric(r.Seconds["Node2Vec"][datagen.Digg], "N2V_s")
+		b.ReportMetric(r.Seconds["Node2Vec_W"][datagen.Digg], "N2VW_s")
+	}
+}
+
+// benchSweep is the generic Figure 5 panel runner.
+func benchSweep(b *testing.B, p experiments.SweepParam) {
+	b.Helper()
+	s := quick()
+	s.Repeats = 2
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunParamSweep(s, datagen.Yelp, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[0].F1, "F1_first")
+		b.ReportMetric(r.Points[len(r.Points)-1].F1, "F1_last")
+	}
+}
+
+// BenchmarkFig5Margin regenerates Figure 5a.
+func BenchmarkFig5Margin(b *testing.B) { benchSweep(b, experiments.SweepMargin) }
+
+// BenchmarkFig5WalkLen regenerates Figure 5b.
+func BenchmarkFig5WalkLen(b *testing.B) { benchSweep(b, experiments.SweepWalkLen) }
+
+// BenchmarkFig5P regenerates Figure 5c.
+func BenchmarkFig5P(b *testing.B) { benchSweep(b, experiments.SweepP) }
+
+// BenchmarkFig5Q regenerates Figure 5d.
+func BenchmarkFig5Q(b *testing.B) { benchSweep(b, experiments.SweepQ) }
+
+// BenchmarkExtensionOperatorCombo runs the future-work extension the paper
+// defers: single operators vs the 4-operator concatenation.
+func BenchmarkExtensionOperatorCombo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunOperatorCombo(quick(), datagen.Digg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AUC["Combined"], "Combined_AUC")
+		b.ReportMetric(r.AUC["Hadamard"], "Hadamard_AUC")
+	}
+}
+
+// BenchmarkAblationCheapNegatives measures the design choice DESIGN.md
+// calls out: routing negatives through the cheap neighborhood-mean
+// fallback is faster per epoch but lets the model separate aggregation
+// pathways instead of nodes (the reported F1 gap shows the cost).
+func BenchmarkAblationCheapNegatives(b *testing.B) {
+	s := quick()
+	for i := 0; i < b.N; i++ {
+		faithful, err := experiments.RunAblationCheapNegatives(s, datagen.Digg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cheap, err := experiments.RunAblationCheapNegatives(s, datagen.Digg, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(faithful, "faithful_F1")
+		b.ReportMetric(cheap, "cheap_F1")
+	}
+}
+
+// BenchmarkAblationWorkers measures the parallel-training speedup of the
+// shadow-replica trainer (workers=1 vs workers=4).
+func BenchmarkAblationWorkers(b *testing.B) {
+	s := quick()
+	for i := 0; i < b.N; i++ {
+		t1, t4, err := experiments.RunWorkerScaling(s, datagen.Digg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t1, "serial_s")
+		b.ReportMetric(t4, "workers4_s")
+		b.ReportMetric(t1/t4, "speedup_x")
+	}
+}
+
+// BenchmarkExtensionNodeClassification runs the node-classification
+// application (community prediction on the labeled DBLP analogue).
+func BenchmarkExtensionNodeClassification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunNodeClassification(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Accuracy["EHNA"], "EHNA_acc")
+		b.ReportMetric(r.Accuracy["Node2Vec"], "N2V_acc")
+	}
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ehna/internal/baselines/ctdne"
+	"ehna/internal/baselines/htne"
+	"ehna/internal/baselines/line"
+	"ehna/internal/baselines/node2vec"
+	"ehna/internal/graph"
+	"ehna/internal/pca"
+	"ehna/internal/skipgram"
+	"ehna/internal/tensor"
+)
+
+// cmdStats prints structural and temporal statistics of an edge list.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "input temporal edge list (TSV)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" {
+		return fmt.Errorf("stats: -graph is required")
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	st := g.ComputeStats()
+	fmt.Printf("nodes:               %d\n", st.Nodes)
+	fmt.Printf("temporal edges:      %d\n", st.Edges)
+	fmt.Printf("time span:           [%g, %g]\n", st.MinTime, st.MaxTime)
+	fmt.Printf("mean degree:         %.2f\n", st.MeanDegree)
+	fmt.Printf("max degree:          %d\n", st.MaxDegree)
+	fmt.Printf("connected components:%d\n", g.NumComponents())
+	fmt.Printf("degree Gini:         %.3f\n", g.GiniDegree())
+	if ts, ok := g.ComputeTemporalStats(); ok {
+		fmt.Printf("mean inter-event:    %.4f\n", ts.MeanInterEvent)
+		fmt.Printf("median inter-event:  %.4f\n", ts.MedianInterEvent)
+		fmt.Printf("burst ratio:         %.3f\n", ts.BurstRatio)
+		fmt.Printf("repeat-edge fraction:%.3f\n", ts.RepeatEdgeFraction)
+	}
+	return nil
+}
+
+// cmdEmbed trains any of the five methods on an edge list.
+func cmdEmbed(args []string) error {
+	fs := flag.NewFlagSet("embed", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "input temporal edge list (TSV)")
+	method := fs.String("method", "node2vec", "node2vec, ctdne, line, or htne")
+	dim := fs.Int("dim", 32, "embedding dimensionality (even for line)")
+	epochs := fs.Int("epochs", 2, "training epochs (sgns/htne)")
+	out := fs.String("out", "", "output embedding TSV path (default stdout)")
+	seed := fs.Int64("seed", 1, "training seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" {
+		return fmt.Errorf("embed: -graph is required")
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	sgns := skipgram.Config{Dim: *dim, Window: 5, Negatives: 5, LR: 0.05, Epochs: *epochs, Workers: 4}
+	var emb *tensor.Matrix
+	switch *method {
+	case "node2vec":
+		emb, err = node2vec.Embed(g, node2vec.Config{P: 1, Q: 1, NumWalks: 10, WalkLen: 40, SGNS: sgns}, *seed)
+	case "ctdne":
+		emb, err = ctdne.Embed(g, ctdne.Config{WalksPerEdgeFactor: 5, WalkLen: 40, SGNS: sgns}, *seed)
+	case "line":
+		cfg := line.DefaultConfig()
+		cfg.Dim = *dim
+		cfg.Samples = 100_000 * *epochs
+		emb, err = line.Embed(g, cfg, *seed)
+	case "htne":
+		cfg := htne.DefaultConfig()
+		cfg.Dim = *dim
+		cfg.Epochs = *epochs * 5
+		emb, err = htne.Embed(g, cfg, *seed)
+	default:
+		return fmt.Errorf("embed: unknown method %q (use ehna train for EHNA)", *method)
+	}
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return writeEmbeddings(w, emb)
+}
+
+// cmdVisualize renders a PCA projection of embeddings as ASCII.
+func cmdVisualize(args []string) error {
+	fs := flag.NewFlagSet("visualize", flag.ExitOnError)
+	embPath := fs.String("emb", "", "embedding TSV (from ehna train/embed)")
+	graphPath := fs.String("graph", "", "optional edge list; labels nodes by connected component")
+	width := fs.Int("width", 72, "plot width")
+	height := fs.Int("height", 24, "plot height")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *embPath == "" {
+		return fmt.Errorf("visualize: -emb is required")
+	}
+	emb, err := readEmbeddings(*embPath)
+	if err != nil {
+		return err
+	}
+	labels := make([]byte, emb.Rows)
+	for i := range labels {
+		labels[i] = '*'
+	}
+	if *graphPath != "" {
+		g, err := loadGraph(*graphPath)
+		if err != nil {
+			return err
+		}
+		if g.NumNodes() == emb.Rows {
+			comp := g.ConnectedComponents()
+			for i := range labels {
+				labels[i] = byte('0' + comp[i]%10)
+			}
+		}
+	}
+	res, err := pca.Fit(emb, pca.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	plot, err := pca.ScatterASCII(res.Transform(emb), labels, *width, *height)
+	if err != nil {
+		return err
+	}
+	fmt.Print(plot)
+	fmt.Printf("explained variance: PC1 %.3f PC2 %.3f\n", res.Explained[0], res.Explained[1])
+	return nil
+}
+
+// sampleNodesFor is a shared helper for node sampling across subcommands.
+func sampleNodesFor(g *graph.Temporal, n int, seed int64) []graph.NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	var candidates []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(graph.NodeID(v)) > 0 {
+			candidates = append(candidates, graph.NodeID(v))
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	return candidates[:n]
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ehna/internal/tensor"
+)
+
+func TestWriteReadEmbeddingsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "emb.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := tensor.FromRows([][]float64{{0.5, -1.25}, {3, 4}})
+	if err := writeEmbeddings(f, emb); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readEmbeddings(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, emb, 0) {
+		t.Fatalf("roundtrip mismatch: %v vs %v", got.Data, emb.Data)
+	}
+}
+
+func TestReadEmbeddingsErrors(t *testing.T) {
+	if _, err := readEmbeddings("/nonexistent/path.tsv"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.tsv")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readEmbeddings(empty); err == nil {
+		t.Fatal("empty file accepted")
+	}
+	bad := filepath.Join(dir, "bad.tsv")
+	if err := os.WriteFile(bad, []byte("0\tnot-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readEmbeddings(bad); err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}
+
+func TestLoadGraphErrors(t *testing.T) {
+	if _, err := loadGraph("/nonexistent/graph.tsv"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.tsv")
+	if err := os.WriteFile(bad, []byte("x y z\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadGraph(bad); err == nil {
+		t.Fatal("malformed graph accepted")
+	}
+}
+
+func TestLoadGraphNormalizesTimes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.tsv")
+	if err := os.WriteFile(path, []byte("0 1 2005\n1 2 2015\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, _ := g.TimeSpan()
+	if lo != 0 || hi != 1 {
+		t.Fatalf("times not normalized: %g..%g", lo, hi)
+	}
+}
+
+func TestSampleNodesFor(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.tsv")
+	if err := os.WriteFile(path, []byte("0 1 1\n1 2 2\n3 4 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sampleNodesFor(g, 100, 1)
+	if len(nodes) != 5 {
+		t.Fatalf("%d nodes (want all 5 non-isolated)", len(nodes))
+	}
+	nodes = sampleNodesFor(g, 2, 1)
+	if len(nodes) != 2 {
+		t.Fatalf("%d nodes want 2", len(nodes))
+	}
+}

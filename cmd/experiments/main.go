@@ -1,0 +1,144 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic dataset analogues.
+//
+// Usage:
+//
+//	experiments [-preset quick|full] [-run all|fig4|linkpred|ablation|efficiency|sweep] [-dataset Digg|Yelp|Tmall|DBLP]
+//
+// With -run all (the default) the full suite runs in the paper's order:
+// Figure 4, Tables III–VI, Table VII, Table VIII, Figure 5a–d.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ehna/internal/datagen"
+	"ehna/internal/experiments"
+)
+
+func main() {
+	preset := flag.String("preset", "full", "settings preset: quick or full")
+	run := flag.String("run", "all", "which experiment: all, fig4, linkpred, ablation, efficiency, sweep, extensions")
+	dataset := flag.String("dataset", "", "restrict fig4/linkpred to one dataset (Digg, Yelp, Tmall, DBLP)")
+	flag.Parse()
+
+	var s experiments.Settings
+	switch *preset {
+	case "quick":
+		s = experiments.Quick()
+	case "full":
+		s = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+
+	datasets := datagen.AllDatasets
+	if *dataset != "" {
+		datasets = []datagen.Dataset{datagen.Dataset(*dataset)}
+	}
+
+	start := time.Now()
+	switch *run {
+	case "all":
+		runFig4(s, datasets)
+		runLinkPred(s, datasets)
+		runAblation(s, datasets)
+		runEfficiency(s, datasets)
+		runSweeps(s)
+		runExtensions(s)
+	case "fig4":
+		runFig4(s, datasets)
+	case "linkpred":
+		runLinkPred(s, datasets)
+	case "ablation":
+		runAblation(s, datasets)
+	case "efficiency":
+		runEfficiency(s, datasets)
+	case "sweep":
+		runSweeps(s)
+	case "extensions":
+		runExtensions(s)
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+	fmt.Printf("\ntotal wall time: %.1fs\n", time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	os.Exit(1)
+}
+
+func runFig4(s experiments.Settings, datasets []datagen.Dataset) {
+	for _, d := range datasets {
+		r, err := experiments.RunFig4(s, d)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig4(os.Stdout, r)
+		fmt.Println()
+	}
+}
+
+func runLinkPred(s experiments.Settings, datasets []datagen.Dataset) {
+	for _, d := range datasets {
+		r, err := experiments.RunLinkPred(s, d)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintLinkPred(os.Stdout, r)
+		fmt.Println()
+	}
+}
+
+func runAblation(s experiments.Settings, datasets []datagen.Dataset) {
+	r, err := experiments.RunAblation(s, datasets)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.PrintAblation(os.Stdout, r, datasets)
+	fmt.Println()
+}
+
+func runEfficiency(s experiments.Settings, datasets []datagen.Dataset) {
+	r, err := experiments.RunEfficiency(s, datasets)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.PrintEfficiency(os.Stdout, r, datasets)
+	fmt.Println()
+}
+
+func runExtensions(s experiments.Settings) {
+	combo, err := experiments.RunOperatorCombo(s, datagen.Digg)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.PrintCombo(os.Stdout, combo)
+	fmt.Println()
+	nc, err := experiments.RunNodeClassification(s)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.PrintNodeClass(os.Stdout, nc)
+	fmt.Println()
+}
+
+func runSweeps(s experiments.Settings) {
+	for _, p := range []experiments.SweepParam{
+		experiments.SweepMargin, experiments.SweepWalkLen,
+		experiments.SweepP, experiments.SweepQ,
+	} {
+		r, err := experiments.RunParamSweep(s, datagen.Yelp, p)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintSweep(os.Stdout, r)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,92 @@
+// Embedding drift: EHNA's temporal embeddings move when a node's
+// neighborhood changes. This example plants "career movers" — authors who
+// abruptly switch communities late in the timeline — and shows that their
+// embeddings drift far more between the early model and the full model
+// than stable authors', making drift a usable change-detection signal.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"ehna/internal/ehna"
+	"ehna/internal/graph"
+	"ehna/internal/tensor"
+	"ehna/internal/walk"
+)
+
+func main() {
+	const (
+		perSide = 30
+		movers  = 4 // nodes 0..3 switch sides at t ≥ 0.7
+	)
+	rng := rand.New(rand.NewSource(21))
+	g := graph.NewTemporal(2 * perSide)
+	add := func(u, v int, t float64) {
+		if u != v {
+			_ = g.AddEdge(graph.NodeID(u), graph.NodeID(v), 1, t)
+		}
+	}
+	// Two communities interacting internally throughout [0, 1]...
+	for i := 0; i < 450; i++ {
+		t := rng.Float64()
+		a := rng.Intn(perSide)
+		b := rng.Intn(perSide)
+		add(a, b, t)
+		add(perSide+rng.Intn(perSide), perSide+rng.Intn(perSide), t)
+	}
+	// ...except the movers, whose late edges all go to the other side.
+	for m := 0; m < movers; m++ {
+		for i := 0; i < 20; i++ {
+			add(m, perSide+rng.Intn(perSide), 0.7+0.3*rng.Float64())
+		}
+	}
+	g.Build()
+
+	train := func(gr *graph.Temporal) *tensor.Matrix {
+		cfg := ehna.DefaultConfig()
+		cfg.Dim = 16
+		cfg.Walk = walk.TemporalConfig{P: 1, Q: 1, NumWalks: 5, WalkLen: 6}
+		cfg.Epochs = 2
+		cfg.Bidirectional = true
+		cfg.Workers = 4
+		m, err := ehna.NewModel(gr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Train()
+		return m.InferAll()
+	}
+
+	// Early model: the world before the switch.
+	early, _, err := g.SplitByTime(0.35)
+	if err != nil {
+		log.Fatal(err)
+	}
+	embEarly := train(early)
+	embFull := train(g)
+
+	type drift struct {
+		node int
+		d    float64
+	}
+	var drifts []drift
+	for v := 0; v < g.NumNodes(); v++ {
+		drifts = append(drifts, drift{v, tensor.SqDistVec(embEarly.Row(v), embFull.Row(v))})
+	}
+	sort.Slice(drifts, func(i, j int) bool { return drifts[i].d > drifts[j].d })
+
+	fmt.Println("top-8 drifting nodes (movers are 0..3):")
+	hits := 0
+	for _, d := range drifts[:8] {
+		tag := ""
+		if d.node < movers {
+			tag = "  ← planted mover"
+			hits++
+		}
+		fmt.Printf("  node %3d  drift %.4f%s\n", d.node, d.d, tag)
+	}
+	fmt.Printf("\n%d of %d planted movers rank in the top 8 by drift\n", hits, movers)
+}

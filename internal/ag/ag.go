@@ -1,0 +1,572 @@
+// Package ag implements reverse-mode automatic differentiation over dense
+// matrices (a "tape" or Wengert list). It is the training substrate that
+// replaces the Python autodiff stack used by the original EHNA paper.
+//
+// Usage: create a Tape per forward pass, build the computation with the
+// Tape's operator methods, then call Backward on a scalar (1×1) root node.
+// Gradients of Leaf nodes are accumulated into caller-owned sink matrices,
+// which optimizers (internal/nn) then consume.
+//
+// Every operator's gradient is verified against central finite differences
+// in ag_test.go.
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"ehna/internal/tensor"
+)
+
+// Node is one value in the computation graph.
+type Node struct {
+	Value *tensor.Matrix
+	grad  *tensor.Matrix
+	back  func(n *Node)
+	needs bool // whether any ancestor is a Leaf (gradient required)
+}
+
+// Grad returns the accumulated gradient of n, allocating it on first use.
+func (n *Node) Grad() *tensor.Matrix {
+	if n.grad == nil {
+		n.grad = tensor.New(n.Value.Rows, n.Value.Cols)
+	}
+	return n.grad
+}
+
+// Tape records nodes in topological (creation) order.
+type Tape struct {
+	nodes []*Node
+}
+
+// New returns an empty tape.
+func New() *Tape {
+	return &Tape{nodes: make([]*Node, 0, 256)}
+}
+
+// Len returns the number of recorded nodes (useful for instrumentation).
+func (t *Tape) Len() int { return len(t.nodes) }
+
+func (t *Tape) add(n *Node) *Node {
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Const records a node that requires no gradient.
+func (t *Tape) Const(v *tensor.Matrix) *Node {
+	return t.add(&Node{Value: v})
+}
+
+// Leaf records a differentiable input whose gradient is accumulated into
+// sink (same shape as v). The caller owns both matrices.
+func (t *Tape) Leaf(v, sink *tensor.Matrix) *Node {
+	if v.Rows != sink.Rows || v.Cols != sink.Cols {
+		panic(fmt.Sprintf("ag: Leaf sink shape %dx%d != value %dx%d", sink.Rows, sink.Cols, v.Rows, v.Cols))
+	}
+	n := &Node{Value: v, needs: true}
+	n.back = func(n *Node) {
+		tensor.AddInPlace(sink, n.Grad())
+	}
+	return t.add(n)
+}
+
+// LeafFunc records a differentiable input whose gradient is delivered to fn
+// at backward time. Used for embedding-table lookups where the gradient is
+// scattered into sparse per-row accumulators.
+func (t *Tape) LeafFunc(v *tensor.Matrix, fn func(grad *tensor.Matrix)) *Node {
+	n := &Node{Value: v, needs: true}
+	n.back = func(n *Node) { fn(n.Grad()) }
+	return t.add(n)
+}
+
+// Backward seeds the gradient of the scalar root with 1 and propagates
+// gradients to all leaves in reverse topological order.
+func (t *Tape) Backward(root *Node) {
+	if root.Value.Rows != 1 || root.Value.Cols != 1 {
+		panic(fmt.Sprintf("ag: Backward root must be 1x1, got %dx%d", root.Value.Rows, root.Value.Cols))
+	}
+	root.Grad().Data[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.grad != nil && n.back != nil {
+			n.back(n)
+		}
+	}
+}
+
+func needsAny(parents ...*Node) bool {
+	for _, p := range parents {
+		if p.needs {
+			return true
+		}
+	}
+	return false
+}
+
+// Add returns a + b.
+func (t *Tape) Add(a, b *Node) *Node {
+	n := &Node{Value: tensor.Add(a.Value, b.Value), needs: needsAny(a, b)}
+	if n.needs {
+		n.back = func(n *Node) {
+			if a.needs {
+				tensor.AddInPlace(a.Grad(), n.grad)
+			}
+			if b.needs {
+				tensor.AddInPlace(b.Grad(), n.grad)
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// Sub returns a − b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	n := &Node{Value: tensor.Sub(a.Value, b.Value), needs: needsAny(a, b)}
+	if n.needs {
+		n.back = func(n *Node) {
+			if a.needs {
+				tensor.AddInPlace(a.Grad(), n.grad)
+			}
+			if b.needs {
+				tensor.AxpyInPlace(b.Grad(), -1, n.grad)
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// Mul returns the element-wise product a ⊙ b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	n := &Node{Value: tensor.Hadamard(a.Value, b.Value), needs: needsAny(a, b)}
+	if n.needs {
+		n.back = func(n *Node) {
+			if a.needs {
+				tensor.AddInPlace(a.Grad(), tensor.Hadamard(n.grad, b.Value))
+			}
+			if b.needs {
+				tensor.AddInPlace(b.Grad(), tensor.Hadamard(n.grad, a.Value))
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// Scale returns c·a for a compile-time constant c.
+func (t *Tape) Scale(a *Node, c float64) *Node {
+	n := &Node{Value: tensor.Scale(a.Value, c), needs: a.needs}
+	if n.needs {
+		n.back = func(n *Node) {
+			tensor.AxpyInPlace(a.Grad(), c, n.grad)
+		}
+	}
+	return t.add(n)
+}
+
+// AddConst returns a + c element-wise for a constant c.
+func (t *Tape) AddConst(a *Node, c float64) *Node {
+	n := &Node{Value: tensor.Apply(a.Value, func(v float64) float64 { return v + c }), needs: a.needs}
+	if n.needs {
+		n.back = func(n *Node) {
+			tensor.AddInPlace(a.Grad(), n.grad)
+		}
+	}
+	return t.add(n)
+}
+
+// MatMul returns a·b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	n := &Node{Value: tensor.MatMul(a.Value, b.Value), needs: needsAny(a, b)}
+	if n.needs {
+		n.back = func(n *Node) {
+			if a.needs {
+				tensor.AddInPlace(a.Grad(), tensor.MatMulBTransposed(n.grad, b.Value))
+			}
+			if b.needs {
+				tensor.AddInPlace(b.Grad(), tensor.MatMulATransposed(a.Value, n.grad))
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// AddRowBroadcast returns x with the 1×cols bias node added to every row.
+func (t *Tape) AddRowBroadcast(x, bias *Node) *Node {
+	n := &Node{Value: tensor.AddRowBroadcast(x.Value, bias.Value), needs: needsAny(x, bias)}
+	if n.needs {
+		n.back = func(n *Node) {
+			if x.needs {
+				tensor.AddInPlace(x.Grad(), n.grad)
+			}
+			if bias.needs {
+				tensor.AddInPlace(bias.Grad(), tensor.SumRows(n.grad))
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// Sigmoid returns the logistic function applied element-wise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	val := tensor.Sigmoid(a.Value)
+	n := &Node{Value: val, needs: a.needs}
+	if n.needs {
+		n.back = func(n *Node) {
+			g := a.Grad()
+			for i, s := range val.Data {
+				g.Data[i] += n.grad.Data[i] * s * (1 - s)
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// Tanh returns tanh applied element-wise.
+func (t *Tape) Tanh(a *Node) *Node {
+	val := tensor.Tanh(a.Value)
+	n := &Node{Value: val, needs: a.needs}
+	if n.needs {
+		n.back = func(n *Node) {
+			g := a.Grad()
+			for i, th := range val.Data {
+				g.Data[i] += n.grad.Data[i] * (1 - th*th)
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// ReLU returns max(0, x) element-wise.
+func (t *Tape) ReLU(a *Node) *Node {
+	val := tensor.ReLU(a.Value)
+	n := &Node{Value: val, needs: a.needs}
+	if n.needs {
+		n.back = func(n *Node) {
+			g := a.Grad()
+			for i, v := range a.Value.Data {
+				if v > 0 {
+					g.Data[i] += n.grad.Data[i]
+				}
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// SoftmaxRow returns softmax of a 1×n row vector.
+func (t *Tape) SoftmaxRow(a *Node) *Node {
+	if a.Value.Rows != 1 {
+		panic("ag: SoftmaxRow expects a 1×n node")
+	}
+	val := tensor.SoftmaxRows(a.Value)
+	n := &Node{Value: val, needs: a.needs}
+	if n.needs {
+		n.back = func(n *Node) {
+			// dL/dx_i = s_i (dL/ds_i − Σ_j dL/ds_j s_j)
+			var dot float64
+			for j, s := range val.Data {
+				dot += n.grad.Data[j] * s
+			}
+			g := a.Grad()
+			for i, s := range val.Data {
+				g.Data[i] += s * (n.grad.Data[i] - dot)
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// ConcatCols returns [a ‖ b].
+func (t *Tape) ConcatCols(a, b *Node) *Node {
+	n := &Node{Value: tensor.ConcatCols(a.Value, b.Value), needs: needsAny(a, b)}
+	if n.needs {
+		ac := a.Value.Cols
+		n.back = func(n *Node) {
+			for i := 0; i < n.Value.Rows; i++ {
+				grow := n.grad.Row(i)
+				if a.needs {
+					arow := a.Grad().Row(i)
+					for j := range arow {
+						arow[j] += grow[j]
+					}
+				}
+				if b.needs {
+					brow := b.Grad().Row(i)
+					for j := range brow {
+						brow[j] += grow[ac+j]
+					}
+				}
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// RowScale scales row i of x (n×d) by element i of s (1×n):
+// out[i,:] = s[i]·x[i,:]. This is the attention-weighting primitive.
+func (t *Tape) RowScale(x, s *Node) *Node {
+	if s.Value.Rows != 1 || s.Value.Cols != x.Value.Rows {
+		panic(fmt.Sprintf("ag: RowScale s %dx%d for x %dx%d", s.Value.Rows, s.Value.Cols, x.Value.Rows, x.Value.Cols))
+	}
+	val := tensor.New(x.Value.Rows, x.Value.Cols)
+	for i := 0; i < x.Value.Rows; i++ {
+		si := s.Value.Data[i]
+		xrow := x.Value.Row(i)
+		vrow := val.Row(i)
+		for j, v := range xrow {
+			vrow[j] = si * v
+		}
+	}
+	n := &Node{Value: val, needs: needsAny(x, s)}
+	if n.needs {
+		n.back = func(n *Node) {
+			for i := 0; i < x.Value.Rows; i++ {
+				grow := n.grad.Row(i)
+				if x.needs {
+					xg := x.Grad().Row(i)
+					si := s.Value.Data[i]
+					for j, g := range grow {
+						xg[j] += si * g
+					}
+				}
+				if s.needs {
+					s.Grad().Data[i] += tensor.DotVec(grow, x.Value.Row(i))
+				}
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// Row returns row i of x as a 1×cols node.
+func (t *Tape) Row(x *Node, i int) *Node {
+	val := tensor.New(1, x.Value.Cols)
+	copy(val.Data, x.Value.Row(i))
+	n := &Node{Value: val, needs: x.needs}
+	if n.needs {
+		n.back = func(n *Node) {
+			row := x.Grad().Row(i)
+			for j, g := range n.grad.Data {
+				row[j] += g
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// StackRows stacks 1×c nodes into an n×c node.
+func (t *Tape) StackRows(rows []*Node) *Node {
+	if len(rows) == 0 {
+		panic("ag: StackRows of zero rows")
+	}
+	c := rows[0].Value.Cols
+	val := tensor.New(len(rows), c)
+	needs := false
+	for i, r := range rows {
+		if r.Value.Rows != 1 || r.Value.Cols != c {
+			panic(fmt.Sprintf("ag: StackRows row %d is %dx%d want 1x%d", i, r.Value.Rows, r.Value.Cols, c))
+		}
+		copy(val.Row(i), r.Value.Data)
+		needs = needs || r.needs
+	}
+	n := &Node{Value: val, needs: needs}
+	if needs {
+		n.back = func(n *Node) {
+			for i, r := range rows {
+				if r.needs {
+					g := r.Grad()
+					grow := n.grad.Row(i)
+					for j := range g.Data {
+						g.Data[j] += grow[j]
+					}
+				}
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// SumAll returns the 1×1 sum of all elements of x.
+func (t *Tape) SumAll(x *Node) *Node {
+	val := tensor.FromSlice(1, 1, []float64{x.Value.Sum()})
+	n := &Node{Value: val, needs: x.needs}
+	if n.needs {
+		n.back = func(n *Node) {
+			g := n.grad.Data[0]
+			xg := x.Grad()
+			for i := range xg.Data {
+				xg.Data[i] += g
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// SumSquares returns the 1×1 sum of squared elements of x.
+func (t *Tape) SumSquares(x *Node) *Node {
+	var s float64
+	for _, v := range x.Value.Data {
+		s += v * v
+	}
+	n := &Node{Value: tensor.FromSlice(1, 1, []float64{s}), needs: x.needs}
+	if n.needs {
+		n.back = func(n *Node) {
+			g := n.grad.Data[0]
+			xg := x.Grad()
+			for i, v := range x.Value.Data {
+				xg.Data[i] += 2 * g * v
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// MeanRows returns the 1×cols column means of x.
+func (t *Tape) MeanRows(x *Node) *Node {
+	n := &Node{Value: tensor.MeanRows(x.Value), needs: x.needs}
+	if n.needs {
+		inv := 1 / float64(x.Value.Rows)
+		n.back = func(n *Node) {
+			xg := x.Grad()
+			for i := 0; i < x.Value.Rows; i++ {
+				row := xg.Row(i)
+				for j := range row {
+					row[j] += inv * n.grad.Data[j]
+				}
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// L2NormalizeRow returns x/‖x‖₂ for a 1×d node, with ε guarding zero input.
+func (t *Tape) L2NormalizeRow(x *Node) *Node {
+	if x.Value.Rows != 1 {
+		panic("ag: L2NormalizeRow expects 1×d")
+	}
+	const eps = 1e-12
+	norm := tensor.L2NormVec(x.Value.Data) + eps
+	val := tensor.Scale(x.Value, 1/norm)
+	n := &Node{Value: val, needs: x.needs}
+	if n.needs {
+		n.back = func(n *Node) {
+			// d(x/‖x‖)/dx = (I − y·yᵀ)/‖x‖ where y = x/‖x‖
+			dot := tensor.DotVec(n.grad.Data, val.Data)
+			xg := x.Grad()
+			for i := range xg.Data {
+				xg.Data[i] += (n.grad.Data[i] - dot*val.Data[i]) / norm
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// SqDist returns the 1×1 squared Euclidean distance ‖a−b‖² of two
+// equal-shape nodes. Composite helper used by the EHNA loss and attention.
+func (t *Tape) SqDist(a, b *Node) *Node {
+	return t.SumSquares(t.Sub(a, b))
+}
+
+// Hinge returns max(0, margin + pos − neg) for 1×1 nodes pos and neg.
+func (t *Tape) Hinge(margin float64, pos, neg *Node) *Node {
+	return t.ReLU(t.AddConst(t.Sub(pos, neg), margin))
+}
+
+// Value returns the scalar value of a 1×1 node.
+func Value(n *Node) float64 {
+	if n.Value.Rows != 1 || n.Value.Cols != 1 {
+		panic("ag: Value expects a 1×1 node")
+	}
+	return n.Value.Data[0]
+}
+
+// IsFinite reports whether every element of the node's value is finite.
+func IsFinite(n *Node) bool {
+	for _, v := range n.Value.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// RSqrt returns 1/√x element-wise. Inputs must be positive.
+func (t *Tape) RSqrt(a *Node) *Node {
+	val := tensor.Apply(a.Value, func(v float64) float64 { return 1 / math.Sqrt(v) })
+	n := &Node{Value: val, needs: a.needs}
+	if n.needs {
+		n.back = func(n *Node) {
+			g := a.Grad()
+			for i, y := range val.Data {
+				// d(1/√x)/dx = −½·x^(−3/2) = −½·y³
+				g.Data[i] += n.grad.Data[i] * (-0.5 * y * y * y)
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// RowBroadcastMul returns x with every row multiplied element-wise by the
+// 1×cols node s: out[i,j] = x[i,j]·s[j].
+func (t *Tape) RowBroadcastMul(x, s *Node) *Node {
+	if s.Value.Rows != 1 || s.Value.Cols != x.Value.Cols {
+		panic(fmt.Sprintf("ag: RowBroadcastMul s %dx%d for x %dx%d", s.Value.Rows, s.Value.Cols, x.Value.Rows, x.Value.Cols))
+	}
+	val := tensor.New(x.Value.Rows, x.Value.Cols)
+	for i := 0; i < x.Value.Rows; i++ {
+		xrow := x.Value.Row(i)
+		vrow := val.Row(i)
+		for j, v := range xrow {
+			vrow[j] = v * s.Value.Data[j]
+		}
+	}
+	n := &Node{Value: val, needs: needsAny(x, s)}
+	if n.needs {
+		n.back = func(n *Node) {
+			for i := 0; i < x.Value.Rows; i++ {
+				grow := n.grad.Row(i)
+				if x.needs {
+					xg := x.Grad().Row(i)
+					for j, g := range grow {
+						xg[j] += g * s.Value.Data[j]
+					}
+				}
+				if s.needs {
+					sg := s.Grad()
+					xrow := x.Value.Row(i)
+					for j, g := range grow {
+						sg.Data[j] += g * xrow[j]
+					}
+				}
+			}
+		}
+	}
+	return t.add(n)
+}
+
+// ConcatScalars concatenates 1×1 nodes into a single 1×n row (used to
+// assemble attention score vectors before SoftmaxRow).
+func (t *Tape) ConcatScalars(scalars []*Node) *Node {
+	if len(scalars) == 0 {
+		panic("ag: ConcatScalars of zero nodes")
+	}
+	val := tensor.New(1, len(scalars))
+	needs := false
+	for i, s := range scalars {
+		if s.Value.Rows != 1 || s.Value.Cols != 1 {
+			panic(fmt.Sprintf("ag: ConcatScalars element %d is %dx%d", i, s.Value.Rows, s.Value.Cols))
+		}
+		val.Data[i] = s.Value.Data[0]
+		needs = needs || s.needs
+	}
+	n := &Node{Value: val, needs: needs}
+	if needs {
+		n.back = func(n *Node) {
+			for i, s := range scalars {
+				if s.needs {
+					s.Grad().Data[0] += n.grad.Data[i]
+				}
+			}
+		}
+	}
+	return t.add(n)
+}

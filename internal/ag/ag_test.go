@@ -1,0 +1,308 @@
+package ag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ehna/internal/tensor"
+)
+
+// checkGrad verifies the analytic gradient of a scalar-valued tape program
+// against central finite differences for every input matrix.
+//
+// build must construct the graph from leaves bound to the given inputs and
+// return the scalar root.
+func checkGrad(t *testing.T, name string, inputs []*tensor.Matrix, build func(tp *Tape, leaves []*Node) *Node) {
+	t.Helper()
+	sinks := make([]*tensor.Matrix, len(inputs))
+	tp := New()
+	leaves := make([]*Node, len(inputs))
+	for i, in := range inputs {
+		sinks[i] = tensor.New(in.Rows, in.Cols)
+		leaves[i] = tp.Leaf(in, sinks[i])
+	}
+	root := build(tp, leaves)
+	tp.Backward(root)
+
+	const h = 1e-5
+	eval := func() float64 {
+		tp2 := New()
+		lv := make([]*Node, len(inputs))
+		for i, in := range inputs {
+			lv[i] = tp2.Const(in)
+			lv[i].needs = false
+		}
+		return Value(build(tp2, lv))
+	}
+	for pi, in := range inputs {
+		for i := range in.Data {
+			orig := in.Data[i]
+			in.Data[i] = orig + h
+			fp := eval()
+			in.Data[i] = orig - h
+			fm := eval()
+			in.Data[i] = orig
+			num := (fp - fm) / (2 * h)
+			got := sinks[pi].Data[i]
+			scale := math.Max(1, math.Max(math.Abs(num), math.Abs(got)))
+			if math.Abs(num-got)/scale > 1e-4 {
+				t.Fatalf("%s: input %d elem %d: analytic %g numeric %g", name, pi, i, got, num)
+			}
+		}
+	}
+}
+
+func rnd(rows, cols int, seed int64) *tensor.Matrix {
+	return tensor.Randn(rows, cols, 0.7, rand.New(rand.NewSource(seed)))
+}
+
+func TestGradAdd(t *testing.T) {
+	checkGrad(t, "add", []*tensor.Matrix{rnd(2, 3, 1), rnd(2, 3, 2)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.Add(l[0], l[1]))
+	})
+}
+
+func TestGradSub(t *testing.T) {
+	checkGrad(t, "sub", []*tensor.Matrix{rnd(2, 3, 3), rnd(2, 3, 4)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.Sub(l[0], l[1]))
+	})
+}
+
+func TestGradMul(t *testing.T) {
+	checkGrad(t, "mul", []*tensor.Matrix{rnd(2, 3, 5), rnd(2, 3, 6)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumAll(tp.Mul(l[0], l[1]))
+	})
+}
+
+func TestGradScaleAddConst(t *testing.T) {
+	checkGrad(t, "scale", []*tensor.Matrix{rnd(2, 2, 7)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.AddConst(tp.Scale(l[0], -2.5), 0.3))
+	})
+}
+
+func TestGradMatMul(t *testing.T) {
+	checkGrad(t, "matmul", []*tensor.Matrix{rnd(3, 4, 8), rnd(4, 2, 9)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.MatMul(l[0], l[1]))
+	})
+}
+
+func TestGradMatMulChain(t *testing.T) {
+	checkGrad(t, "matmulchain", []*tensor.Matrix{rnd(2, 3, 10), rnd(3, 3, 11), rnd(3, 1, 12)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.MatMul(tp.MatMul(l[0], l[1]), l[2]))
+	})
+}
+
+func TestGradAddRowBroadcast(t *testing.T) {
+	checkGrad(t, "bias", []*tensor.Matrix{rnd(3, 4, 13), rnd(1, 4, 14)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.AddRowBroadcast(l[0], l[1]))
+	})
+}
+
+func TestGradSigmoid(t *testing.T) {
+	checkGrad(t, "sigmoid", []*tensor.Matrix{rnd(2, 3, 15)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.Sigmoid(l[0]))
+	})
+}
+
+func TestGradTanh(t *testing.T) {
+	checkGrad(t, "tanh", []*tensor.Matrix{rnd(2, 3, 16)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.Tanh(l[0]))
+	})
+}
+
+func TestGradReLU(t *testing.T) {
+	// Shift inputs away from the kink at 0 so finite differences are valid.
+	in := rnd(2, 3, 17)
+	for i := range in.Data {
+		if math.Abs(in.Data[i]) < 0.05 {
+			in.Data[i] = 0.1
+		}
+	}
+	checkGrad(t, "relu", []*tensor.Matrix{in}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.ReLU(l[0]))
+	})
+}
+
+func TestGradSoftmaxRow(t *testing.T) {
+	checkGrad(t, "softmax", []*tensor.Matrix{rnd(1, 5, 18), rnd(1, 5, 19)}, func(tp *Tape, l []*Node) *Node {
+		// Weighted sum of softmax outputs exercises the full Jacobian.
+		return tp.SumAll(tp.Mul(tp.SoftmaxRow(l[0]), l[1]))
+	})
+}
+
+func TestGradConcatCols(t *testing.T) {
+	checkGrad(t, "concat", []*tensor.Matrix{rnd(2, 3, 20), rnd(2, 2, 21)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.ConcatCols(l[0], l[1]))
+	})
+}
+
+func TestGradRowScale(t *testing.T) {
+	checkGrad(t, "rowscale", []*tensor.Matrix{rnd(3, 4, 22), rnd(1, 3, 23)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.RowScale(l[0], l[1]))
+	})
+}
+
+func TestGradRowAndStack(t *testing.T) {
+	checkGrad(t, "rowstack", []*tensor.Matrix{rnd(3, 4, 24)}, func(tp *Tape, l []*Node) *Node {
+		r0 := tp.Row(l[0], 0)
+		r2 := tp.Row(l[0], 2)
+		return tp.SumSquares(tp.StackRows([]*Node{r0, r2, r0}))
+	})
+}
+
+func TestGradMeanRows(t *testing.T) {
+	checkGrad(t, "meanrows", []*tensor.Matrix{rnd(4, 3, 25)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.MeanRows(l[0]))
+	})
+}
+
+func TestGradL2NormalizeRow(t *testing.T) {
+	checkGrad(t, "l2norm", []*tensor.Matrix{rnd(1, 5, 26), rnd(1, 5, 27)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumAll(tp.Mul(tp.L2NormalizeRow(l[0]), l[1]))
+	})
+}
+
+func TestGradSqDistHinge(t *testing.T) {
+	checkGrad(t, "hinge", []*tensor.Matrix{rnd(1, 4, 28), rnd(1, 4, 29), rnd(1, 4, 30)}, func(tp *Tape, l []*Node) *Node {
+		pos := tp.SqDist(l[0], l[1])
+		neg := tp.SqDist(l[0], l[2])
+		return tp.Hinge(5, pos, neg)
+	})
+}
+
+func TestGradDeepComposite(t *testing.T) {
+	// A miniature of the EHNA readout: attention → weighted rows → dense →
+	// tanh → normalize → distance.
+	checkGrad(t, "composite", []*tensor.Matrix{rnd(3, 4, 31), rnd(1, 3, 32), rnd(4, 4, 33), rnd(1, 4, 34)}, func(tp *Tape, l []*Node) *Node {
+		att := tp.SoftmaxRow(l[1])
+		weighted := tp.RowScale(l[0], att)
+		mean := tp.MeanRows(weighted)
+		h := tp.Tanh(tp.MatMul(mean, l[2]))
+		z := tp.L2NormalizeRow(h)
+		return tp.SqDist(z, l[3])
+	})
+}
+
+func TestLeafAccumulatesAcrossUses(t *testing.T) {
+	// Using a leaf twice must sum both gradient contributions.
+	in := rnd(1, 3, 35)
+	sink := tensor.New(1, 3)
+	tp := New()
+	x := tp.Leaf(in, sink)
+	root := tp.SumSquares(tp.Add(x, x)) // d/dx sum((2x)^2) = 8x
+	tp.Backward(root)
+	for i, v := range in.Data {
+		if math.Abs(sink.Data[i]-8*v) > 1e-9 {
+			t.Fatalf("elem %d: got %g want %g", i, sink.Data[i], 8*v)
+		}
+	}
+}
+
+func TestLeafFuncDeliversGrad(t *testing.T) {
+	in := rnd(1, 3, 36)
+	var delivered *tensor.Matrix
+	tp := New()
+	x := tp.LeafFunc(in, func(g *tensor.Matrix) { delivered = g.Clone() })
+	tp.Backward(tp.SumSquares(x))
+	if delivered == nil {
+		t.Fatal("LeafFunc callback not invoked")
+	}
+	for i, v := range in.Data {
+		if math.Abs(delivered.Data[i]-2*v) > 1e-9 {
+			t.Fatalf("elem %d: got %g want %g", i, delivered.Data[i], 2*v)
+		}
+	}
+}
+
+func TestConstGetsNoGradient(t *testing.T) {
+	tp := New()
+	c := tp.Const(rnd(2, 2, 37))
+	root := tp.SumSquares(c)
+	tp.Backward(root)
+	if c.grad != nil {
+		t.Fatal("const node must not receive a gradient")
+	}
+}
+
+func TestBackwardNonScalarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tp := New()
+	x := tp.Const(rnd(2, 2, 38))
+	tp.Backward(x)
+}
+
+func TestValueHelpers(t *testing.T) {
+	tp := New()
+	n := tp.Const(tensor.FromSlice(1, 1, []float64{3.5}))
+	if Value(n) != 3.5 {
+		t.Fatal("Value")
+	}
+	if !IsFinite(n) {
+		t.Fatal("IsFinite on finite")
+	}
+	bad := tp.Const(tensor.FromSlice(1, 1, []float64{math.NaN()}))
+	if IsFinite(bad) {
+		t.Fatal("IsFinite on NaN")
+	}
+}
+
+func TestTapeLen(t *testing.T) {
+	tp := New()
+	a := tp.Const(rnd(1, 1, 39))
+	_ = tp.Add(a, a)
+	if tp.Len() != 2 {
+		t.Fatalf("Len = %d want 2", tp.Len())
+	}
+}
+
+func BenchmarkBackwardMLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w1 := tensor.Randn(64, 64, 0.1, rng)
+	w2 := tensor.Randn(64, 64, 0.1, rng)
+	x := tensor.Randn(8, 64, 1, rng)
+	g1 := tensor.New(64, 64)
+	g2 := tensor.New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g1.Zero()
+		g2.Zero()
+		tp := New()
+		w1n := tp.Leaf(w1, g1)
+		w2n := tp.Leaf(w2, g2)
+		h := tp.Tanh(tp.MatMul(tp.Const(x), w1n))
+		out := tp.SumSquares(tp.MatMul(h, w2n))
+		tp.Backward(out)
+	}
+}
+
+func TestGradRSqrt(t *testing.T) {
+	in := rnd(2, 3, 40)
+	for i := range in.Data {
+		in.Data[i] = math.Abs(in.Data[i]) + 0.5 // keep strictly positive
+	}
+	checkGrad(t, "rsqrt", []*tensor.Matrix{in}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.RSqrt(l[0]))
+	})
+}
+
+func TestGradRowBroadcastMul(t *testing.T) {
+	checkGrad(t, "rowbmul", []*tensor.Matrix{rnd(3, 4, 41), rnd(1, 4, 42)}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumSquares(tp.RowBroadcastMul(l[0], l[1]))
+	})
+}
+
+func TestGradConcatScalars(t *testing.T) {
+	checkGrad(t, "concatscalars", []*tensor.Matrix{rnd(1, 4, 43), rnd(1, 4, 44)}, func(tp *Tape, l []*Node) *Node {
+		parts := make([]*Node, 3)
+		for i := range parts {
+			parts[i] = tp.SqDist(tp.Scale(l[0], float64(i+1)), l[1])
+		}
+		row := tp.ConcatScalars(parts)
+		return tp.SumSquares(tp.SoftmaxRow(row))
+	})
+}

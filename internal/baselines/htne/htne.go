@@ -1,0 +1,176 @@
+// Package htne implements the HTNE baseline (Zuo et al., KDD 2018):
+// embedding temporal networks via the Hawkes process over neighborhood
+// formation sequences. The arrival of neighbor y at node x at time t has
+// conditional intensity
+//
+//	λ̃_{y|x}(t) = μ(x,y) + Σ_{h ∈ H_x(t)} α(h,y) · exp(−δ·(t − t_h))
+//
+// where the base rate μ(x,y) = −‖e_x − e_y‖² and the historical influence
+// α(h,y) = −‖e_h − e_y‖² are both induced from the embeddings, H_x(t) is
+// the most recent history of x before t, and δ is a learnable-in-principle
+// decay (fixed here, as in the reference implementation's default).
+// The likelihood is optimized with negative sampling:
+// maximize log σ(λ̃_pos) + Σ log σ(−λ̃_neg).
+package htne
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ehna/internal/graph"
+	"ehna/internal/sample"
+	"ehna/internal/tensor"
+)
+
+// Config parameterizes HTNE.
+type Config struct {
+	Dim       int     // embedding dimensionality
+	HistLen   int     // history size per target node (reference default: 5)
+	Negatives int     // negative samples per event
+	Delta     float64 // exponential decay rate of historical influence
+	LR        float64 // SGD learning rate, linearly decayed
+	Epochs    int     // passes over the chronological event stream
+}
+
+// DefaultConfig returns the reference defaults.
+func DefaultConfig() Config {
+	return Config{Dim: 128, HistLen: 5, Negatives: 5, Delta: 1, LR: 0.02, Epochs: 1}
+}
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (c Config) Validate() error {
+	if c.Dim < 1 {
+		return fmt.Errorf("htne: Dim %d < 1", c.Dim)
+	}
+	if c.HistLen < 1 {
+		return fmt.Errorf("htne: HistLen %d < 1", c.HistLen)
+	}
+	if c.Negatives < 1 {
+		return fmt.Errorf("htne: Negatives %d < 1", c.Negatives)
+	}
+	if c.Delta <= 0 {
+		return fmt.Errorf("htne: Delta %g must be positive", c.Delta)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("htne: LR %g must be positive", c.LR)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("htne: Epochs %d < 1", c.Epochs)
+	}
+	return nil
+}
+
+// Embed trains HTNE embeddings for every node of g.
+func Embed(g *graph.Temporal, cfg Config, seed int64) (*tensor.Matrix, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("htne: empty graph")
+	}
+	neg, err := sample.NewNegative(g)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dim := cfg.Dim
+	emb := tensor.Uniform(g.NumNodes(), dim, -0.5/float64(dim), 0.5/float64(dim), rng)
+
+	steps := cfg.Epochs * len(edges) * 2
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, e := range edges {
+			// Each undirected edge is a neighbor-arrival event for both
+			// endpoints: y arrives at x, and x arrives at y.
+			lr := cfg.LR * (1 - float64(step)/float64(steps))
+			if lr < cfg.LR/100 {
+				lr = cfg.LR / 100
+			}
+			trainEvent(g, emb, e.U, e.V, e.Time, cfg, lr, neg, rng)
+			step++
+			lr = cfg.LR * (1 - float64(step)/float64(steps))
+			if lr < cfg.LR/100 {
+				lr = cfg.LR / 100
+			}
+			trainEvent(g, emb, e.V, e.U, e.Time, cfg, lr, neg, rng)
+			step++
+		}
+	}
+	return emb, nil
+}
+
+// history returns up to cfg.HistLen most recent neighbors of x strictly
+// before t, with their decay weights exp(−δ(t − t_h)).
+func history(g *graph.Temporal, x graph.NodeID, t float64, cfg Config) ([]graph.NodeID, []float64) {
+	adj := g.NeighborsBefore(x, t)
+	// Exclude events at exactly time t (the current event itself).
+	hi := len(adj)
+	for hi > 0 && adj[hi-1].Time >= t {
+		hi--
+	}
+	lo := hi - cfg.HistLen
+	if lo < 0 {
+		lo = 0
+	}
+	nodes := make([]graph.NodeID, 0, hi-lo)
+	weights := make([]float64, 0, hi-lo)
+	for _, he := range adj[lo:hi] {
+		nodes = append(nodes, he.To)
+		weights = append(weights, expNeg(cfg.Delta*(t-he.Time)))
+	}
+	return nodes, weights
+}
+
+// intensity computes λ̃_{y|x}(t) given x's history.
+func intensity(emb *tensor.Matrix, x, y graph.NodeID, hist []graph.NodeID, hw []float64) float64 {
+	ex, ey := emb.Row(int(x)), emb.Row(int(y))
+	lambda := -tensor.SqDistVec(ex, ey)
+	for i, h := range hist {
+		lambda += hw[i] * -tensor.SqDistVec(emb.Row(int(h)), ey)
+	}
+	return lambda
+}
+
+// trainEvent applies one stochastic likelihood step for the arrival of y
+// at x at time t, plus negative samples.
+func trainEvent(g *graph.Temporal, emb *tensor.Matrix, x, y graph.NodeID, t float64, cfg Config, lr float64, neg *sample.Negative, rng *rand.Rand) {
+	hist, hw := history(g, x, t, cfg)
+	applyGrad(emb, x, y, hist, hw, 1, lr)
+	for k := 0; k < cfg.Negatives; k++ {
+		v := neg.Draw(rng, x, y)
+		applyGrad(emb, x, v, hist, hw, 0, lr)
+	}
+}
+
+// applyGrad performs one logistic step on σ(λ̃) toward label.
+// dλ̃/de_x = −2(e_x − e_y); dλ̃/de_y = 2(e_x − e_y) + Σ w_i·2(e_h − e_y);
+// dλ̃/de_h = −2w_i(e_h − e_y).
+func applyGrad(emb *tensor.Matrix, x, y graph.NodeID, hist []graph.NodeID, hw []float64, label float64, lr float64) {
+	lambda := intensity(emb, x, y, hist, hw)
+	g := lr * (label - tensor.SigmoidScalar(lambda))
+	ex, ey := emb.Row(int(x)), emb.Row(int(y))
+	for i := range ex {
+		d := ex[i] - ey[i]
+		ex[i] += g * (-2 * d)
+		ey[i] += g * (2 * d)
+	}
+	for hi, h := range hist {
+		eh := emb.Row(int(h))
+		w := hw[hi]
+		for i := range eh {
+			d := eh[i] - ey[i]
+			eh[i] += g * (-2 * w * d)
+			ey[i] += g * (2 * w * d)
+		}
+	}
+}
+
+// expNeg is exp(−x) with a guard against large arguments.
+func expNeg(x float64) float64 {
+	if x > 40 {
+		return 0
+	}
+	return math.Exp(-x)
+}

@@ -1,0 +1,121 @@
+package htne
+
+import (
+	"math"
+	"testing"
+
+	"ehna/internal/graph"
+	"ehna/internal/testutil"
+)
+
+func smallConfig() Config {
+	return Config{Dim: 16, HistLen: 5, Negatives: 5, Delta: 1, LR: 0.04, Epochs: 10}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Dim: 0, HistLen: 1, Negatives: 1, Delta: 1, LR: 0.1, Epochs: 1},
+		{Dim: 8, HistLen: 0, Negatives: 1, Delta: 1, LR: 0.1, Epochs: 1},
+		{Dim: 8, HistLen: 1, Negatives: 0, Delta: 1, LR: 0.1, Epochs: 1},
+		{Dim: 8, HistLen: 1, Negatives: 1, Delta: 0, LR: 0.1, Epochs: 1},
+		{Dim: 8, HistLen: 1, Negatives: 1, Delta: 1, LR: 0, Epochs: 1},
+		{Dim: 8, HistLen: 1, Negatives: 1, Delta: 1, LR: 0.1, Epochs: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEmbedErrors(t *testing.T) {
+	empty := graph.NewTemporal(3)
+	empty.Build()
+	if _, err := Embed(empty, smallConfig(), 1); err == nil {
+		t.Fatal("edgeless graph accepted")
+	}
+	g := testutil.TwoCommunities(4, 0.9, 1)
+	if _, err := Embed(g, Config{}, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestHistoryWindow(t *testing.T) {
+	g := graph.NewTemporal(6)
+	for i := 1; i <= 5; i++ {
+		_ = g.AddEdge(0, graph.NodeID(i), 1, float64(i))
+	}
+	g.Build()
+	cfg := smallConfig()
+	cfg.HistLen = 2
+	nodes, weights := history(g, 0, 4.5, cfg)
+	// Events before 4.5: times 1..4; most recent two: nodes 3 (t=3), 4 (t=4).
+	if len(nodes) != 2 || nodes[0] != 3 || nodes[1] != 4 {
+		t.Fatalf("history nodes %v", nodes)
+	}
+	if !(weights[1] > weights[0]) {
+		t.Fatalf("more recent event must carry larger decay weight: %v", weights)
+	}
+	// The event at exactly t is excluded.
+	nodes, _ = history(g, 0, 4, cfg)
+	for _, n := range nodes {
+		if n == 4 {
+			t.Fatal("event at exactly t leaked into history")
+		}
+	}
+	// No history before the first event.
+	nodes, _ = history(g, 0, 0.5, cfg)
+	if len(nodes) != 0 {
+		t.Fatalf("expected empty history, got %v", nodes)
+	}
+}
+
+func TestIntensityDecomposition(t *testing.T) {
+	g := testutil.TwoCommunities(3, 1, 2)
+	cfg := smallConfig()
+	emb, err := Embed(g, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no history, intensity reduces to −‖e_x − e_y‖².
+	lam := intensity(emb, 0, 1, nil, nil)
+	want := -sqDist(emb.Row(0), emb.Row(1))
+	if math.Abs(lam-want) > 1e-12 {
+		t.Fatalf("base intensity %g want %g", lam, want)
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func TestEmbedSeparatesCommunities(t *testing.T) {
+	g := testutil.TwoCommunities(8, 0.8, 4)
+	emb, err := Embed(g, smallConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HTNE scores proximity by negative distance: intra-community distances
+	// must be smaller.
+	intra, inter := testutil.CommunitySeparation(emb, 8)
+	if intra >= inter {
+		t.Fatalf("communities not separated: intra %g inter %g", intra, inter)
+	}
+}
+
+func TestExpNegGuard(t *testing.T) {
+	if expNeg(1000) != 0 {
+		t.Fatal("large arguments must underflow to 0")
+	}
+	if math.Abs(expNeg(1)-math.Exp(-1)) > 1e-12 {
+		t.Fatal("expNeg(1)")
+	}
+}

@@ -1,0 +1,128 @@
+// Package line implements the LINE baseline (Tang et al., WWW 2015):
+// large-scale information network embedding preserving first-order and
+// second-order proximity. Following the authors' recommendation (and the
+// paper's Section V-B), both objectives are trained separately at half the
+// target dimensionality and the resulting vectors are concatenated.
+//
+// Training uses edge sampling: edges are drawn with probability
+// proportional to weight from an alias table, and each draw performs one
+// SGD step with negative sampling, exactly as in the reference C code.
+package line
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ehna/internal/graph"
+	"ehna/internal/sample"
+	"ehna/internal/skipgram"
+	"ehna/internal/tensor"
+)
+
+// Config parameterizes LINE.
+type Config struct {
+	Dim       int     // final embedding size; each order gets Dim/2
+	Samples   int     // edge samples per order (the method's only budget knob)
+	Negatives int     // negative samples per edge draw (paper: 5)
+	LR        float64 // initial learning rate, linearly decayed
+}
+
+// DefaultConfig returns the usual LINE settings scaled for CPU runs.
+func DefaultConfig() Config {
+	return Config{Dim: 128, Samples: 1_000_000, Negatives: 5, LR: 0.025}
+}
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (c Config) Validate() error {
+	if c.Dim < 2 || c.Dim%2 != 0 {
+		return fmt.Errorf("line: Dim %d must be even and ≥ 2 (half per proximity order)", c.Dim)
+	}
+	if c.Samples < 1 {
+		return fmt.Errorf("line: Samples %d < 1", c.Samples)
+	}
+	if c.Negatives < 1 {
+		return fmt.Errorf("line: Negatives %d < 1", c.Negatives)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("line: LR %g must be positive", c.LR)
+	}
+	return nil
+}
+
+// Embed trains LINE embeddings: [first-order ‖ second-order].
+func Embed(g *graph.Temporal, cfg Config, seed int64) (*tensor.Matrix, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("line: empty graph")
+	}
+	weights := make([]float64, len(edges))
+	for i, e := range edges {
+		weights[i] = e.Weight
+	}
+	edgeAlias, err := sample.NewAlias(weights)
+	if err != nil {
+		return nil, err
+	}
+	noise, err := skipgram.DegreeNoise(g)
+	if err != nil {
+		return nil, err
+	}
+	half := cfg.Dim / 2
+	first := trainOrder(g, edges, edgeAlias, noise, cfg, half, true, seed)
+	second := trainOrder(g, edges, edgeAlias, noise, cfg, half, false, seed+1)
+	return tensor.ConcatCols(first, second), nil
+}
+
+// trainOrder runs one LINE objective. For first-order proximity the
+// "context" of a node is the other node's embedding vector itself; for
+// second-order proximity each node additionally owns a context vector.
+func trainOrder(g *graph.Temporal, edges []graph.Edge, edgeAlias *sample.Alias, noise *sample.Alias, cfg Config, dim int, firstOrder bool, seed int64) *tensor.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	emb := tensor.Uniform(n, dim, -0.5/float64(dim), 0.5/float64(dim), rng)
+	ctx := emb
+	if !firstOrder {
+		ctx = tensor.New(n, dim)
+	}
+	grad := make([]float64, dim)
+	for s := 0; s < cfg.Samples; s++ {
+		lr := cfg.LR * (1 - float64(s)/float64(cfg.Samples))
+		if lr < cfg.LR/100 {
+			lr = cfg.LR / 100
+		}
+		e := edges[edgeAlias.Draw(rng)]
+		// The graph is undirected: treat each draw in a random direction.
+		src, dst := e.U, e.V
+		if rng.Intn(2) == 0 {
+			src, dst = dst, src
+		}
+		v := emb.Row(int(src))
+		for i := range grad {
+			grad[i] = 0
+		}
+		update(v, ctx.Row(int(dst)), 1, lr, grad)
+		for k := 0; k < cfg.Negatives; k++ {
+			neg := graph.NodeID(noise.Draw(rng))
+			if neg == dst || neg == src {
+				continue
+			}
+			update(v, ctx.Row(int(neg)), 0, lr, grad)
+		}
+		for i := range v {
+			v[i] += grad[i]
+		}
+	}
+	return emb
+}
+
+func update(v, c []float64, label float64, lr float64, grad []float64) {
+	score := tensor.SigmoidScalar(tensor.DotVec(v, c))
+	gv := lr * (label - score)
+	for i := range c {
+		grad[i] += gv * c[i]
+		c[i] += gv * v[i]
+	}
+}

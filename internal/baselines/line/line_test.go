@@ -1,0 +1,78 @@
+package line
+
+import (
+	"testing"
+
+	"ehna/internal/graph"
+	"ehna/internal/testutil"
+)
+
+func smallConfig() Config {
+	return Config{Dim: 16, Samples: 60000, Negatives: 5, LR: 0.05}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Dim: 0, Samples: 1, Negatives: 1, LR: 0.1},
+		{Dim: 7, Samples: 1, Negatives: 1, LR: 0.1}, // odd dim
+		{Dim: 8, Samples: 0, Negatives: 1, LR: 0.1},
+		{Dim: 8, Samples: 1, Negatives: 0, LR: 0.1},
+		{Dim: 8, Samples: 1, Negatives: 1, LR: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEmbedErrors(t *testing.T) {
+	empty := graph.NewTemporal(3)
+	empty.Build()
+	if _, err := Embed(empty, smallConfig(), 1); err == nil {
+		t.Fatal("edgeless graph accepted")
+	}
+	g := testutil.TwoCommunities(4, 0.9, 1)
+	if _, err := Embed(g, Config{}, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestEmbedShapeConcatenated(t *testing.T) {
+	g := testutil.TwoCommunities(4, 0.9, 2)
+	emb, err := Embed(g, smallConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Rows != g.NumNodes() || emb.Cols != 16 {
+		t.Fatalf("shape %dx%d (want cols = Dim with both halves concatenated)", emb.Rows, emb.Cols)
+	}
+}
+
+func TestEmbedSeparatesCommunities(t *testing.T) {
+	g := testutil.TwoCommunities(8, 0.8, 4)
+	emb, err := Embed(g, smallConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, inter := testutil.CommunityScoreSeparation(emb, 8)
+	if intra <= inter {
+		t.Fatalf("communities not separated: intra %g inter %g", intra, inter)
+	}
+}
+
+func TestFirstOrderSharesVectors(t *testing.T) {
+	// First-order training must produce symmetric similarity: linked nodes
+	// end up with positive mutual dot products even without context vectors.
+	g := testutil.TwoCommunities(6, 1.0, 6)
+	emb, err := Embed(g, Config{Dim: 8, Samples: 40000, Negatives: 3, LR: 0.05}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Cols != 8 {
+		t.Fatalf("cols %d", emb.Cols)
+	}
+}

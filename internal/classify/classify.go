@@ -1,0 +1,223 @@
+// Package classify provides the L2-regularized binary logistic regression
+// used as the link-prediction probe (the paper trains "the same logistic
+// regression classifier with the LIBLINEAR package" on edge representations
+// for every embedding method, Section V-E).
+//
+// The solver is deterministic mini-batch SGD with a linearly decayed rate
+// and iterate averaging over the final epoch — accurate enough for the
+// linear probe role while depending only on the standard library.
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ehna/internal/tensor"
+)
+
+// Config parameterizes the logistic regression.
+type Config struct {
+	L2        float64 // L2 regularization strength (λ)
+	LR        float64 // initial learning rate
+	Epochs    int     // passes over the training set
+	BatchSize int     // examples per SGD step
+	Seed      int64   // shuffling seed
+}
+
+// DefaultConfig returns settings comparable to LIBLINEAR's defaults for the
+// probe's problem sizes.
+func DefaultConfig() Config {
+	return Config{L2: 1e-4, LR: 0.5, Epochs: 50, BatchSize: 64, Seed: 1}
+}
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (c Config) Validate() error {
+	if c.L2 < 0 {
+		return fmt.Errorf("classify: negative L2 %g", c.L2)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("classify: LR %g must be positive", c.LR)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("classify: Epochs %d < 1", c.Epochs)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("classify: BatchSize %d < 1", c.BatchSize)
+	}
+	return nil
+}
+
+// Model is a trained binary logistic regression.
+type Model struct {
+	W    []float64 // weights, len = feature dim
+	Bias float64
+}
+
+// Train fits the model on features X (n×d) and binary labels y (0 or 1).
+func Train(X *tensor.Matrix, y []int, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if X.Rows != len(y) {
+		return nil, fmt.Errorf("classify: %d rows but %d labels", X.Rows, len(y))
+	}
+	if X.Rows == 0 {
+		return nil, fmt.Errorf("classify: empty training set")
+	}
+	for i, l := range y {
+		if l != 0 && l != 1 {
+			return nil, fmt.Errorf("classify: label[%d] = %d is not binary", i, l)
+		}
+	}
+	d := X.Cols
+	m := &Model{W: make([]float64, d)}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(X.Rows)
+
+	// Iterate averaging over the last epoch stabilizes SGD's tail.
+	avgW := make([]float64, d)
+	var avgB float64
+	var avgCount int
+
+	totalSteps := cfg.Epochs * ((X.Rows + cfg.BatchSize - 1) / cfg.BatchSize)
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Fisher–Yates reshuffle per epoch, deterministic via rng.
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for lo := 0; lo < len(order); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			lr := cfg.LR * (1 - float64(step)/float64(totalSteps))
+			if lr < cfg.LR/100 {
+				lr = cfg.LR / 100
+			}
+			m.sgdStep(X, y, order[lo:hi], lr, cfg.L2)
+			step++
+			if epoch == cfg.Epochs-1 {
+				for i, w := range m.W {
+					avgW[i] += w
+				}
+				avgB += m.Bias
+				avgCount++
+			}
+		}
+	}
+	if avgCount > 0 {
+		for i := range avgW {
+			m.W[i] = avgW[i] / float64(avgCount)
+		}
+		m.Bias = avgB / float64(avgCount)
+	}
+	return m, nil
+}
+
+func (m *Model) sgdStep(X *tensor.Matrix, y []int, idx []int, lr, l2 float64) {
+	d := len(m.W)
+	gradW := make([]float64, d)
+	var gradB float64
+	for _, i := range idx {
+		row := X.Row(i)
+		p := tensor.SigmoidScalar(tensor.DotVec(m.W, row) + m.Bias)
+		g := p - float64(y[i])
+		for j, x := range row {
+			gradW[j] += g * x
+		}
+		gradB += g
+	}
+	inv := 1 / float64(len(idx))
+	for j := range m.W {
+		m.W[j] -= lr * (gradW[j]*inv + l2*m.W[j])
+	}
+	m.Bias -= lr * gradB * inv
+}
+
+// PredictProba returns P(y=1|x) for each row of X.
+func (m *Model) PredictProba(X *tensor.Matrix) []float64 {
+	if X.Cols != len(m.W) {
+		panic(fmt.Sprintf("classify: %d features, model has %d", X.Cols, len(m.W)))
+	}
+	out := make([]float64, X.Rows)
+	for i := range out {
+		out[i] = tensor.SigmoidScalar(tensor.DotVec(m.W, X.Row(i)) + m.Bias)
+	}
+	return out
+}
+
+// Predict returns hard 0/1 labels at the 0.5 threshold.
+func (m *Model) Predict(X *tensor.Matrix) []int {
+	probs := m.PredictProba(X)
+	out := make([]int, len(probs))
+	for i, p := range probs {
+		if p >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// OneVsRest is a multi-class classifier built from per-class binary
+// logistic regressions (the standard reduction LIBLINEAR also uses).
+type OneVsRest struct {
+	Classes int
+	Models  []*Model
+}
+
+// TrainOneVsRest fits one binary model per class on features X and integer
+// labels in [0, classes).
+func TrainOneVsRest(X *tensor.Matrix, y []int, classes int, cfg Config) (*OneVsRest, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("classify: need ≥ 2 classes, got %d", classes)
+	}
+	if X.Rows != len(y) {
+		return nil, fmt.Errorf("classify: %d rows but %d labels", X.Rows, len(y))
+	}
+	for i, l := range y {
+		if l < 0 || l >= classes {
+			return nil, fmt.Errorf("classify: label[%d] = %d outside [0,%d)", i, l, classes)
+		}
+	}
+	ovr := &OneVsRest{Classes: classes, Models: make([]*Model, classes)}
+	bin := make([]int, len(y))
+	for c := 0; c < classes; c++ {
+		for i, l := range y {
+			if l == c {
+				bin[i] = 1
+			} else {
+				bin[i] = 0
+			}
+		}
+		m, err := Train(X, bin, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("classify: class %d: %v", c, err)
+		}
+		ovr.Models[c] = m
+	}
+	return ovr, nil
+}
+
+// Predict returns the argmax-probability class per row of X.
+func (o *OneVsRest) Predict(X *tensor.Matrix) []int {
+	scores := make([][]float64, o.Classes)
+	for c, m := range o.Models {
+		scores[c] = m.PredictProba(X)
+	}
+	out := make([]int, X.Rows)
+	for i := range out {
+		best, arg := -1.0, 0
+		for c := 0; c < o.Classes; c++ {
+			if scores[c][i] > best {
+				best, arg = scores[c][i], c
+			}
+		}
+		out[i] = arg
+	}
+	return out
+}

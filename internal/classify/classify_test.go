@@ -1,0 +1,223 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ehna/internal/tensor"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{L2: -1, LR: 0.1, Epochs: 1, BatchSize: 1},
+		{L2: 0, LR: 0, Epochs: 1, BatchSize: 1},
+		{L2: 0, LR: 0.1, Epochs: 0, BatchSize: 1},
+		{L2: 0, LR: 0.1, Epochs: 1, BatchSize: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTrainInputValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	X := tensor.New(2, 3)
+	if _, err := Train(X, []int{1}, cfg); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+	if _, err := Train(tensor.New(0, 3), nil, cfg); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := Train(X, []int{1, 2}, cfg); err == nil {
+		t.Fatal("non-binary label accepted")
+	}
+	if _, err := Train(X, []int{0, 1}, Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// separableData builds a linearly separable 2-D dataset.
+func separableData(n int, seed int64) (*tensor.Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := tensor.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			X.Set(i, 0, rng.NormFloat64()+2)
+			X.Set(i, 1, rng.NormFloat64()+2)
+			y[i] = 1
+		} else {
+			X.Set(i, 0, rng.NormFloat64()-2)
+			X.Set(i, 1, rng.NormFloat64()-2)
+		}
+	}
+	return X, y
+}
+
+func TestTrainSeparable(t *testing.T) {
+	X, y := separableData(200, 1)
+	m, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(X)
+	correct := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(y))
+	if acc < 0.97 {
+		t.Fatalf("accuracy %g on separable data", acc)
+	}
+}
+
+func TestPredictProbaRange(t *testing.T) {
+	X, y := separableData(100, 2)
+	m, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.PredictProba(X) {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("probability %g out of range", p)
+		}
+	}
+}
+
+func TestPredictDimensionPanic(t *testing.T) {
+	X, y := separableData(50, 3)
+	m, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Predict(tensor.New(1, 5))
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	X, y := separableData(80, 4)
+	m1, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.W {
+		if m1.W[i] != m2.W[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestL2ShrinksWeights(t *testing.T) {
+	X, y := separableData(150, 5)
+	weak := DefaultConfig()
+	weak.L2 = 1e-6
+	strong := DefaultConfig()
+	strong.L2 = 1.0
+	mWeak, err := Train(X, y, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mStrong, err := Train(X, y, strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := tensor.L2NormVec(mWeak.W)
+	ns := tensor.L2NormVec(mStrong.W)
+	if ns >= nw {
+		t.Fatalf("stronger L2 must shrink weights: %g vs %g", ns, nw)
+	}
+}
+
+func TestImbalancedStillLearns(t *testing.T) {
+	// 90/10 imbalance; model must beat the majority-class baseline's
+	// recall of 0 on the minority class.
+	rng := rand.New(rand.NewSource(6))
+	n := 300
+	X := tensor.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i%10 == 0 {
+			X.Set(i, 0, rng.NormFloat64()+3)
+			X.Set(i, 1, rng.NormFloat64()+3)
+			y[i] = 1
+		} else {
+			X.Set(i, 0, rng.NormFloat64()-1)
+			X.Set(i, 1, rng.NormFloat64()-1)
+		}
+	}
+	m, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(X)
+	tp := 0
+	for i := range pred {
+		if pred[i] == 1 && y[i] == 1 {
+			tp++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("minority class never predicted")
+	}
+}
+
+func TestOneVsRest(t *testing.T) {
+	// Three well-separated Gaussian blobs.
+	rng := rand.New(rand.NewSource(9))
+	n := 300
+	X := tensor.New(n, 2)
+	y := make([]int, n)
+	centers := [][2]float64{{0, 4}, {-4, -2}, {4, -2}}
+	for i := 0; i < n; i++ {
+		c := i % 3
+		X.Set(i, 0, centers[c][0]+rng.NormFloat64()*0.5)
+		X.Set(i, 1, centers[c][1]+rng.NormFloat64()*0.5)
+		y[i] = c
+	}
+	ovr, err := TrainOneVsRest(X, y, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := ovr.Predict(X)
+	correct := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.95 {
+		t.Fatalf("one-vs-rest accuracy %g", acc)
+	}
+}
+
+func TestOneVsRestValidation(t *testing.T) {
+	X := tensor.New(2, 2)
+	if _, err := TrainOneVsRest(X, []int{0, 1}, 1, DefaultConfig()); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := TrainOneVsRest(X, []int{0}, 2, DefaultConfig()); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+	if _, err := TrainOneVsRest(X, []int{0, 5}, 2, DefaultConfig()); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := TrainOneVsRest(X, []int{0, 1}, 2, Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,301 @@
+package datagen
+
+import (
+	"testing"
+
+	"ehna/internal/graph"
+)
+
+func TestSocialConfigValidate(t *testing.T) {
+	if err := DefaultSocialConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SocialConfig{
+		{Nodes: 2, Edges: 10, Closure: 0.5},
+		{Nodes: 10, Edges: 5, Closure: 0.5},
+		{Nodes: 10, Edges: 20, Closure: -0.1},
+		{Nodes: 10, Edges: 20, Closure: 1.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSocialGeneration(t *testing.T) {
+	cfg := SocialConfig{Nodes: 100, Edges: 600, Closure: 0.5, Seed: 1}
+	g, err := Social(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatal("node count")
+	}
+	if g.NumEdges() < 500 {
+		t.Fatalf("too few edges: %d", g.NumEdges())
+	}
+	lo, hi, ok := g.TimeSpan()
+	if !ok || lo != 0 || hi != 1 {
+		t.Fatalf("time span %g..%g", lo, hi)
+	}
+	// No isolated nodes: the backbone ring touches everyone.
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(graph.NodeID(v)) == 0 {
+			t.Fatalf("node %d isolated", v)
+		}
+	}
+}
+
+func TestSocialDeterministic(t *testing.T) {
+	cfg := SocialConfig{Nodes: 50, Edges: 200, Closure: 0.4, Seed: 7}
+	a, err := Social(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Social(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different graphs")
+	}
+	for i, e := range a.Edges() {
+		if e != b.Edges()[i] {
+			t.Fatal("same seed, different edges")
+		}
+	}
+}
+
+func TestSocialHasTriangles(t *testing.T) {
+	// Closure must actually create triangles well above the random rate.
+	g, err := Social(SocialConfig{Nodes: 200, Edges: 1500, Closure: 0.6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	triangles := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		adj := g.Neighbors(graph.NodeID(v))
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				if adj[i].To != adj[j].To && g.HasEdge(adj[i].To, adj[j].To) {
+					triangles++
+				}
+			}
+		}
+	}
+	if triangles < 100 {
+		t.Fatalf("only %d triangle paths; closure not working", triangles)
+	}
+}
+
+func TestBipartiteConfigValidate(t *testing.T) {
+	if err := DefaultReviewConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultPurchaseConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []BipartiteConfig{
+		{Users: 1, Items: 5, Events: 10},
+		{Users: 5, Items: 1, Events: 10},
+		{Users: 5, Items: 5, Events: 0},
+		{Users: 5, Items: 5, Events: 10, Burst: 2},
+		{Users: 5, Items: 5, Events: 10, Repeat: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBipartiteStructure(t *testing.T) {
+	cfg := BipartiteConfig{Users: 60, Items: 20, Events: 500, Repeat: 0.4, Seed: 3}
+	g, err := Bipartite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 80 {
+		t.Fatal("node count")
+	}
+	// Strict bipartiteness: every edge connects a user to an item.
+	for _, e := range g.Edges() {
+		uIsUser := int(e.U) < cfg.Users
+		vIsUser := int(e.V) < cfg.Users
+		if uIsUser == vIsUser {
+			t.Fatalf("edge (%d,%d) violates bipartiteness", e.U, e.V)
+		}
+	}
+}
+
+func TestBipartiteBurstConcentratesEvents(t *testing.T) {
+	noBurst, err := Bipartite(BipartiteConfig{Users: 100, Items: 30, Events: 2000, Burst: 0, Repeat: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := Bipartite(BipartiteConfig{Users: 100, Items: 30, Events: 2000, Burst: 0.6, Repeat: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateFrac := func(g *graph.Temporal) float64 {
+		late := 0
+		for _, e := range g.Edges() {
+			if e.Time > 0.85 {
+				late++
+			}
+		}
+		return float64(late) / float64(g.NumEdges())
+	}
+	if lateFrac(burst) < 2*lateFrac(noBurst) {
+		t.Fatalf("burst %.3f vs uniform %.3f: burst not concentrated", lateFrac(burst), lateFrac(noBurst))
+	}
+}
+
+func TestBipartiteZipfPopularity(t *testing.T) {
+	g, err := Bipartite(BipartiteConfig{Users: 200, Items: 50, Events: 3000, Repeat: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item 0 (most popular) must exceed the last item's degree clearly.
+	first := g.Degree(graph.NodeID(200))
+	last := g.Degree(graph.NodeID(249))
+	if first <= 2*last {
+		t.Fatalf("popularity not skewed: first %d last %d", first, last)
+	}
+}
+
+func TestCoauthorConfigValidate(t *testing.T) {
+	if err := DefaultCoauthorConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CoauthorConfig{
+		{Authors: 2, Papers: 5, Communities: 1, TeamMin: 2, TeamMax: 3},
+		{Authors: 10, Papers: 0, Communities: 1, TeamMin: 2, TeamMax: 3},
+		{Authors: 10, Papers: 5, Communities: 0, TeamMin: 2, TeamMax: 3},
+		{Authors: 10, Papers: 5, Communities: 2, TeamMin: 1, TeamMax: 3},
+		{Authors: 10, Papers: 5, Communities: 2, TeamMin: 3, TeamMax: 2},
+		{Authors: 10, Papers: 5, Communities: 2, TeamMin: 2, TeamMax: 3, RepeatCollab: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCoauthorGeneration(t *testing.T) {
+	cfg := CoauthorConfig{
+		Authors: 100, Papers: 300, Communities: 5,
+		TeamMin: 2, TeamMax: 4, RepeatCollab: 0.4, Mixing: 0.05, Seed: 6,
+	}
+	g, err := Coauthor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatal("node count")
+	}
+	if g.NumEdges() < 300 {
+		t.Fatalf("too few edges: %d", g.NumEdges())
+	}
+	// Papers are chronological: edge list sorted by construction.
+	es := g.Edges()
+	for i := 1; i < len(es); i++ {
+		if es[i].Time < es[i-1].Time {
+			t.Fatal("paper timestamps out of order")
+		}
+	}
+}
+
+func TestCoauthorRepeatCollaborations(t *testing.T) {
+	// With strong repeat preference, parallel edges (repeat co-authorships)
+	// must appear.
+	g, err := Coauthor(CoauthorConfig{
+		Authors: 60, Papers: 400, Communities: 4,
+		TeamMin: 2, TeamMax: 3, RepeatCollab: 0.7, Mixing: 0.02, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ a, b graph.NodeID }
+	counts := map[pair]int{}
+	repeats := 0
+	for _, e := range g.Edges() {
+		p := pair{e.U, e.V}
+		if e.U > e.V {
+			p = pair{e.V, e.U}
+		}
+		counts[p]++
+		if counts[p] == 2 {
+			repeats++
+		}
+	}
+	if repeats < 10 {
+		t.Fatalf("only %d repeated collaborations", repeats)
+	}
+}
+
+func TestGenerateAllDatasets(t *testing.T) {
+	for _, d := range AllDatasets {
+		g, err := Generate(d, 0.05, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", d)
+		}
+		lo, hi, ok := g.TimeSpan()
+		if !ok || lo < 0 || hi > 1 {
+			t.Fatalf("%s: time span %g..%g", d, lo, hi)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Digg, 0, 1); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := Generate(Dataset("Nope"), 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestCoauthorLabeled(t *testing.T) {
+	cfg := CoauthorConfig{
+		Authors: 80, Papers: 200, Communities: 4,
+		TeamMin: 2, TeamMax: 3, RepeatCollab: 0.3, Mixing: 0.05, Seed: 8,
+	}
+	g, labels, err := CoauthorLabeled(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 80 {
+		t.Fatalf("%d labels", len(labels))
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	// Labels must be consistent with the generator: intra-community edges
+	// dominate (mixing is 5%).
+	intra, total := 0, 0
+	for _, e := range g.Edges() {
+		total++
+		if labels[e.U] == labels[e.V] {
+			intra++
+		}
+	}
+	if float64(intra)/float64(total) < 0.6 {
+		t.Fatalf("only %d/%d intra-community edges; labels inconsistent", intra, total)
+	}
+	// Coauthor (unlabeled) must generate the identical graph.
+	g2, err := Coauthor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("labeled and unlabeled generators diverged")
+	}
+}

@@ -1,0 +1,563 @@
+package ehna
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ehna/internal/ag"
+	"ehna/internal/graph"
+	"ehna/internal/tensor"
+	"ehna/internal/walk"
+)
+
+// smallConfig returns a configuration sized for unit tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Walk = walk.TemporalConfig{P: 1, Q: 1, NumWalks: 3, WalkLen: 4}
+	cfg.BatchSize = 8
+	cfg.FallbackSamples = 4
+	return cfg
+}
+
+// twoCommunityGraph builds two dense temporal communities bridged by one
+// edge: nodes 0..4 and 5..9, edges timestamped in [0,1].
+func twoCommunityGraph(t *testing.T) *graph.Temporal {
+	t.Helper()
+	g := graph.NewTemporal(10)
+	rng := rand.New(rand.NewSource(42))
+	addClique := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < hi; j++ {
+				if err := g.AddEdge(graph.NodeID(i), graph.NodeID(j), 1, rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	addClique(0, 5)
+	addClique(5, 10)
+	if err := g.AddEdge(4, 5, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g.Build()
+	return g
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Dim = 0 },
+		func(c *Config) { c.LSTMLayers = 0 },
+		func(c *Config) { c.Walk.P = 0 },
+		func(c *Config) { c.Margin = 0 },
+		func(c *Config) { c.Negatives = 0 },
+		func(c *Config) { c.LR = 0 },
+		func(c *Config) { c.EmbLR = -1 },
+		func(c *Config) { c.Epochs = 0 },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.FallbackSamples = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewModelErrors(t *testing.T) {
+	empty := graph.NewTemporal(3)
+	empty.Build()
+	if _, err := NewModel(empty, smallConfig()); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	g := twoCommunityGraph(t)
+	bad := smallConfig()
+	bad.Dim = -1
+	if _, err := NewModel(g, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	g := twoCommunityGraph(t)
+	m, err := NewModel(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Graph() != g {
+		t.Fatal("Graph accessor")
+	}
+	if m.Config().Dim != 8 {
+		t.Fatal("Config accessor")
+	}
+	if m.NumParams() == 0 {
+		t.Fatal("no trainable parameters registered")
+	}
+	if m.RawEmbeddings().Rows != 10 || m.RawEmbeddings().Cols != 8 {
+		t.Fatal("embedding table shape")
+	}
+}
+
+func TestIncidentTimeSums(t *testing.T) {
+	w := walk.Walk{
+		Nodes: []graph.NodeID{1, 2, 1, 3},
+		Times: []float64{0.5, 0.4, 0.3},
+	}
+	sums := incidentTimeSums(w)
+	// Node 1 occurs at positions 0 and 2; incident edges: (1,2,0.5),
+	// (2,1,0.4), (1,3,0.3) → 1.2. Node 2: 0.5+0.4 = 0.9. Node 3: 0.3.
+	want := []float64{1.2, 0.9, 1.2, 0.3}
+	for i, s := range sums {
+		if math.Abs(s-want[i]) > 1e-12 {
+			t.Fatalf("position %d: got %g want %g", i, s, want[i])
+		}
+	}
+}
+
+func TestTimeWeightMonotone(t *testing.T) {
+	if timeWeight(0) != 1 {
+		t.Fatal("timeWeight(0) must be 1")
+	}
+	if !(timeWeight(0.2) > timeWeight(0.8)) {
+		t.Fatal("timeWeight must decrease in Σt")
+	}
+}
+
+func TestAggregateShapeAndNorm(t *testing.T) {
+	g := twoCommunityGraph(t)
+	m, err := NewModel(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	tp := ag.New()
+	z := m.Aggregate(tp, 0, 1.0, rng)
+	if z.Value.Rows != 1 || z.Value.Cols != 8 {
+		t.Fatalf("shape %dx%d", z.Value.Rows, z.Value.Cols)
+	}
+	if n := tensor.L2NormVec(z.Value.Data); math.Abs(n-1) > 1e-9 {
+		t.Fatalf("readout not normalized: ‖z‖ = %g", n)
+	}
+	if !ag.IsFinite(z) {
+		t.Fatal("non-finite readout")
+	}
+}
+
+func TestAggregateDeterministicPerSeed(t *testing.T) {
+	g := twoCommunityGraph(t)
+	run := func() []float64 {
+		m, err := NewModel(g, smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := ag.New()
+		z := m.Aggregate(tp, 3, 0.9, rand.New(rand.NewSource(5)))
+		return append([]float64(nil), z.Value.Data...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("aggregation not deterministic for fixed seeds")
+		}
+	}
+}
+
+func TestAggregateFallbackIsolatedNode(t *testing.T) {
+	g := graph.NewTemporal(4)
+	_ = g.AddEdge(0, 1, 1, 0.2)
+	_ = g.AddEdge(1, 2, 1, 0.8)
+	g.Build() // node 3 isolated
+	m, err := NewModel(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	tp := ag.New()
+	z := m.AggregateFallback(tp, 3, rng)
+	if math.Abs(tensor.L2NormVec(z.Value.Data)-1) > 1e-9 {
+		t.Fatal("fallback readout not normalized")
+	}
+}
+
+func TestEdgeLossFiniteAndNonNegative(t *testing.T) {
+	g := twoCommunityGraph(t)
+	for _, variant := range []func(*Config){
+		func(c *Config) {},
+		func(c *Config) { c.DisableAttention = true },
+		func(c *Config) { c.SingleLevel = true },
+		func(c *Config) { c.Walk.Static = true },
+		func(c *Config) { c.Bidirectional = true },
+		func(c *Config) { c.CheapNegatives = true },
+	} {
+		cfg := smallConfig()
+		variant(&cfg)
+		m, err := NewModel(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		tp := ag.New()
+		loss := m.EdgeLoss(tp, g.Edges()[0], rng)
+		v := ag.Value(loss)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("loss %g invalid", v)
+		}
+	}
+}
+
+func TestTrainEpochReducesLoss(t *testing.T) {
+	g := twoCommunityGraph(t)
+	cfg := smallConfig()
+	cfg.EmbLR = 0.1
+	m, err := NewModel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.TrainEpoch()
+	var last float64
+	for i := 0; i < 4; i++ {
+		last = m.TrainEpoch()
+	}
+	if !(last < first) {
+		t.Fatalf("loss did not decrease: first %g last %g", first, last)
+	}
+	if math.IsNaN(last) {
+		t.Fatal("training diverged to NaN")
+	}
+}
+
+func TestTrainReturnsPerEpochLosses(t *testing.T) {
+	g := twoCommunityGraph(t)
+	cfg := smallConfig()
+	cfg.Epochs = 2
+	m, err := NewModel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := m.Train()
+	if len(losses) != 2 {
+		t.Fatalf("got %d losses", len(losses))
+	}
+}
+
+func TestInferAllShapeAndNormalization(t *testing.T) {
+	g := twoCommunityGraph(t)
+	m, err := NewModel(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.TrainEpoch()
+	emb := m.InferAll()
+	if emb.Rows != 10 || emb.Cols != 8 {
+		t.Fatalf("embedding shape %dx%d", emb.Rows, emb.Cols)
+	}
+	for i := 0; i < emb.Rows; i++ {
+		if n := tensor.L2NormVec(emb.Row(i)); math.Abs(n-1) > 1e-9 {
+			t.Fatalf("row %d norm %g", i, n)
+		}
+	}
+}
+
+func TestTrainingSeparatesCommunities(t *testing.T) {
+	// The semantic end-to-end test: after training on two dense temporal
+	// communities, intra-community embedding distances must be smaller
+	// than inter-community distances on average.
+	g := twoCommunityGraph(t)
+	cfg := smallConfig()
+	cfg.Epochs = 6
+	cfg.EmbLR = 0.15
+	cfg.Bidirectional = true
+	m, err := NewModel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train()
+	emb := m.InferAll()
+	dist := func(a, b int) float64 { return tensor.SqDistVec(emb.Row(a), emb.Row(b)) }
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if (i < 5) == (j < 5) {
+				intra += dist(i, j)
+				nIntra++
+			} else {
+				inter += dist(i, j)
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra >= inter {
+		t.Fatalf("communities not separated: intra %g inter %g", intra, inter)
+	}
+}
+
+func TestGradientsFlowToAllParams(t *testing.T) {
+	g := twoCommunityGraph(t)
+	m, err := NewModel(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	m.params.ZeroGrad()
+	tp := ag.New()
+	loss := m.EdgeLoss(tp, g.Edges()[len(g.Edges())-1], rng)
+	tp.Backward(loss)
+	zero := 0
+	for _, p := range m.params.List() {
+		if p.G.Frobenius() == 0 {
+			zero++
+			t.Logf("param %s received zero gradient", p.Name)
+		}
+	}
+	// The projection and at least the LSTMs must receive gradient. Norm
+	// biases can legitimately cancel; allow a small number of zeros.
+	if zero > 4 {
+		t.Fatalf("%d of %d parameters received no gradient", zero, len(m.params.List()))
+	}
+	if m.emb.TouchedRows() == 0 {
+		t.Fatal("embedding table received no gradient")
+	}
+}
+
+func TestAggregateGradCheckThroughModel(t *testing.T) {
+	// Finite-difference check of d(loss)/d(projection W) through the full
+	// aggregation pipeline with frozen walks (fixed RNG seed per forward).
+	g := twoCommunityGraph(t)
+	cfg := smallConfig()
+	cfg.Walk.NumWalks = 2
+	cfg.Walk.WalkLen = 3
+	m, err := NewModel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Edges()[10]
+	forward := func() float64 {
+		tp := ag.New()
+		rng := rand.New(rand.NewSource(99)) // identical walks every call
+		zx := m.Aggregate(tp, e.U, e.Time, rng)
+		zy := m.Aggregate(tp, e.V, e.Time, rng)
+		loss := tp.SqDist(zx, zy)
+		tp.Backward(loss)
+		return ag.Value(loss)
+	}
+	m.params.ZeroGrad()
+	m.emb.ZeroGrad()
+	forward()
+	analytic := m.proj.G.Clone()
+	const h = 1e-5
+	for _, idx := range []int{0, 5, 17, 31} {
+		orig := m.proj.W.Data[idx]
+		m.proj.W.Data[idx] = orig + h
+		m.params.ZeroGrad()
+		m.emb.ZeroGrad()
+		fp := forward()
+		m.proj.W.Data[idx] = orig - h
+		m.params.ZeroGrad()
+		m.emb.ZeroGrad()
+		fm := forward()
+		m.proj.W.Data[idx] = orig
+		num := (fp - fm) / (2 * h)
+		got := analytic.Data[idx]
+		scale := math.Max(1, math.Max(math.Abs(num), math.Abs(got)))
+		if math.Abs(num-got)/scale > 1e-3 {
+			t.Fatalf("proj[%d]: analytic %g numeric %g", idx, got, num)
+		}
+	}
+}
+
+func TestAblationVariantsTrain(t *testing.T) {
+	g := twoCommunityGraph(t)
+	variants := map[string]func(*Config){
+		"EHNA-NA": func(c *Config) { c.DisableAttention = true },
+		"EHNA-RW": func(c *Config) { c.Walk.Static = true },
+		"EHNA-SL": func(c *Config) { c.SingleLevel = true },
+	}
+	for name, mut := range variants {
+		cfg := smallConfig()
+		mut(&cfg)
+		m, err := NewModel(g, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		loss := m.TrainEpoch()
+		if math.IsNaN(loss) || loss < 0 {
+			t.Fatalf("%s: bad loss %g", name, loss)
+		}
+		emb := m.InferAll()
+		if emb.Rows != g.NumNodes() {
+			t.Fatalf("%s: bad embedding matrix", name)
+		}
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	g := graph.NewTemporal(500)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		u, v := graph.NodeID(rng.Intn(500)), graph.NodeID(rng.Intn(500))
+		if u == v {
+			continue
+		}
+		_ = g.AddEdge(u, v, 1, rng.Float64())
+	}
+	g.Build()
+	cfg := DefaultConfig()
+	cfg.Dim = 32
+	m, err := NewModel(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := ag.New()
+		m.Aggregate(tp, graph.NodeID(i%500), 0.95, rng)
+	}
+}
+
+func BenchmarkEdgeLossBackward(b *testing.B) {
+	g := graph.NewTemporal(500)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		u, v := graph.NodeID(rng.Intn(500)), graph.NodeID(rng.Intn(500))
+		if u == v {
+			continue
+		}
+		_ = g.AddEdge(u, v, 1, rng.Float64())
+	}
+	g.Build()
+	cfg := DefaultConfig()
+	cfg.Dim = 32
+	m, err := NewModel(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := g.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.params.ZeroGrad()
+		m.emb.ZeroGrad()
+		tp := ag.New()
+		loss := m.EdgeLoss(tp, edges[i%len(edges)], rng)
+		tp.Backward(loss)
+	}
+}
+
+func TestParallelTrainingMatchesSerialShape(t *testing.T) {
+	// Parallel training must produce a working model with comparable loss
+	// trajectory (not bitwise identical: negative draws differ per worker).
+	g := twoCommunityGraph(t)
+	cfg := smallConfig()
+	cfg.Workers = 4
+	cfg.Epochs = 3
+	m, err := NewModel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := m.Train()
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("parallel training loss did not decrease: %v", losses)
+	}
+	emb := m.InferAll()
+	for i := 0; i < emb.Rows; i++ {
+		if n := tensor.L2NormVec(emb.Row(i)); math.Abs(n-1) > 1e-9 {
+			t.Fatalf("row %d norm %g", i, n)
+		}
+	}
+}
+
+func TestParallelTrainingSeparatesCommunities(t *testing.T) {
+	g := twoCommunityGraph(t)
+	cfg := smallConfig()
+	cfg.Workers = 4
+	cfg.Epochs = 6
+	cfg.EmbLR = 0.15
+	cfg.Bidirectional = true
+	m, err := NewModel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train()
+	emb := m.InferAll()
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			d := tensor.SqDistVec(emb.Row(i), emb.Row(j))
+			if (i < 5) == (j < 5) {
+				intra += d
+				nIntra++
+			} else {
+				inter += d
+				nInter++
+			}
+		}
+	}
+	if intra/float64(nIntra) >= inter/float64(nInter) {
+		t.Fatalf("parallel training failed to separate communities: intra %g inter %g",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestNearestNeighbors(t *testing.T) {
+	emb := tensor.FromRows([][]float64{
+		{0, 0}, {1, 0}, {0, 3}, {5, 5},
+	})
+	nbs, err := NearestNeighbors(emb, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 2 || nbs[0].ID != 1 || nbs[1].ID != 2 {
+		t.Fatalf("neighbors %+v", nbs)
+	}
+	if nbs[0].SqDist != 1 || nbs[1].SqDist != 9 {
+		t.Fatalf("distances %+v", nbs)
+	}
+	// k larger than candidates clamps.
+	nbs, err = NearestNeighbors(emb, 0, 10)
+	if err != nil || len(nbs) != 3 {
+		t.Fatalf("clamp: %d err %v", len(nbs), err)
+	}
+	if _, err := NearestNeighbors(emb, 9, 1); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if _, err := NearestNeighbors(emb, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestEvalLossDeterministicAndDecreases(t *testing.T) {
+	g := twoCommunityGraph(t)
+	train, held, err := g.SplitByTime(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.EmbLR = 0.15
+	m, err := NewModel(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.EvalLoss(held)
+	if again := m.EvalLoss(held); again != before {
+		t.Fatalf("EvalLoss not deterministic: %g vs %g", before, again)
+	}
+	for i := 0; i < 5; i++ {
+		m.TrainEpoch()
+	}
+	after := m.EvalLoss(held)
+	if !(after < before) {
+		t.Fatalf("held-out loss did not improve: before %g after %g", before, after)
+	}
+	if m.EvalLoss(nil) != 0 {
+		t.Fatal("empty edge list must give 0")
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ehna/internal/datagen"
+	"ehna/internal/eval"
+	"ehna/internal/graph"
+)
+
+// Fig4Result holds one dataset's network-reconstruction curves (Figure 4):
+// precision@P per method over ascending P values.
+type Fig4Result struct {
+	Dataset    datagen.Dataset
+	Ps         []int
+	Precisions map[string][]float64 // method → precision per P
+}
+
+// RunFig4 reproduces one panel of Figure 4: every method is trained on the
+// full graph, node pairs among a node sample are ranked by dot product and
+// precision@P is reported at logarithmically spaced cutoffs.
+func RunFig4(s Settings, dataset datagen.Dataset) (*Fig4Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := datagen.Generate(dataset, s.Scale, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 100))
+	// The paper samples 10k nodes; at our scale, sample up to 400 non-
+	// isolated nodes.
+	var candidates []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(graph.NodeID(v)) > 0 {
+			candidates = append(candidates, graph.NodeID(v))
+		}
+	}
+	nSample := 400
+	if nSample > len(candidates) {
+		nSample = len(candidates)
+	}
+	perm := rng.Perm(len(candidates))
+	nodes := make([]graph.NodeID, nSample)
+	for i := 0; i < nSample; i++ {
+		nodes[i] = candidates[perm[i]]
+	}
+	maxPairs := nSample * (nSample - 1) / 2
+	// Log-spaced cutoffs echoing the paper's 1e2..1e6 sweep, clipped.
+	var ps []int
+	for _, p := range []int{100, 300, 1000, 3000, 10000, 30000} {
+		if p <= maxPairs {
+			ps = append(ps, p)
+		}
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("experiments: sample too small for any P (%d pairs)", maxPairs)
+	}
+	res := &Fig4Result{Dataset: dataset, Ps: ps, Precisions: make(map[string][]float64)}
+	for _, m := range s.Methods() {
+		emb, err := m.Embed(g, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %v", m.Name, dataset, err)
+		}
+		prec, err := eval.PrecisionAtP(g, emb, nodes, ps)
+		if err != nil {
+			return nil, err
+		}
+		res.Precisions[m.Name] = prec
+	}
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ehna/internal/datagen"
+	"ehna/internal/eval"
+)
+
+// PrintFig4 renders one Figure 4 panel as an aligned text table.
+func PrintFig4(w io.Writer, r *Fig4Result) {
+	fmt.Fprintf(w, "Figure 4 (%s): network reconstruction precision@P\n", r.Dataset)
+	fmt.Fprintf(w, "%-10s", "P")
+	names := sortedKeys(r.Precisions)
+	for _, n := range names {
+		fmt.Fprintf(w, "%12s", n)
+	}
+	fmt.Fprintln(w)
+	for i, p := range r.Ps {
+		fmt.Fprintf(w, "%-10d", p)
+		for _, n := range names {
+			fmt.Fprintf(w, "%12.4f", r.Precisions[n][i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintLinkPred renders one Tables III–VI analogue.
+func PrintLinkPred(w io.Writer, r *LinkPredResult) {
+	fmt.Fprintf(w, "Link prediction (%s): metrics per operator ×10 repeats\n", r.Dataset)
+	for _, op := range eval.Operators {
+		fmt.Fprintf(w, "-- %s --\n", op)
+		fmt.Fprintf(w, "%-10s", "Metric")
+		for _, m := range r.Methods {
+			fmt.Fprintf(w, "%12s", m)
+		}
+		fmt.Fprintf(w, "%12s\n", "ErrRed")
+		rows := []struct {
+			name string
+			get  func(Metrics) float64
+		}{
+			{"AUC", func(m Metrics) float64 { return m.AUC }},
+			{"F1", func(m Metrics) float64 { return m.F1 }},
+			{"Precision", func(m Metrics) float64 { return m.Precision }},
+			{"Recall", func(m Metrics) float64 { return m.Recall }},
+		}
+		for _, row := range rows {
+			fmt.Fprintf(w, "%-10s", row.name)
+			for _, m := range r.Methods {
+				fmt.Fprintf(w, "%12.4f", row.get(r.Cells[op][m]))
+			}
+			fmt.Fprintf(w, "%11.1f%%\n", 100*r.ErrorReduction[op][row.name])
+		}
+	}
+}
+
+// PrintAblation renders the Table VII analogue.
+func PrintAblation(w io.Writer, r *AblationResult, datasets []datagen.Dataset) {
+	fmt.Fprintln(w, "Table VII: ablation, F1 under Weighted-L2")
+	fmt.Fprintf(w, "%-10s", "Variant")
+	for _, d := range datasets {
+		fmt.Fprintf(w, "%12s", d)
+	}
+	fmt.Fprintln(w)
+	for _, v := range r.Variants {
+		fmt.Fprintf(w, "%-10s", v)
+		for _, d := range datasets {
+			fmt.Fprintf(w, "%12.4f", r.F1[v][d])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintEfficiency renders the Table VIII analogue.
+func PrintEfficiency(w io.Writer, r *EfficiencyResult, datasets []datagen.Dataset) {
+	fmt.Fprintln(w, "Table VIII: training time per epoch (seconds)")
+	fmt.Fprintf(w, "%-12s", "Method")
+	for _, d := range datasets {
+		fmt.Fprintf(w, "%12s", d)
+	}
+	fmt.Fprintln(w)
+	for _, m := range r.Methods {
+		fmt.Fprintf(w, "%-12s", m)
+		for _, d := range datasets {
+			fmt.Fprintf(w, "%12.3f", r.Seconds[m][d])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintSweep renders one Figure 5 panel.
+func PrintSweep(w io.Writer, r *SweepResult) {
+	label := map[SweepParam]string{
+		SweepMargin:  "safety margin m",
+		SweepWalkLen: "walk length ℓ",
+		SweepP:       "log₂ p",
+		SweepQ:       "log₂ q",
+	}[r.Param]
+	fmt.Fprintf(w, "Figure 5 (%s on %s): avg F1 (Weighted-L2)\n", label, r.Dataset)
+	fmt.Fprintf(w, "%-10s%12s\n", label, "F1")
+	for _, pt := range r.Points {
+		fmt.Fprintf(w, "%-10.2f%12.4f\n", pt.X, pt.F1)
+	}
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

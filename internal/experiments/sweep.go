@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ehna/internal/datagen"
+	"ehna/internal/ehna"
+	"ehna/internal/eval"
+)
+
+// SweepParam selects which hyperparameter Figure 5 varies.
+type SweepParam string
+
+// The four panels of Figure 5.
+const (
+	SweepMargin  SweepParam = "margin"  // Fig. 5a: m ∈ 1..5
+	SweepWalkLen SweepParam = "walklen" // Fig. 5b: ℓ ∈ {1,5,10,15,20,25}
+	SweepP       SweepParam = "p"       // Fig. 5c: log₂ p ∈ −2..2
+	SweepQ       SweepParam = "q"       // Fig. 5d: log₂ q ∈ −2..2
+)
+
+// SweepPoint is one x/y point of a Figure 5 panel.
+type SweepPoint struct {
+	X  float64 // the parameter value (or log₂ value for p/q)
+	F1 float64 // average F1 under Weighted-L2, as in the paper
+}
+
+// SweepResult is one panel of Figure 5.
+type SweepResult struct {
+	Param   SweepParam
+	Dataset datagen.Dataset
+	Points  []SweepPoint
+}
+
+// RunParamSweep reproduces one panel of Figure 5 on the given dataset
+// (the paper uses Yelp).
+func RunParamSweep(s Settings, dataset datagen.Dataset, param SweepParam) (*SweepResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var xs []float64
+	switch param {
+	case SweepMargin:
+		xs = []float64{1, 2, 3, 4, 5}
+	case SweepWalkLen:
+		xs = []float64{2, 5, 10, 15, 20}
+	case SweepP, SweepQ:
+		xs = []float64{-2, -1, 0, 1, 2} // log₂ values
+	default:
+		return nil, fmt.Errorf("experiments: unknown sweep parameter %q", string(param))
+	}
+	full, err := datagen.Generate(dataset, s.Scale, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, held, err := full.SplitByTime(0.2)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 400))
+	data, err := eval.BuildLinkPredData(full, held, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{Param: param, Dataset: dataset}
+	for _, x := range xs {
+		x := x
+		method := s.EHNAMethod("EHNA", func(c *ehna.Config) {
+			switch param {
+			case SweepMargin:
+				c.Margin = x
+			case SweepWalkLen:
+				c.Walk.WalkLen = int(x)
+			case SweepP:
+				c.Walk.P = math.Pow(2, x)
+			case SweepQ:
+				c.Walk.Q = math.Pow(2, x)
+			}
+		})
+		emb, err := method.Embed(train, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep %s=%g: %v", param, x, err)
+		}
+		mt, err := EvalOperator(emb, data, eval.WeightedL2, s.Repeats, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SweepPoint{X: x, F1: mt.F1})
+	}
+	return res, nil
+}

@@ -1,0 +1,474 @@
+// Package nn provides neural-network building blocks on top of the ag
+// autodiff tape: parameter registry, dense layers, a stacked LSTM, a
+// normalization layer, an embedding table with sparse gradients, and the
+// SGD/Adam optimizers with global-norm gradient clipping.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ehna/internal/ag"
+	"ehna/internal/tensor"
+)
+
+// Param is one trainable matrix with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Matrix // value
+	G    *tensor.Matrix // accumulated gradient
+}
+
+// NewParam returns a parameter wrapping w with a zeroed gradient.
+func NewParam(name string, w *tensor.Matrix) *Param {
+	return &Param{Name: name, W: w, G: tensor.New(w.Rows, w.Cols)}
+}
+
+// Node binds the parameter onto the tape so gradients flow into p.G.
+func (p *Param) Node(tp *ag.Tape) *ag.Node { return tp.Leaf(p.W, p.G) }
+
+// Params is a named collection of trainable parameters.
+type Params struct {
+	list []*Param
+}
+
+// Add registers params (in order) and returns the collection for chaining.
+func (ps *Params) Add(params ...*Param) *Params {
+	ps.list = append(ps.list, params...)
+	return ps
+}
+
+// List returns the registered parameters in registration order.
+func (ps *Params) List() []*Param { return ps.list }
+
+// ZeroGrad clears every parameter gradient.
+func (ps *Params) ZeroGrad() {
+	for _, p := range ps.list {
+		p.G.Zero()
+	}
+}
+
+// GradNorm returns the global L2 norm across all parameter gradients.
+func (ps *Params) GradNorm() float64 {
+	var s float64
+	for _, p := range ps.list {
+		for _, g := range p.G.Data {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGradNorm rescales all gradients so their global norm is at most max.
+// It returns the pre-clip norm.
+func (ps *Params) ClipGradNorm(max float64) float64 {
+	norm := ps.GradNorm()
+	if norm > max && norm > 0 {
+		scale := max / norm
+		for _, p := range ps.list {
+			tensor.ScaleInPlace(p.G, scale)
+		}
+	}
+	return norm
+}
+
+// Count returns the total number of scalar parameters.
+func (ps *Params) Count() int {
+	n := 0
+	for _, p := range ps.list {
+		n += len(p.W.Data)
+	}
+	return n
+}
+
+// XavierInit returns a rows×cols matrix with Glorot-uniform entries.
+func XavierInit(rows, cols int, rng *rand.Rand) *tensor.Matrix {
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	return tensor.Uniform(rows, cols, -limit, limit, rng)
+}
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	W, B *Param
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	return &Dense{
+		W: NewParam(name+".W", XavierInit(in, out, rng)),
+		B: NewParam(name+".b", tensor.New(1, out)),
+	}
+}
+
+// Register adds the layer's parameters to ps.
+func (d *Dense) Register(ps *Params) { ps.Add(d.W, d.B) }
+
+// Forward applies the layer to x (n×in) producing n×out.
+func (d *Dense) Forward(tp *ag.Tape, x *ag.Node) *ag.Node {
+	return tp.AddRowBroadcast(tp.MatMul(x, d.W.Node(tp)), d.B.Node(tp))
+}
+
+// LSTMCell is a single LSTM layer processing one timestep at a time.
+// Gates follow the standard formulation:
+//
+//	i = σ(x·Wi + h·Ui + bi)    f = σ(x·Wf + h·Uf + bf)
+//	o = σ(x·Wo + h·Uo + bo)    g = tanh(x·Wg + h·Ug + bg)
+//	c' = f⊙c + i⊙g             h' = o⊙tanh(c')
+type LSTMCell struct {
+	In, Hidden int
+	Wi, Ui, Bi *Param
+	Wf, Uf, Bf *Param
+	Wo, Uo, Bo *Param
+	Wg, Ug, Bg *Param
+}
+
+// NewLSTMCell returns an LSTM cell with Xavier weights and forget-gate bias
+// initialized to 1 (standard practice to ease gradient flow early on).
+func NewLSTMCell(name string, in, hidden int, rng *rand.Rand) *LSTMCell {
+	mk := func(suffix string, r, c int) *Param {
+		return NewParam(name+"."+suffix, XavierInit(r, c, rng))
+	}
+	cell := &LSTMCell{
+		In: in, Hidden: hidden,
+		Wi: mk("Wi", in, hidden), Ui: mk("Ui", hidden, hidden), Bi: NewParam(name+".bi", tensor.New(1, hidden)),
+		Wf: mk("Wf", in, hidden), Uf: mk("Uf", hidden, hidden), Bf: NewParam(name+".bf", tensor.New(1, hidden)),
+		Wo: mk("Wo", in, hidden), Uo: mk("Uo", hidden, hidden), Bo: NewParam(name+".bo", tensor.New(1, hidden)),
+		Wg: mk("Wg", in, hidden), Ug: mk("Ug", hidden, hidden), Bg: NewParam(name+".bg", tensor.New(1, hidden)),
+	}
+	cell.Bf.W.Fill(1)
+	return cell
+}
+
+// Register adds all gate parameters to ps.
+func (c *LSTMCell) Register(ps *Params) {
+	ps.Add(c.Wi, c.Ui, c.Bi, c.Wf, c.Uf, c.Bf, c.Wo, c.Uo, c.Bo, c.Wg, c.Ug, c.Bg)
+}
+
+// State is the (h, c) pair carried across timesteps.
+type State struct {
+	H, C *ag.Node
+}
+
+// InitState returns a zero state for batch size n on the tape.
+func (c *LSTMCell) InitState(tp *ag.Tape, n int) State {
+	return State{H: tp.Const(tensor.New(n, c.Hidden)), C: tp.Const(tensor.New(n, c.Hidden))}
+}
+
+// Step advances the cell by one timestep with input x (n×in).
+func (c *LSTMCell) Step(tp *ag.Tape, x *ag.Node, s State) State {
+	gate := func(w, u, b *Param) *ag.Node {
+		return tp.AddRowBroadcast(tp.Add(tp.MatMul(x, w.Node(tp)), tp.MatMul(s.H, u.Node(tp))), b.Node(tp))
+	}
+	i := tp.Sigmoid(gate(c.Wi, c.Ui, c.Bi))
+	f := tp.Sigmoid(gate(c.Wf, c.Uf, c.Bf))
+	o := tp.Sigmoid(gate(c.Wo, c.Uo, c.Bo))
+	g := tp.Tanh(gate(c.Wg, c.Ug, c.Bg))
+	cNew := tp.Add(tp.Mul(f, s.C), tp.Mul(i, g))
+	hNew := tp.Mul(o, tp.Tanh(cNew))
+	return State{H: hNew, C: cNew}
+}
+
+// StackedLSTM is a multi-layer LSTM (the paper uses 2 layers). The input of
+// layer k>0 is the hidden sequence of layer k−1; Forward returns the final
+// hidden state of the top layer, summarizing the sequence.
+type StackedLSTM struct {
+	Cells []*LSTMCell
+}
+
+// NewStackedLSTM builds layers LSTM cells mapping in→hidden→…→hidden.
+func NewStackedLSTM(name string, in, hidden, layers int, rng *rand.Rand) *StackedLSTM {
+	if layers < 1 {
+		panic(fmt.Sprintf("nn: StackedLSTM needs ≥1 layer, got %d", layers))
+	}
+	cells := make([]*LSTMCell, layers)
+	for l := 0; l < layers; l++ {
+		cin := in
+		if l > 0 {
+			cin = hidden
+		}
+		cells[l] = NewLSTMCell(fmt.Sprintf("%s.l%d", name, l), cin, hidden, rng)
+	}
+	return &StackedLSTM{Cells: cells}
+}
+
+// Register adds all layers' parameters to ps.
+func (s *StackedLSTM) Register(ps *Params) {
+	for _, c := range s.Cells {
+		c.Register(ps)
+	}
+}
+
+// Forward consumes seq (T×in, one row per timestep, batch size 1) and
+// returns the top layer's final hidden state (1×hidden).
+func (s *StackedLSTM) Forward(tp *ag.Tape, seq *ag.Node) *ag.Node {
+	T := seq.Value.Rows
+	if T == 0 {
+		panic("nn: StackedLSTM on empty sequence")
+	}
+	inputs := make([]*ag.Node, T)
+	for t := 0; t < T; t++ {
+		inputs[t] = tp.Row(seq, t)
+	}
+	for _, cell := range s.Cells {
+		st := cell.InitState(tp, 1)
+		outs := make([]*ag.Node, T)
+		for t := 0; t < T; t++ {
+			st = cell.Step(tp, inputs[t], st)
+			outs[t] = st.H
+		}
+		inputs = outs
+	}
+	return inputs[T-1]
+}
+
+// Norm is a normalization layer with learned gain and bias. The paper
+// applies batch normalization after each LSTM aggregator; because EHNA's
+// aggregation graph has batch dimension 1 per target node, we normalize
+// across features (layer normalization), which preserves the role of the
+// paper's BN (re-centering/re-scaling with trainable affine) and is
+// well-defined for single samples. Recorded as a substitution in DESIGN.md.
+type Norm struct {
+	Gain, Bias *Param
+	eps        float64
+}
+
+// NewNorm returns a feature-normalization layer over dim features.
+func NewNorm(name string, dim int) *Norm {
+	g := tensor.New(1, dim)
+	g.Fill(1)
+	return &Norm{
+		Gain: NewParam(name+".gain", g),
+		Bias: NewParam(name+".bias", tensor.New(1, dim)),
+		eps:  1e-5,
+	}
+}
+
+// Register adds the layer's parameters to ps.
+func (n *Norm) Register(ps *Params) { ps.Add(n.Gain, n.Bias) }
+
+// Forward normalizes each row of x to zero mean and unit variance across
+// features, then applies the learned affine transform.
+func (n *Norm) Forward(tp *ag.Tape, x *ag.Node) *ag.Node {
+	d := float64(x.Value.Cols)
+	rows := make([]*ag.Node, x.Value.Rows)
+	for i := 0; i < x.Value.Rows; i++ {
+		row := tp.Row(x, i)
+		mean := tp.Scale(tp.SumAll(row), 1/d)
+		// center = row − mean (broadcast scalar): implement via AddConst of
+		// the negated mean is not possible (mean is a node), so expand.
+		meanVec := tp.MatMul(mean, tp.Const(onesRow(x.Value.Cols)))
+		centered := tp.Sub(row, meanVec)
+		varN := tp.Scale(tp.SumSquares(centered), 1/d)
+		std := tp.AddConst(varN, n.eps)
+		inv := tp.RSqrt(std)
+		invVec := tp.MatMul(inv, tp.Const(onesRow(x.Value.Cols)))
+		rows[i] = tp.Mul(centered, invVec)
+	}
+	var normed *ag.Node
+	if len(rows) == 1 {
+		normed = rows[0]
+	} else {
+		normed = tp.StackRows(rows)
+	}
+	scaled := tp.RowBroadcastMul(normed, n.Gain.Node(tp))
+	return tp.AddRowBroadcast(scaled, n.Bias.Node(tp))
+}
+
+func onesRow(n int) *tensor.Matrix {
+	m := tensor.New(1, n)
+	m.Fill(1)
+	return m
+}
+
+// Embedding is a |V|×d table with sparse gradient accumulation: only rows
+// touched in the current step allocate gradient storage.
+type Embedding struct {
+	W     *tensor.Matrix
+	grads map[int][]float64
+}
+
+// NewEmbedding returns a table initialized with N(0, 1/d) entries.
+func NewEmbedding(n, d int, rng *rand.Rand) *Embedding {
+	return &Embedding{
+		W:     tensor.Randn(n, d, 1/math.Sqrt(float64(d)), rng),
+		grads: make(map[int][]float64),
+	}
+}
+
+// Dim returns the embedding dimensionality.
+func (e *Embedding) Dim() int { return e.W.Cols }
+
+// Len returns the number of rows (vocabulary size).
+func (e *Embedding) Len() int { return e.W.Rows }
+
+// Lookup binds rows idx of the table onto the tape as a len(idx)×d node.
+// Gradients are scattered into per-row accumulators.
+func (e *Embedding) Lookup(tp *ag.Tape, idx []int) *ag.Node {
+	v := tensor.New(len(idx), e.W.Cols)
+	for i, id := range idx {
+		copy(v.Row(i), e.W.Row(id))
+	}
+	return tp.LeafFunc(v, func(grad *tensor.Matrix) {
+		for i, id := range idx {
+			acc := e.grads[id]
+			if acc == nil {
+				acc = make([]float64, e.W.Cols)
+				e.grads[id] = acc
+			}
+			grow := grad.Row(i)
+			for j := range acc {
+				acc[j] += grow[j]
+			}
+		}
+	})
+}
+
+// LookupOne binds a single row as a 1×d node.
+func (e *Embedding) LookupOne(tp *ag.Tape, id int) *ag.Node {
+	return e.Lookup(tp, []int{id})
+}
+
+// Step applies plain SGD to the touched rows and clears the accumulators.
+func (e *Embedding) Step(lr float64) {
+	for id, g := range e.grads {
+		row := e.W.Row(id)
+		for j := range row {
+			row[j] -= lr * g[j]
+		}
+	}
+	e.ZeroGrad()
+}
+
+// ZeroGrad discards all accumulated row gradients.
+func (e *Embedding) ZeroGrad() {
+	for k := range e.grads {
+		delete(e.grads, k)
+	}
+}
+
+// TouchedRows returns how many rows currently hold gradient (test hook).
+func (e *Embedding) TouchedRows() int { return len(e.grads) }
+
+// SGD is stochastic gradient descent with optional weight decay.
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// Step updates all parameters in ps from their gradients.
+func (o *SGD) Step(ps *Params) {
+	for _, p := range ps.List() {
+		for i := range p.W.Data {
+			g := p.G.Data[i] + o.WeightDecay*p.W.Data[i]
+			p.W.Data[i] -= o.LR * g
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam returns Adam with the canonical defaults and the given rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64)}
+}
+
+// Step updates all parameters in ps from their gradients.
+func (o *Adam) Step(ps *Params) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range ps.List() {
+		m := o.m[p]
+		if m == nil {
+			m = make([]float64, len(p.W.Data))
+			o.m[p] = m
+			o.v[p] = make([]float64, len(p.W.Data))
+		}
+		v := o.v[p]
+		for i, g := range p.G.Data {
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			p.W.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+	}
+}
+
+// Shadow returns a parameter sharing p's weights but owning a private
+// gradient buffer. Worker replicas use shadows to accumulate gradients
+// without data races; MergeGradsInto folds them back.
+func (p *Param) Shadow() *Param {
+	return &Param{Name: p.Name, W: p.W, G: tensor.New(p.W.Rows, p.W.Cols)}
+}
+
+// Shadow returns a layer view sharing weights with a private gradient.
+func (d *Dense) Shadow() *Dense {
+	return &Dense{W: d.W.Shadow(), B: d.B.Shadow()}
+}
+
+// Shadow returns a cell view sharing weights with private gradients.
+func (c *LSTMCell) Shadow() *LSTMCell {
+	return &LSTMCell{
+		In: c.In, Hidden: c.Hidden,
+		Wi: c.Wi.Shadow(), Ui: c.Ui.Shadow(), Bi: c.Bi.Shadow(),
+		Wf: c.Wf.Shadow(), Uf: c.Uf.Shadow(), Bf: c.Bf.Shadow(),
+		Wo: c.Wo.Shadow(), Uo: c.Uo.Shadow(), Bo: c.Bo.Shadow(),
+		Wg: c.Wg.Shadow(), Ug: c.Ug.Shadow(), Bg: c.Bg.Shadow(),
+	}
+}
+
+// Shadow returns a stacked-LSTM view sharing weights with private gradients.
+func (s *StackedLSTM) Shadow() *StackedLSTM {
+	cells := make([]*LSTMCell, len(s.Cells))
+	for i, c := range s.Cells {
+		cells[i] = c.Shadow()
+	}
+	return &StackedLSTM{Cells: cells}
+}
+
+// Shadow returns a normalization-layer view sharing weights with private
+// gradients.
+func (n *Norm) Shadow() *Norm {
+	return &Norm{Gain: n.Gain.Shadow(), Bias: n.Bias.Shadow(), eps: n.eps}
+}
+
+// Shadow returns an embedding view sharing the table with a private
+// sparse-gradient accumulator.
+func (e *Embedding) Shadow() *Embedding {
+	return &Embedding{W: e.W, grads: make(map[int][]float64)}
+}
+
+// MergeGradsInto adds e's accumulated row gradients into dst and clears e.
+func (e *Embedding) MergeGradsInto(dst *Embedding) {
+	for id, g := range e.grads {
+		acc := dst.grads[id]
+		if acc == nil {
+			acc = make([]float64, dst.W.Cols)
+			dst.grads[id] = acc
+		}
+		for j := range acc {
+			acc[j] += g[j]
+		}
+	}
+	e.ZeroGrad()
+}
+
+// MergeGradsInto adds src's gradients into dst position-wise. Both
+// collections must have been registered in the same order (shadow
+// replicas preserve registration order by construction).
+func MergeGradsInto(dst, src *Params) {
+	if len(dst.list) != len(src.list) {
+		panic(fmt.Sprintf("nn: MergeGradsInto size mismatch %d vs %d", len(dst.list), len(src.list)))
+	}
+	for i, p := range src.list {
+		tensor.AddInPlace(dst.list[i].G, p.G)
+	}
+}

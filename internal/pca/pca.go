@@ -1,0 +1,198 @@
+// Package pca implements principal component analysis via power iteration
+// with deflation. The paper lists visualization as a primary application
+// of node embeddings (Section I); PCA to 2-D is the stdlib-only stand-in
+// for the usual t-SNE projection.
+package pca
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ehna/internal/tensor"
+)
+
+// Config parameterizes the decomposition.
+type Config struct {
+	Components int     // number of principal components (≥ 1)
+	MaxIter    int     // power-iteration cap per component
+	Tol        float64 // convergence tolerance on the eigenvector delta
+	Seed       int64
+}
+
+// DefaultConfig returns settings adequate for embedding matrices.
+func DefaultConfig() Config {
+	return Config{Components: 2, MaxIter: 300, Tol: 1e-9, Seed: 1}
+}
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (c Config) Validate() error {
+	if c.Components < 1 {
+		return fmt.Errorf("pca: Components %d < 1", c.Components)
+	}
+	if c.MaxIter < 1 {
+		return fmt.Errorf("pca: MaxIter %d < 1", c.MaxIter)
+	}
+	if c.Tol <= 0 {
+		return fmt.Errorf("pca: Tol %g must be positive", c.Tol)
+	}
+	return nil
+}
+
+// Result holds the decomposition outputs.
+type Result struct {
+	// Components is k×d: one unit-norm principal axis per row.
+	Components *tensor.Matrix
+	// Explained holds the variance along each component.
+	Explained []float64
+	// Mean is the 1×d column mean removed before projection.
+	Mean *tensor.Matrix
+}
+
+// Fit computes the top-k principal components of X (n×d).
+func Fit(X *tensor.Matrix, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if X.Rows < 2 {
+		return nil, fmt.Errorf("pca: need ≥ 2 rows, got %d", X.Rows)
+	}
+	if cfg.Components > X.Cols {
+		return nil, fmt.Errorf("pca: %d components exceed %d features", cfg.Components, X.Cols)
+	}
+	n, d := X.Rows, X.Cols
+	mean := tensor.MeanRows(X)
+	centered := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		row := X.Row(i)
+		crow := centered.Row(i)
+		for j := range row {
+			crow[j] = row[j] - mean.Data[j]
+		}
+	}
+	// Covariance C = centeredᵀ·centered / (n−1), computed once (d is small
+	// for embeddings).
+	cov := tensor.MatMulATransposed(centered, centered)
+	tensor.ScaleInPlace(cov, 1/float64(n-1))
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{
+		Components: tensor.New(cfg.Components, d),
+		Explained:  make([]float64, cfg.Components),
+		Mean:       mean,
+	}
+	for k := 0; k < cfg.Components; k++ {
+		v := make([]float64, d)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		normalize(v)
+		var lambda float64
+		for it := 0; it < cfg.MaxIter; it++ {
+			w := matVec(cov, v)
+			lambda = tensor.DotVec(v, w)
+			normalize(w)
+			delta := 0.0
+			for i := range w {
+				dv := w[i] - v[i]
+				delta += dv * dv
+			}
+			copy(v, w)
+			if delta < cfg.Tol {
+				break
+			}
+		}
+		res.Components.SetRow(k, v)
+		res.Explained[k] = lambda
+		// Deflate: C ← C − λ·v·vᵀ.
+		for i := 0; i < d; i++ {
+			ci := cov.Row(i)
+			for j := 0; j < d; j++ {
+				ci[j] -= lambda * v[i] * v[j]
+			}
+		}
+	}
+	return res, nil
+}
+
+// Transform projects X (n×d) onto the fitted components, returning n×k.
+func (r *Result) Transform(X *tensor.Matrix) *tensor.Matrix {
+	k := r.Components.Rows
+	out := tensor.New(X.Rows, k)
+	for i := 0; i < X.Rows; i++ {
+		row := X.Row(i)
+		centered := make([]float64, len(row))
+		for j := range row {
+			centered[j] = row[j] - r.Mean.Data[j]
+		}
+		for c := 0; c < k; c++ {
+			out.Set(i, c, tensor.DotVec(centered, r.Components.Row(c)))
+		}
+	}
+	return out
+}
+
+func normalize(v []float64) {
+	n := tensor.L2NormVec(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+func matVec(m *tensor.Matrix, v []float64) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = tensor.DotVec(m.Row(i), v)
+	}
+	return out
+}
+
+// ScatterASCII renders a 2-D point cloud as an ASCII grid with per-point
+// labels (e.g. community ids as digits). Points beyond the plot are
+// clamped to the border. Intended for terminal-friendly visualization of
+// embedding projections.
+func ScatterASCII(points *tensor.Matrix, labels []byte, width, height int) (string, error) {
+	if points.Cols != 2 {
+		return "", fmt.Errorf("pca: ScatterASCII needs 2-D points, got %d-D", points.Cols)
+	}
+	if len(labels) != points.Rows {
+		return "", fmt.Errorf("pca: %d labels for %d points", len(labels), points.Rows)
+	}
+	if width < 2 || height < 2 {
+		return "", fmt.Errorf("pca: grid %dx%d too small", width, height)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := 0; i < points.Rows; i++ {
+		x, y := points.At(i, 0), points.At(i, 1)
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = make([]byte, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for i := 0; i < points.Rows; i++ {
+		x := int((points.At(i, 0) - minX) / (maxX - minX) * float64(width-1))
+		y := int((points.At(i, 1) - minY) / (maxY - minY) * float64(height-1))
+		grid[height-1-y][x] = labels[i]
+	}
+	out := make([]byte, 0, height*(width+1))
+	for _, row := range grid {
+		out = append(out, row...)
+		out = append(out, '\n')
+	}
+	return string(out), nil
+}

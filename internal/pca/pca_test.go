@@ -1,0 +1,168 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ehna/internal/tensor"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Components: 0, MaxIter: 1, Tol: 1e-9},
+		{Components: 1, MaxIter: 0, Tol: 1e-9},
+		{Components: 1, MaxIter: 1, Tol: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(tensor.New(1, 3), DefaultConfig()); err == nil {
+		t.Fatal("single row accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Components = 5
+	if _, err := Fit(tensor.New(10, 3), cfg); err == nil {
+		t.Fatal("components > features accepted")
+	}
+	if _, err := Fit(tensor.New(10, 3), Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// anisotropic generates data stretched along a known direction.
+func anisotropic(n int, seed int64) *tensor.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	X := tensor.New(n, 3)
+	// Dominant axis (1, 2, 0)/√5, minor noise elsewhere.
+	for i := 0; i < n; i++ {
+		s := rng.NormFloat64() * 10
+		X.Set(i, 0, s*1/math.Sqrt(5)+rng.NormFloat64()*0.1)
+		X.Set(i, 1, s*2/math.Sqrt(5)+rng.NormFloat64()*0.1)
+		X.Set(i, 2, rng.NormFloat64()*0.1)
+	}
+	return X
+}
+
+func TestFitRecoversDominantAxis(t *testing.T) {
+	X := anisotropic(500, 1)
+	r, err := Fit(X, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := r.Components.Row(0)
+	want := []float64{1 / math.Sqrt(5), 2 / math.Sqrt(5), 0}
+	dot := math.Abs(tensor.DotVec(v, want)) // sign is arbitrary
+	if dot < 0.999 {
+		t.Fatalf("dominant axis misaligned: |cos| = %g (axis %v)", dot, v)
+	}
+	if r.Explained[0] < 10*r.Explained[1] {
+		t.Fatalf("variance not concentrated: %v", r.Explained)
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	X := anisotropic(300, 2)
+	cfg := DefaultConfig()
+	cfg.Components = 3
+	r, err := Fit(X, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(tensor.L2NormVec(r.Components.Row(i))-1) > 1e-6 {
+			t.Fatalf("component %d not unit norm", i)
+		}
+		for j := i + 1; j < 3; j++ {
+			if d := math.Abs(tensor.DotVec(r.Components.Row(i), r.Components.Row(j))); d > 1e-4 {
+				t.Fatalf("components %d,%d not orthogonal: %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestTransformShapeAndCentering(t *testing.T) {
+	X := anisotropic(100, 3)
+	r, err := Fit(X, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	Y := r.Transform(X)
+	if Y.Rows != 100 || Y.Cols != 2 {
+		t.Fatalf("shape %dx%d", Y.Rows, Y.Cols)
+	}
+	// Projections of centered data have ~zero mean.
+	m := tensor.MeanRows(Y)
+	for _, v := range m.Data {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("projection mean %v not centered", m.Data)
+		}
+	}
+}
+
+func TestTransformVarianceMatchesExplained(t *testing.T) {
+	X := anisotropic(400, 4)
+	r, err := Fit(X, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	Y := r.Transform(X)
+	var variance float64
+	for i := 0; i < Y.Rows; i++ {
+		v := Y.At(i, 0)
+		variance += v * v
+	}
+	variance /= float64(Y.Rows - 1)
+	if math.Abs(variance-r.Explained[0])/r.Explained[0] > 0.01 {
+		t.Fatalf("explained %g vs projected variance %g", r.Explained[0], variance)
+	}
+}
+
+func TestScatterASCII(t *testing.T) {
+	pts := tensor.FromRows([][]float64{{0, 0}, {1, 1}, {0.5, 0.5}})
+	s, err := ScatterASCII(pts, []byte{'a', 'b', 'c'}, 11, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") || !strings.Contains(s, "c") {
+		t.Fatalf("labels missing:\n%s", s)
+	}
+	// a at bottom-left, b at top-right.
+	if lines[4][0] != 'a' {
+		t.Fatalf("a misplaced:\n%s", s)
+	}
+	if lines[0][10] != 'b' {
+		t.Fatalf("b misplaced:\n%s", s)
+	}
+}
+
+func TestScatterASCIIErrors(t *testing.T) {
+	pts := tensor.New(2, 3)
+	if _, err := ScatterASCII(pts, []byte{'a', 'b'}, 10, 10); err == nil {
+		t.Fatal("3-D points accepted")
+	}
+	pts2 := tensor.New(2, 2)
+	if _, err := ScatterASCII(pts2, []byte{'a'}, 10, 10); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := ScatterASCII(pts2, []byte{'a', 'b'}, 1, 10); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	// Degenerate identical points must not divide by zero.
+	if _, err := ScatterASCII(tensor.New(2, 2), []byte{'a', 'b'}, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package tensor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTSV writes the matrix as one row per line: an integer row index
+// followed by tab-separated values — the embedding interchange format of
+// cmd/ehna and most embedding toolchains.
+func (m *Matrix) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.Rows; i++ {
+		if _, err := fmt.Fprintf(bw, "%d", i); err != nil {
+			return err
+		}
+		for _, v := range m.Row(i) {
+			if _, err := fmt.Fprintf(bw, "\t%g", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses the WriteTSV format. Row indices are validated to be the
+// line's position (dense, in order); all rows must have equal width.
+func ReadTSV(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var rows [][]float64
+	lineNo := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("tensor: line %d: want index + values, got %d fields", lineNo+1, len(fields))
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("tensor: line %d: bad row index %q: %v", lineNo+1, fields[0], err)
+		}
+		if idx != lineNo {
+			return nil, fmt.Errorf("tensor: line %d: row index %d out of order", lineNo+1, idx)
+		}
+		vals := make([]float64, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tensor: line %d: bad value %q: %v", lineNo+1, f, err)
+			}
+			vals[i] = v
+		}
+		if len(rows) > 0 && len(vals) != len(rows[0]) {
+			return nil, fmt.Errorf("tensor: line %d: %d values, want %d", lineNo+1, len(vals), len(rows[0]))
+		}
+		rows = append(rows, vals)
+		lineNo++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tensor: read: %v", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("tensor: empty input")
+	}
+	return FromRows(rows), nil
+}

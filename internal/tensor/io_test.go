@@ -1,0 +1,66 @@
+package tensor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixTSVRoundTrip(t *testing.T) {
+	m := FromRows([][]float64{{0.5, -1.25, 3}, {1e-9, 2e6, -0}})
+	var buf bytes.Buffer
+	if err := m.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, m, 0) {
+		t.Fatalf("roundtrip mismatch: %v vs %v", got.Data, m.Data)
+	}
+}
+
+func TestMatrixReadTSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields": "0\n",
+		"bad index":      "x 1 2\n",
+		"out of order":   "1 1 2\n",
+		"bad value":      "0 nope\n",
+		"ragged rows":    "0 1 2\n1 1\n",
+		"empty input":    "",
+		"skipped index":  "0 1\n2 1\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadTSV(strings.NewReader(input)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestMatrixReadTSVSkipsBlankLines(t *testing.T) {
+	got, err := ReadTSV(strings.NewReader("0\t1\t2\n\n1\t3\t4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 2 || got.At(1, 1) != 4 {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+func TestMatrixWriteTSVError(t *testing.T) {
+	m := FromRows([][]float64{{1}})
+	if err := m.WriteTSV(failWriter{}); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errFail }
+
+var errFail = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "write failed" }

@@ -1,0 +1,477 @@
+// Package tensor provides dense float64 matrix and vector kernels used by
+// the autodiff tape (internal/ag) and the neural layers (internal/nn).
+//
+// Matrices are row-major. Dimension mismatches are programmer errors and
+// panic, mirroring the behaviour of slice indexing in the standard library.
+// Hot-path kernels have allocation-free *Into variants.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero-initialized matrix with the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows x cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix by copying the given equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: FromRows ragged row %d: %d != %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Randn returns a matrix with entries drawn from N(0, std²).
+func Randn(rows, cols int, std float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// Uniform returns a matrix with entries drawn uniformly from [lo, hi).
+func Uniform(rows, cols int, lo, hi float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: SetRow len %d != cols %d", len(v), m.Cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// Zero sets all elements to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)%v", m.Rows, m.Cols, m.Data)
+}
+
+func sameShape(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// MatMul returns a·b.
+func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a·b without allocating. out must not alias a or b.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul out %dx%d want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	out.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATransposed returns aᵀ·b where a is given untransposed.
+func MatMulATransposed(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulAT rows %d != %d", a.Rows, b.Rows))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulBTransposed returns a·bᵀ where b is given untransposed.
+func MatMulBTransposed(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBT cols %d != %d", a.Cols, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func Transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Add returns a + b.
+func Add(a, b *Matrix) *Matrix {
+	sameShape(a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a − b.
+func Sub(a, b *Matrix) *Matrix {
+	sameShape(a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product a ⊙ b.
+func Hadamard(a, b *Matrix) *Matrix {
+	sameShape(a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s·m.
+func Scale(m *Matrix, s float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// AddInPlace computes a += b.
+func AddInPlace(a, b *Matrix) {
+	sameShape(a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// AxpyInPlace computes a += s·b.
+func AxpyInPlace(a *Matrix, s float64, b *Matrix) {
+	sameShape(a, b)
+	for i := range a.Data {
+		a.Data[i] += s * b.Data[i]
+	}
+}
+
+// ScaleInPlace computes m *= s.
+func ScaleInPlace(m *Matrix, s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddRowBroadcast returns m with the 1×cols row vector bias added to every row.
+func AddRowBroadcast(m, bias *Matrix) *Matrix {
+	if bias.Rows != 1 || bias.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowBroadcast bias %dx%d for %dx%d", bias.Rows, bias.Cols, m.Rows, m.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for j, v := range mrow {
+			orow[j] = v + bias.Data[j]
+		}
+	}
+	return out
+}
+
+// Apply returns f applied element-wise to m.
+func Apply(m *Matrix, f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Sigmoid returns the logistic function applied element-wise.
+func Sigmoid(m *Matrix) *Matrix { return Apply(m, SigmoidScalar) }
+
+// Tanh returns tanh applied element-wise.
+func Tanh(m *Matrix) *Matrix { return Apply(m, math.Tanh) }
+
+// ReLU returns max(0, x) applied element-wise.
+func ReLU(m *Matrix) *Matrix {
+	return Apply(m, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// SigmoidScalar is the numerically stable logistic function.
+func SigmoidScalar(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// SoftmaxRows returns row-wise softmax of m.
+func SoftmaxRows(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		SoftmaxInto(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// SoftmaxInto writes softmax(src) into dst. dst may alias src.
+func SoftmaxInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("tensor: SoftmaxInto length mismatch")
+	}
+	if len(src) == 0 {
+		return
+	}
+	max := src[0]
+	for _, v := range src[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(v - max)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// SumRows returns a 1×cols matrix with the column sums of m.
+func SumRows(m *Matrix) *Matrix {
+	out := New(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// MeanRows returns a 1×cols matrix with the column means of m.
+func MeanRows(m *Matrix) *Matrix {
+	out := SumRows(m)
+	if m.Rows > 0 {
+		ScaleInPlace(out, 1/float64(m.Rows))
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Dot returns the inner product of two equal-shape matrices flattened.
+func Dot(a, b *Matrix) float64 {
+	sameShape(a, b)
+	var s float64
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// DotVec returns the inner product of two equal-length vectors.
+func DotVec(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: DotVec length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// L2NormVec returns the Euclidean norm of v.
+func L2NormVec(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// SqDistVec returns the squared Euclidean distance between a and b.
+func SqDistVec(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: SqDistVec length mismatch")
+	}
+	var s float64
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Frobenius returns the Frobenius norm of m.
+func (m *Matrix) Frobenius() float64 { return L2NormVec(m.Data) }
+
+// ConcatCols returns [a ‖ b] with the same number of rows.
+func ConcatCols(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: ConcatCols rows %d != %d", a.Rows, b.Rows))
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i)[:a.Cols], a.Row(i))
+		copy(out.Row(i)[a.Cols:], b.Row(i))
+	}
+	return out
+}
+
+// StackRows returns the matrices stacked vertically. All must share Cols.
+func StackRows(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic(fmt.Sprintf("tensor: StackRows cols %d != %d", m.Cols, cols))
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	r := 0
+	for _, m := range ms {
+		copy(out.Data[r*cols:], m.Data)
+		r += m.Rows
+	}
+	return out
+}
+
+// Equal reports whether a and b have the same shape and all elements are
+// within tol of each other.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
