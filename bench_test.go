@@ -10,11 +10,17 @@
 package ehnabench
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
+	"ehna/internal/ann"
 	"ehna/internal/datagen"
+	"ehna/internal/embstore"
 	"ehna/internal/eval"
 	"ehna/internal/experiments"
+	"ehna/internal/graph"
+	"ehna/internal/tensor"
 )
 
 func quick() experiments.Settings { return experiments.Quick() }
@@ -174,6 +180,104 @@ func BenchmarkAblationWorkers(b *testing.B) {
 		b.ReportMetric(t1, "serial_s")
 		b.ReportMetric(t4, "workers4_s")
 		b.ReportMetric(t1/t4, "speedup_x")
+	}
+}
+
+// servingDim is the embedding width for the serving-path benchmarks,
+// matching the EHNA default.
+const servingDim = 32
+
+// BenchmarkEmbstoreBulkLoad measures loading a full embedding matrix
+// into the sharded store at serving scales.
+func BenchmarkEmbstoreBulkLoad(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			emb := tensor.Randn(n, servingDim, 1, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := embstore.FromMatrix(emb, embstore.DefaultShards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Len() != n {
+					b.Fatal("short load")
+				}
+			}
+		})
+	}
+}
+
+// benchANN measures per-query latency of an index at the given scale and
+// reports its recall@10 against exact search.
+func benchANN(b *testing.B, n int, mk func(*embstore.Store) (ann.Index, error)) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	emb := tensor.Randn(n, servingDim, 1, rng)
+	s, err := embstore.FromMatrix(emb, embstore.DefaultShards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := mk(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 10
+	// Recall vs exact over a fixed query sample (once, outside the loop).
+	exact := ann.NewExact(s, ann.Cosine)
+	var approx, truth [][]graph.NodeID
+	for qi := 0; qi < 20; qi++ {
+		er, err := exact.Search(emb.Row(qi), k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ar, err := idx.Search(emb.Row(qi), k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		truth = append(truth, resultIDs(er))
+		approx = append(approx, resultIDs(ar))
+	}
+	recall, err := eval.MeanRecallAtK(approx, truth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(recall, "recall@10")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Search(emb.Row(i%n), k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func resultIDs(rs []ann.Result) []graph.NodeID {
+	out := make([]graph.NodeID, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// BenchmarkANNTopK compares exact scan against LSH probing at serving
+// scales. LSH bits grow with n to keep buckets small.
+func BenchmarkANNTopK(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		n := n
+		b.Run(fmt.Sprintf("exact/n=%d", n), func(b *testing.B) {
+			benchANN(b, n, func(s *embstore.Store) (ann.Index, error) {
+				return ann.NewExact(s, ann.Cosine), nil
+			})
+		})
+		b.Run(fmt.Sprintf("lsh/n=%d", n), func(b *testing.B) {
+			benchANN(b, n, func(s *embstore.Store) (ann.Index, error) {
+				cfg := ann.DefaultLSHConfig()
+				if n >= 100_000 {
+					cfg.Bits = 11
+				}
+				return ann.NewLSH(s, cfg)
+			})
+		})
 	}
 }
 

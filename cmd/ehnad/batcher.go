@@ -1,0 +1,153 @@
+package main
+
+import (
+	"errors"
+	"time"
+
+	"ehna/internal/ann"
+)
+
+// errShutdown is returned to queries caught in a daemon shutdown.
+var errShutdown = errors.New("server shutting down")
+
+// nnRequest is one neighbor query waiting for a batch slot.
+type nnRequest struct {
+	vec []float64
+	k   int
+	out chan nnResponse
+}
+
+type nnResponse struct {
+	results []ann.Result
+	err     error
+}
+
+// batcher coalesces concurrent single-query /v1/neighbors requests into
+// one SearchBatch call: the first arrival opens a window, everything
+// landing within it (up to maxBatch) rides the same index pass. Under
+// load this amortizes per-query overhead and keeps the worker pool warm;
+// an idle daemon pays at most the window in extra latency.
+type batcher struct {
+	index    ann.Index
+	in       chan nnRequest
+	maxBatch int
+	window   time.Duration
+	stop     chan struct{}
+}
+
+func newBatcher(index ann.Index, maxBatch int, window time.Duration) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &batcher{
+		index:    index,
+		in:       make(chan nnRequest, maxBatch),
+		maxBatch: maxBatch,
+		window:   window,
+		stop:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// do submits one query and blocks for its result. A closed batcher
+// fails fast instead of blocking forever (req.out is buffered, so a
+// flush racing the shutdown reply is dropped harmlessly).
+func (b *batcher) do(vec []float64, k int) ([]ann.Result, error) {
+	req := nnRequest{vec: vec, k: k, out: make(chan nnResponse, 1)}
+	select {
+	case b.in <- req:
+	case <-b.stop:
+		return nil, errShutdown
+	}
+	select {
+	case resp := <-req.out:
+		return resp.results, resp.err
+	case <-b.stop:
+		return nil, errShutdown
+	}
+}
+
+func (b *batcher) close() { close(b.stop) }
+
+func (b *batcher) run() {
+	for {
+		var first nnRequest
+		select {
+		case first = <-b.in:
+		case <-b.stop:
+			b.drain()
+			return
+		}
+		batch := []nnRequest{first}
+		if b.window > 0 {
+			deadline := time.NewTimer(b.window)
+		gather:
+			for len(batch) < b.maxBatch {
+				select {
+				case req := <-b.in:
+					batch = append(batch, req)
+				case <-deadline.C:
+					break gather
+				case <-b.stop:
+					deadline.Stop()
+					b.flush(batch)
+					b.drain()
+					return
+				}
+			}
+			deadline.Stop()
+		} else {
+			// No window: still drain whatever is already queued.
+		drain:
+			for len(batch) < b.maxBatch {
+				select {
+				case req := <-b.in:
+					batch = append(batch, req)
+				default:
+					break drain
+				}
+			}
+		}
+		b.flush(batch)
+	}
+}
+
+// drain rejects whatever was buffered in b.in at shutdown so no do()
+// caller is left waiting (out channels are buffered; sends never block).
+func (b *batcher) drain() {
+	for {
+		select {
+		case req := <-b.in:
+			req.out <- nnResponse{err: errShutdown}
+		default:
+			return
+		}
+	}
+}
+
+// flush executes a gathered batch and fans results back out. Requests
+// may ask for different k; the batch runs at the max and each reply is
+// trimmed to its own k.
+func (b *batcher) flush(batch []nnRequest) {
+	qs := make([][]float64, len(batch))
+	maxK := 1
+	for i, req := range batch {
+		qs[i] = req.vec
+		if req.k > maxK {
+			maxK = req.k
+		}
+	}
+	results, err := b.index.SearchBatch(qs, maxK)
+	for i, req := range batch {
+		if err != nil {
+			req.out <- nnResponse{err: err}
+			continue
+		}
+		r := results[i]
+		if len(r) > req.k {
+			r = r[:req.k]
+		}
+		req.out <- nnResponse{results: r}
+	}
+}

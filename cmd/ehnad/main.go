@@ -1,0 +1,125 @@
+// Command ehnad is the online embedding-serving daemon: it loads a
+// trained embedding table into a sharded in-memory store, builds an ANN
+// index over it, and answers HTTP/JSON queries.
+//
+// Endpoints:
+//
+//	POST /v1/neighbors  top-k similar nodes, by stored id or raw vector;
+//	                    single queries are micro-batched server-side,
+//	                    "queries":[...] batches explicitly
+//	POST /v1/score      pairwise link-prediction score under a Table II
+//	                    edge operator (hadamard sum = dot product)
+//	POST /v1/upsert     insert/replace vectors (store + index)
+//	GET  /healthz       liveness + store/index stats
+//
+// The embedding source is either -model (an ehna model snapshot written
+// by Model.Save — serves the raw embedding table) or -snapshot (an
+// embstore snapshot written by Store.Save — e.g. the attention-
+// aggregated InferAll embeddings exported by examples/serving).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ehna/internal/ann"
+	"ehna/internal/embstore"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		model     = flag.String("model", "", "path to an ehna model snapshot (Model.Save)")
+		snapshot  = flag.String("snapshot", "", "path to an embstore snapshot (Store.Save)")
+		shards    = flag.Int("shards", embstore.DefaultShards, "store shard count")
+		indexKind = flag.String("index", "lsh", "ann index: lsh or exact")
+		tables    = flag.Int("tables", 16, "lsh: number of hash tables")
+		bits      = flag.Int("bits", 8, "lsh: signature bits per table")
+		probes    = flag.Int("probes", -1, "lsh: Hamming-1 probes per table (-1 = bits)")
+		seed      = flag.Int64("seed", 1, "lsh: hyperplane seed")
+		metric    = flag.String("metric", "cosine", "similarity metric: cosine or dot")
+		maxBatch  = flag.Int("max-batch", 64, "micro-batcher: max coalesced queries")
+		window    = flag.Duration("batch-window", 2*time.Millisecond, "micro-batcher: gather window (0 disables)")
+	)
+	flag.Parse()
+
+	store, err := loadStore(*model, *snapshot, *shards)
+	if err != nil {
+		log.Fatalf("ehnad: %v", err)
+	}
+	m, err := ann.ParseMetric(*metric)
+	if err != nil {
+		log.Fatalf("ehnad: %v", err)
+	}
+	index, err := buildIndex(store, *indexKind, m, *tables, *bits, *probes, *seed)
+	if err != nil {
+		log.Fatalf("ehnad: %v", err)
+	}
+	log.Printf("ehnad: store loaded: %d nodes × %d dims across %d shards, %s index (%s metric)",
+		store.Len(), store.Dim(), store.NumShards(), *indexKind, m)
+
+	srv := newServer(store, index, *indexKind, *maxBatch, *window)
+	defer srv.close()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("ehnad: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		close(done)
+	}()
+
+	log.Printf("ehnad: listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("ehnad: %v", err)
+	}
+	<-done
+}
+
+// loadStore builds the store from exactly one of the two sources.
+func loadStore(model, snapshot string, shards int) (*embstore.Store, error) {
+	switch {
+	case model != "" && snapshot != "":
+		return nil, fmt.Errorf("pass -model or -snapshot, not both")
+	case model == "" && snapshot == "":
+		return nil, fmt.Errorf("pass -model (ehna snapshot) or -snapshot (embstore snapshot)")
+	case model != "":
+		f, err := os.Open(model)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return embstore.FromModelSnapshot(f, shards)
+	default:
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return embstore.Load(f, shards)
+	}
+}
+
+func buildIndex(store *embstore.Store, kind string, metric ann.Metric, tables, bits, probes int, seed int64) (ann.Index, error) {
+	switch kind {
+	case "exact":
+		return ann.NewExact(store, metric), nil
+	case "lsh":
+		cfg := ann.LSHConfig{Tables: tables, Bits: bits, Probes: probes, Seed: seed, Metric: metric}
+		return ann.NewLSH(store, cfg)
+	default:
+		return nil, fmt.Errorf("unknown index %q (want lsh or exact)", kind)
+	}
+}

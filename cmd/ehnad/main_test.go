@@ -1,0 +1,391 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ehna/internal/ann"
+	"ehna/internal/datagen"
+	"ehna/internal/ehna"
+	"ehna/internal/embstore"
+	"ehna/internal/graph"
+	"ehna/internal/tensor"
+	"ehna/internal/walk"
+)
+
+// newTestServer stands up the full daemon handler over the given store.
+func newTestServer(t *testing.T, store *embstore.Store, indexKind string) (*server, *httptest.Server) {
+	t.Helper()
+	index, err := buildIndex(store, indexKind, ann.Cosine, 16, 8, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(store, index, indexKind, 64, time.Millisecond)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() { ts.Close(); srv.close() })
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) (int, string) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
+			t.Fatalf("unmarshal %q: %v", raw.String(), err)
+		}
+	}
+	return resp.StatusCode, raw.String()
+}
+
+type neighborsResponse struct {
+	Results []ann.Result   `json:"results"`
+	Batches [][]ann.Result `json:"batches"`
+}
+
+var trained struct {
+	once sync.Once
+	emb  *tensor.Matrix
+	g    *graph.Temporal
+	err  error
+}
+
+// trainedStore trains an EHNA model on a small datagen graph end-to-end
+// and loads the attention-aggregated embeddings into a store — the full
+// train → infer → serve pipeline the daemon fronts. Training runs once;
+// each test gets a fresh store over the shared embeddings.
+func trainedStore(t *testing.T) (*embstore.Store, *graph.Temporal) {
+	t.Helper()
+	trained.once.Do(func() {
+		g, err := datagen.Generate(datagen.Digg, 0.05, 7)
+		if err != nil {
+			trained.err = err
+			return
+		}
+		cfg := ehna.DefaultConfig()
+		cfg.Dim = 8
+		cfg.Walk = walk.TemporalConfig{P: 1, Q: 1, NumWalks: 2, WalkLen: 3}
+		cfg.BatchSize = 16
+		cfg.FallbackSamples = 4
+		m, err := ehna.NewModel(g, cfg)
+		if err != nil {
+			trained.err = err
+			return
+		}
+		m.TrainEpoch()
+		trained.emb, trained.g = m.InferAll(), g
+	})
+	if trained.err != nil {
+		t.Fatal(trained.err)
+	}
+	store, err := embstore.FromMatrix(trained.emb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, trained.g
+}
+
+func TestNeighborsEndToEndOnTrainedGraph(t *testing.T) {
+	store, g := trainedStore(t)
+	for _, kind := range []string{"exact", "lsh"} {
+		_, ts := newTestServer(t, store, kind)
+		var resp neighborsResponse
+		status, raw := postJSON(t, ts.URL+"/v1/neighbors", map[string]any{"id": 0, "k": 5}, &resp)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", kind, status, raw)
+		}
+		if len(resp.Results) != 5 {
+			t.Fatalf("%s: got %d results, want 5: %s", kind, len(resp.Results), raw)
+		}
+		for i, r := range resp.Results {
+			if r.ID == 0 {
+				t.Fatalf("%s: query node returned as its own neighbor", kind)
+			}
+			if int(r.ID) >= g.NumNodes() {
+				t.Fatalf("%s: result %d id %d outside graph", kind, i, r.ID)
+			}
+			if i > 0 && resp.Results[i-1].Score < r.Score {
+				t.Fatalf("%s: results not sorted: %v", kind, resp.Results)
+			}
+		}
+	}
+}
+
+func TestNeighborsByVectorAndBatch(t *testing.T) {
+	store, _ := trainedStore(t)
+	_, ts := newTestServer(t, store, "exact")
+
+	vec, _ := store.Get(3)
+	var single neighborsResponse
+	status, raw := postJSON(t, ts.URL+"/v1/neighbors", map[string]any{"vector": vec, "k": 3}, &single)
+	if status != http.StatusOK || len(single.Results) != 3 {
+		t.Fatalf("vector query: status %d: %s", status, raw)
+	}
+	// Query by own vector includes the node itself at rank 1.
+	if single.Results[0].ID != 3 {
+		t.Fatalf("self not top hit for own vector: %v", single.Results)
+	}
+
+	var batch neighborsResponse
+	status, raw = postJSON(t, ts.URL+"/v1/neighbors", map[string]any{
+		"k":       4,
+		"queries": []map[string]any{{"id": 0}, {"id": 1, "k": 2}, {"vector": vec}},
+	}, &batch)
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", status, raw)
+	}
+	if len(batch.Batches) != 3 {
+		t.Fatalf("batch: %d result sets, want 3", len(batch.Batches))
+	}
+	if len(batch.Batches[0]) != 4 || len(batch.Batches[1]) != 2 || len(batch.Batches[2]) != 4 {
+		t.Fatalf("batch k handling wrong: %d/%d/%d", len(batch.Batches[0]), len(batch.Batches[1]), len(batch.Batches[2]))
+	}
+}
+
+func TestNeighborsErrors(t *testing.T) {
+	store, _ := trainedStore(t)
+	_, ts := newTestServer(t, store, "exact")
+	for name, body := range map[string]any{
+		"no id or vector":  map[string]any{"k": 5},
+		"unknown id":       map[string]any{"id": 1 << 30},
+		"both":             map[string]any{"id": 1, "vector": []float64{1}},
+		"wrong-dim vector": map[string]any{"vector": []float64{1, 2}},
+	} {
+		status, _ := postJSON(t, ts.URL+"/v1/neighbors", body, nil)
+		if status == http.StatusOK {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/neighbors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/neighbors: %d", resp.StatusCode)
+	}
+}
+
+func TestScoreMatchesDotProduct(t *testing.T) {
+	store, _ := trainedStore(t)
+	_, ts := newTestServer(t, store, "exact")
+	var out struct {
+		Op    string  `json:"op"`
+		Score float64 `json:"score"`
+	}
+	status, raw := postJSON(t, ts.URL+"/v1/score", map[string]any{"u": 0, "v": 1}, &out)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	eu, _ := store.Get(0)
+	ev, _ := store.Get(1)
+	want := tensor.DotVec(eu, ev)
+	if out.Op != "Hadamard" {
+		t.Fatalf("default op %q", out.Op)
+	}
+	if diff := out.Score - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("hadamard-sum score %g != dot product %g", out.Score, want)
+	}
+	for _, op := range []string{"mean", "l1", "l2", "hadamard"} {
+		status, raw := postJSON(t, ts.URL+"/v1/score", map[string]any{"u": 0, "v": 1, "op": op}, nil)
+		if status != http.StatusOK {
+			t.Fatalf("op %s: status %d: %s", op, status, raw)
+		}
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/score", map[string]any{"u": 0, "v": 1, "op": "nope"}, nil); status == http.StatusOK {
+		t.Fatal("bad operator accepted")
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/score", map[string]any{"u": 0, "v": 1 << 30}, nil); status != http.StatusNotFound {
+		t.Fatalf("unknown node scored: %d", status)
+	}
+}
+
+func TestUpsertThenQuery(t *testing.T) {
+	store, _ := trainedStore(t)
+	for _, kind := range []string{"exact", "lsh"} {
+		_, ts := newTestServer(t, store, kind)
+		id := uint32(200000)
+		vec := make([]float64, store.Dim())
+		vec[0] = 3
+		status, raw := postJSON(t, ts.URL+"/v1/upsert", map[string]any{"id": id, "vector": vec}, nil)
+		if status != http.StatusOK {
+			t.Fatalf("%s: upsert status %d: %s", kind, status, raw)
+		}
+		var resp neighborsResponse
+		status, raw = postJSON(t, ts.URL+"/v1/neighbors", map[string]any{"vector": vec, "k": 1}, &resp)
+		if status != http.StatusOK || len(resp.Results) != 1 {
+			t.Fatalf("%s: query after upsert: %d %s", kind, status, raw)
+		}
+		if resp.Results[0].ID != graph.NodeID(id) {
+			t.Fatalf("%s: upserted vector not its own nearest neighbor: %v", kind, resp.Results)
+		}
+		// Batch upsert.
+		status, raw = postJSON(t, ts.URL+"/v1/upsert", map[string]any{
+			"updates": []map[string]any{
+				{"id": id + 1, "vector": vec},
+				{"id": id + 2, "vector": vec},
+			},
+		}, nil)
+		if status != http.StatusOK {
+			t.Fatalf("%s: batch upsert: %d %s", kind, status, raw)
+		}
+		// Dimension mismatch rejected.
+		if status, _ := postJSON(t, ts.URL+"/v1/upsert", map[string]any{"id": id, "vector": []float64{1}}, nil); status == http.StatusOK {
+			t.Fatalf("%s: wrong-dim upsert accepted", kind)
+		}
+		store.Delete(graph.NodeID(id))
+		store.Delete(graph.NodeID(id + 1))
+		store.Delete(graph.NodeID(id + 2))
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	store, g := trainedStore(t)
+	_, ts := newTestServer(t, store, "lsh")
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Status string `json:"status"`
+		Nodes  int    `json:"nodes"`
+		Dim    int    `json:"dim"`
+		Index  string `json:"index"`
+		Metric string `json:"metric"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" || out.Nodes != g.NumNodes() || out.Index != "lsh" || out.Metric != "cosine" {
+		t.Fatalf("healthz = %+v", out)
+	}
+}
+
+// TestConcurrentNeighborsThroughBatcher hammers the single-query path so
+// the micro-batcher actually coalesces, and checks every reply matches
+// the unbatched answer.
+func TestConcurrentNeighborsThroughBatcher(t *testing.T) {
+	store, _ := trainedStore(t)
+	srv, ts := newTestServer(t, store, "exact")
+	want, err := srv.index.Search(mustGet(t, store, 5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp neighborsResponse
+			status, raw := postJSON(t, ts.URL+"/v1/neighbors", map[string]any{"vector": mustGet(t, store, 5), "k": 4}, &resp)
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", status, raw)
+				return
+			}
+			if len(resp.Results) != 4 || resp.Results[0].ID != want[0].ID {
+				errs <- fmt.Errorf("batched result %v != %v", resp.Results, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherShutdownUnblocksCallers closes the batcher while requests
+// are in flight and checks no do() caller hangs.
+func TestBatcherShutdownUnblocksCallers(t *testing.T) {
+	store, _ := trainedStore(t)
+	index := ann.NewExact(store, ann.Cosine)
+	b := newBatcher(index, 64, 50*time.Millisecond)
+	q := mustGet(t, store, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Either a real result (flushed before close) or errShutdown —
+			// never a hang.
+			_, _ = b.do(q, 3)
+		}()
+	}
+	b.close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("do() callers still blocked after batcher close")
+	}
+}
+
+func mustGet(t *testing.T, s *embstore.Store, id graph.NodeID) []float64 {
+	t.Helper()
+	v, ok := s.Get(id)
+	if !ok {
+		t.Fatalf("node %d missing", id)
+	}
+	return v
+}
+
+// TestLoadStoreFromModelSnapshot exercises the -model loading path the
+// daemon boots from.
+func TestLoadStoreFromModelSnapshot(t *testing.T) {
+	g, err := datagen.Generate(datagen.Digg, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ehna.DefaultConfig()
+	cfg.Dim = 8
+	cfg.Walk = walk.TemporalConfig{P: 1, Q: 1, NumWalks: 2, WalkLen: 3}
+	m, err := ehna.NewModel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	store, err := loadStore(path, "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != g.NumNodes() || store.Dim() != cfg.Dim {
+		t.Fatalf("store %d×%d from model snapshot", store.Len(), store.Dim())
+	}
+	if _, err := loadStore("", "", 4); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := loadStore(path, path, 4); err == nil {
+		t.Fatal("two sources accepted")
+	}
+}

@@ -1,0 +1,320 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"ehna/internal/ann"
+	"ehna/internal/embstore"
+	"ehna/internal/eval"
+	"ehna/internal/graph"
+)
+
+// server wires the embedding store, the ANN index and the micro-batcher
+// behind the HTTP/JSON API.
+type server struct {
+	store     *embstore.Store
+	index     ann.Index
+	batch     *batcher
+	indexName string
+	started   time.Time
+}
+
+func newServer(store *embstore.Store, index ann.Index, indexName string, maxBatch int, window time.Duration) *server {
+	return &server{
+		store:     store,
+		index:     index,
+		batch:     newBatcher(index, maxBatch, window),
+		indexName: indexName,
+		started:   time.Now(),
+	}
+}
+
+func (s *server) close() { s.batch.close() }
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/neighbors", s.handleNeighbors)
+	mux.HandleFunc("/v1/score", s.handleScore)
+	mux.HandleFunc("/v1/upsert", s.handleUpsert)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// neighborQuery is one top-k query: either a stored node ID or a raw
+// vector. K defaults to 10.
+type neighborQuery struct {
+	ID     *graph.NodeID `json:"id,omitempty"`
+	Vector []float64     `json:"vector,omitempty"`
+	K      int           `json:"k,omitempty"`
+}
+
+// neighborsRequest is the /v1/neighbors body: a single query inline, or
+// several under "queries" (K is the per-query default then).
+type neighborsRequest struct {
+	neighborQuery
+	Queries []neighborQuery `json:"queries,omitempty"`
+}
+
+const defaultK = 10
+
+// resolve turns a query into (vector, k, excludeSelf) form. Queries by
+// ID exclude the query node itself from the results — "who is nearest
+// to me" never usefully answers "you".
+func (s *server) resolve(q neighborQuery, defK int) (vec []float64, k int, self *graph.NodeID, err error) {
+	k = q.K
+	if k <= 0 {
+		k = defK
+	}
+	switch {
+	case q.Vector != nil && q.ID != nil:
+		return nil, 0, nil, fmt.Errorf("query has both id and vector")
+	case q.Vector != nil:
+		// Reject wrong-dim vectors here (a 400) rather than inside the
+		// batched search, where one bad query would fail — with a 500 —
+		// every request coalesced into the same batch.
+		if len(q.Vector) != s.store.Dim() {
+			return nil, 0, nil, fmt.Errorf("vector has %d dims, store has %d", len(q.Vector), s.store.Dim())
+		}
+		return q.Vector, k, nil, nil
+	case q.ID != nil:
+		v, ok := s.store.Get(*q.ID)
+		if !ok {
+			return nil, 0, nil, fmt.Errorf("node %d not in store", *q.ID)
+		}
+		return v, k, q.ID, nil
+	default:
+		return nil, 0, nil, fmt.Errorf("query needs id or vector")
+	}
+}
+
+// trimSelf drops the query node from its own result list and trims to k.
+func trimSelf(results []ann.Result, self *graph.NodeID, k int) []ann.Result {
+	if self != nil {
+		out := results[:0]
+		for _, r := range results {
+			if r.ID != *self {
+				out = append(out, r)
+			}
+		}
+		results = out
+	}
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+func (s *server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req neighborsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) > 0 {
+		s.handleNeighborsBatch(w, req)
+		return
+	}
+	vec, k, self, err := s.resolve(req.neighborQuery, defaultK)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Ask for one extra when excluding self, so k survives the trim.
+	ask := k
+	if self != nil {
+		ask++
+	}
+	results, err := s.batch.do(vec, ask)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "search: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": trimSelf(results, self, k)})
+}
+
+// handleNeighborsBatch answers an explicit client-side batch in one
+// SearchBatch pass, bypassing the micro-batcher (the client already
+// batched).
+func (s *server) handleNeighborsBatch(w http.ResponseWriter, req neighborsRequest) {
+	defK := req.K
+	if defK <= 0 {
+		defK = defaultK
+	}
+	qs := make([][]float64, len(req.Queries))
+	ks := make([]int, len(req.Queries))
+	selves := make([]*graph.NodeID, len(req.Queries))
+	maxK := 1
+	for i, q := range req.Queries {
+		vec, k, self, err := s.resolve(q, defK)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		qs[i], ks[i], selves[i] = vec, k, self
+		if self != nil {
+			k++
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	results, err := s.index.SearchBatch(qs, maxK)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "search: %v", err)
+		return
+	}
+	batches := make([][]ann.Result, len(results))
+	for i, res := range results {
+		batches[i] = trimSelf(res, selves[i], ks[i])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"batches": batches})
+}
+
+// scoreRequest asks for a pairwise link-prediction score between two
+// stored nodes under one of the paper's edge operators (Table II).
+type scoreRequest struct {
+	U  *graph.NodeID `json:"u"`
+	V  *graph.NodeID `json:"v"`
+	Op string        `json:"op,omitempty"`
+}
+
+// parseOperator maps the JSON operator names onto eval.Operator.
+func parseOperator(name string) (eval.Operator, error) {
+	switch strings.ToLower(name) {
+	case "", "hadamard":
+		return eval.Hadamard, nil
+	case "mean":
+		return eval.Mean, nil
+	case "l1", "weighted-l1":
+		return eval.WeightedL1, nil
+	case "l2", "weighted-l2":
+		return eval.WeightedL2, nil
+	default:
+		return 0, fmt.Errorf("unknown operator %q (want mean, hadamard, l1 or l2)", name)
+	}
+}
+
+func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req scoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.U == nil || req.V == nil {
+		writeError(w, http.StatusBadRequest, "score needs u and v")
+		return
+	}
+	op, err := parseOperator(req.Op)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	eu, ok := s.store.Get(*req.U)
+	if !ok {
+		writeError(w, http.StatusNotFound, "node %d not in store", *req.U)
+		return
+	}
+	ev, ok := s.store.Get(*req.V)
+	if !ok {
+		writeError(w, http.StatusNotFound, "node %d not in store", *req.V)
+		return
+	}
+	// The scalar score is the sum over the operator's edge feature; for
+	// Hadamard that is exactly the dot product the reconstruction
+	// experiment (Figure 4) ranks by.
+	feat := make([]float64, len(eu))
+	op.Apply(feat, eu, ev)
+	var score float64
+	for _, f := range feat {
+		score += f
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": *req.U, "v": *req.V, "op": op.String(), "score": score,
+	})
+}
+
+// upsertRequest inserts or replaces vectors: one inline update, or many
+// under "updates".
+type upsertUpdate struct {
+	ID     *graph.NodeID `json:"id"`
+	Vector []float64     `json:"vector"`
+}
+
+type upsertRequest struct {
+	upsertUpdate
+	Updates []upsertUpdate `json:"updates,omitempty"`
+}
+
+func (s *server) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req upsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	updates := req.Updates
+	if len(updates) == 0 {
+		updates = []upsertUpdate{req.upsertUpdate}
+	}
+	// Validate the whole batch before applying any of it, so a 400 means
+	// nothing was committed.
+	for i, u := range updates {
+		switch {
+		case u.ID == nil:
+			writeError(w, http.StatusBadRequest, "update %d: missing id", i)
+			return
+		case len(u.Vector) == 0:
+			writeError(w, http.StatusBadRequest, "update %d: missing vector", i)
+			return
+		case len(u.Vector) != s.store.Dim():
+			writeError(w, http.StatusBadRequest, "update %d: vector has %d dims, store has %d", i, len(u.Vector), s.store.Dim())
+			return
+		}
+	}
+	for i, u := range updates {
+		if err := s.index.Add(*u.ID, u.Vector); err != nil {
+			// Dimension errors were pre-validated; anything here is ours.
+			writeError(w, http.StatusInternalServerError, "update %d: %v", i, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"upserted": len(updates), "nodes": s.store.Len()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"nodes":    s.store.Len(),
+		"dim":      s.store.Dim(),
+		"shards":   s.store.NumShards(),
+		"index":    s.indexName,
+		"metric":   s.index.Metric().String(),
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}

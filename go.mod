@@ -1,0 +1,3 @@
+module ehna
+
+go 1.21

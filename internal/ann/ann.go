@@ -1,0 +1,275 @@
+// Package ann provides top-k nearest-neighbor indexes over an embstore:
+// a brute-force Exact index that scans shards in parallel, and a
+// random-hyperplane LSH index (see lsh.go) behind the same Index
+// interface. Scores are similarities — higher is closer — under either
+// cosine or raw dot-product, the two metrics the paper's evaluation uses
+// (network reconstruction ranks pairs by dot product; attention weights
+// are cosine-shaped).
+package ann
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ehna/internal/embstore"
+	"ehna/internal/graph"
+	"ehna/internal/tensor"
+)
+
+// Metric selects the similarity function.
+type Metric int
+
+const (
+	// Cosine scores by the angle between vectors, ignoring magnitude.
+	Cosine Metric = iota
+	// DotProduct scores by the raw inner product, the ranking the
+	// reconstruction experiment (Figure 4) uses.
+	DotProduct
+)
+
+// String returns the metric's name.
+func (m Metric) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case DotProduct:
+		return "dot"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// ParseMetric converts a config string ("cosine" or "dot") to a Metric.
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "cosine":
+		return Cosine, nil
+	case "dot":
+		return DotProduct, nil
+	default:
+		return 0, fmt.Errorf("ann: unknown metric %q (want cosine or dot)", s)
+	}
+}
+
+// score computes the similarity of q and v. qNorm and vNorm are the
+// precomputed L2 norms (only used for Cosine; the store maintains vNorm
+// on write so the scan never recomputes it).
+func (m Metric) score(q, v []float64, qNorm, vNorm float64) float64 {
+	d := tensor.DotVec(q, v)
+	if m == DotProduct {
+		return d
+	}
+	if qNorm == 0 || vNorm == 0 {
+		return 0
+	}
+	return d / (qNorm * vNorm)
+}
+
+// Result is one query hit. Higher Score means more similar.
+type Result struct {
+	ID    graph.NodeID `json:"id"`
+	Score float64      `json:"score"`
+}
+
+// Index answers top-k similarity queries over a mutable vector set.
+// Implementations are safe for concurrent use.
+type Index interface {
+	// Add inserts or replaces a vector in the underlying store and the
+	// index structures.
+	Add(id graph.NodeID, vec []float64) error
+	// Remove deletes a vector, reporting whether it was present.
+	Remove(id graph.NodeID) bool
+	// Search returns up to k results most similar to q, sorted by
+	// descending score (ties broken by ascending ID).
+	Search(q []float64, k int) ([]Result, error)
+	// SearchBatch answers many queries, executing them in parallel.
+	SearchBatch(qs [][]float64, k int) ([][]Result, error)
+	// Metric reports the similarity metric the index ranks by.
+	Metric() Metric
+}
+
+// topK is a fixed-capacity min-heap on (score, id): the root is the
+// current worst hit, evicted when something better arrives. Ordering
+// matches Result sorting so results are deterministic under score ties.
+type topK struct {
+	k    int
+	heap []Result
+}
+
+func newTopK(k int) *topK { return &topK{k: k, heap: make([]Result, 0, k)} }
+
+// worse reports whether a ranks below b (lower score, or same score and
+// higher ID).
+func worse(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+func (t *topK) push(r Result) {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, r)
+		i := len(t.heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worse(t.heap[i], t.heap[p]) {
+				break
+			}
+			t.heap[i], t.heap[p] = t.heap[p], t.heap[i]
+			i = p
+		}
+		return
+	}
+	if !worse(t.heap[0], r) {
+		return
+	}
+	t.heap[0] = r
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		min := i
+		if l < len(t.heap) && worse(t.heap[l], t.heap[min]) {
+			min = l
+		}
+		if rr < len(t.heap) && worse(t.heap[rr], t.heap[min]) {
+			min = rr
+		}
+		if min == i {
+			return
+		}
+		t.heap[i], t.heap[min] = t.heap[min], t.heap[i]
+		i = min
+	}
+}
+
+// sorted drains the heap into descending-score order.
+func (t *topK) sorted() []Result {
+	out := t.heap
+	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
+	return out
+}
+
+// Exact is the brute-force index: every query scans the whole store,
+// shards in parallel. It is the ground truth LSH recall is measured
+// against and the sane default below ~100k vectors.
+type Exact struct {
+	store  *embstore.Store
+	metric Metric
+}
+
+// NewExact builds a brute-force index over store.
+func NewExact(store *embstore.Store, metric Metric) *Exact {
+	return &Exact{store: store, metric: metric}
+}
+
+// Metric reports the similarity metric.
+func (e *Exact) Metric() Metric { return e.metric }
+
+// Add upserts into the backing store (the scan has no auxiliary state).
+func (e *Exact) Add(id graph.NodeID, vec []float64) error { return e.store.Upsert(id, vec) }
+
+// Remove deletes from the backing store.
+func (e *Exact) Remove(id graph.NodeID) bool { return e.store.Delete(id) }
+
+// Search scans all shards concurrently, merging per-shard top-k heaps.
+func (e *Exact) Search(q []float64, k int) ([]Result, error) {
+	if err := checkQuery(e.store, q, k); err != nil {
+		return nil, err
+	}
+	qNorm := tensor.L2NormVec(q)
+	nShards := e.store.NumShards()
+	partial := make([]*topK, nShards)
+	var wg sync.WaitGroup
+	for sIdx := 0; sIdx < nShards; sIdx++ {
+		wg.Add(1)
+		go func(sIdx int) {
+			defer wg.Done()
+			t := newTopK(k)
+			e.store.RangeShard(sIdx, func(id graph.NodeID, vec []float64, norm float64) bool {
+				t.push(Result{ID: id, Score: e.metric.score(q, vec, qNorm, norm)})
+				return true
+			})
+			partial[sIdx] = t
+		}(sIdx)
+	}
+	wg.Wait()
+	merged := newTopK(k)
+	for _, t := range partial {
+		for _, r := range t.heap {
+			merged.push(r)
+		}
+	}
+	return merged.sorted(), nil
+}
+
+// SearchBatch runs queries across a GOMAXPROCS-sized worker pool. Each
+// query scans shards sequentially (the pool already saturates cores).
+func (e *Exact) SearchBatch(qs [][]float64, k int) ([][]Result, error) {
+	return batchSearch(qs, k, func(q []float64) ([]Result, error) {
+		if err := checkQuery(e.store, q, k); err != nil {
+			return nil, err
+		}
+		qNorm := tensor.L2NormVec(q)
+		t := newTopK(k)
+		for sIdx := 0; sIdx < e.store.NumShards(); sIdx++ {
+			e.store.RangeShard(sIdx, func(id graph.NodeID, vec []float64, norm float64) bool {
+				t.push(Result{ID: id, Score: e.metric.score(q, vec, qNorm, norm)})
+				return true
+			})
+		}
+		return t.sorted(), nil
+	})
+}
+
+func checkQuery(store *embstore.Store, q []float64, k int) error {
+	if len(q) != store.Dim() {
+		return fmt.Errorf("ann: query dim %d, store dim %d", len(q), store.Dim())
+	}
+	if k < 1 {
+		return fmt.Errorf("ann: k %d < 1", k)
+	}
+	return nil
+}
+
+// batchSearch fans qs out over min(GOMAXPROCS, len(qs)) workers. The
+// first error wins; results stay index-aligned with qs.
+func batchSearch(qs [][]float64, k int, search func(q []float64) ([]Result, error)) ([][]Result, error) {
+	out := make([][]Result, len(qs))
+	errs := make([]error, len(qs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next sync.Mutex
+	idx := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := idx
+				idx++
+				next.Unlock()
+				if i >= len(qs) {
+					return
+				}
+				out[i], errs[i] = search(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -64,6 +64,59 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestSaveLoadProperty is the round-trip property the serving subsystem's
+// bulk-load path (embstore.FromModelSnapshot) depends on: across varied
+// configurations, save → load → save is byte-identical, the embedding
+// table survives bit-for-bit, and the standalone LoadEmbeddingTable hook
+// sees exactly the table the full Load binds.
+func TestSaveLoadProperty(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := smallConfig()
+		cfg.Seed = seed
+		cfg.Dim = 4 + int(seed)*2
+		cfg.LSTMLayers = 1 + int(seed)%2
+		g := twoCommunityGraph(t)
+		m, err := NewModel(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.TrainEpoch()
+
+		var buf1 bytes.Buffer
+		if err := m.Save(&buf1); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(g, bytes.NewReader(buf1.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf2 bytes.Buffer
+		if err := loaded.Save(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatalf("seed %d: save → load → save not byte-identical (%d vs %d bytes)",
+				seed, buf1.Len(), buf2.Len())
+		}
+		if !tensor.Equal(m.RawEmbeddings(), loaded.RawEmbeddings(), 0) {
+			t.Fatalf("seed %d: embedding table not bit-identical after round trip", seed)
+		}
+		table, err := LoadEmbeddingTable(bytes.NewReader(buf1.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Equal(table, m.RawEmbeddings(), 0) {
+			t.Fatalf("seed %d: LoadEmbeddingTable differs from model table", seed)
+		}
+	}
+}
+
+func TestLoadEmbeddingTableRejectsGarbage(t *testing.T) {
+	if _, err := LoadEmbeddingTable(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
 func TestSaveLoadPreservesAblationConfig(t *testing.T) {
 	g := twoCommunityGraph(t)
 	cfg := smallConfig()

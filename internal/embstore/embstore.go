@@ -1,0 +1,303 @@
+// Package embstore is a sharded, concurrency-safe in-memory embedding
+// store: the online half of the train → serialize → serve pipeline. A
+// trained embedding matrix (from ehna or any baseline — they all emit a
+// NumNodes×d tensor.Matrix) is bulk-loaded once, then served under
+// concurrent reads with incremental upserts and deletes. Node IDs are
+// hashed across N independently-locked shards so readers on different
+// shards never contend, and snapshot save/load lets a daemon restart
+// without retraining.
+package embstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"ehna/internal/ehna"
+	"ehna/internal/graph"
+	"ehna/internal/tensor"
+)
+
+// entry is one stored vector with its L2 norm, maintained on write so
+// cosine scoring never recomputes norms on the query path.
+type entry struct {
+	vec  []float64
+	norm float64
+}
+
+// shard is one lock domain of the store.
+type shard struct {
+	mu   sync.RWMutex
+	vecs map[graph.NodeID]entry
+}
+
+// Store is a sharded in-memory map from node ID to embedding vector.
+// All vectors share one dimensionality, fixed at construction. Methods
+// are safe for concurrent use.
+type Store struct {
+	dim    int
+	shards []shard
+}
+
+// DefaultShards is the shard count used when a non-positive count is
+// requested. 16 keeps per-shard maps small without measurable overhead
+// at single-digit shard occupancy.
+const DefaultShards = 16
+
+// New returns an empty store for dim-dimensional vectors with the given
+// shard count (DefaultShards when shards <= 0).
+func New(dim, shards int) (*Store, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("embstore: dimension %d < 1", dim)
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	s := &Store{dim: dim, shards: make([]shard, shards)}
+	for i := range s.shards {
+		s.shards[i].vecs = make(map[graph.NodeID]entry)
+	}
+	return s, nil
+}
+
+// FromMatrix builds a store from an embedding matrix, assigning row i to
+// node ID i — the layout produced by Model.InferAll and every baseline.
+func FromMatrix(emb *tensor.Matrix, shards int) (*Store, error) {
+	s, err := New(emb.Cols, shards)
+	if err != nil {
+		return nil, err
+	}
+	s.BulkLoad(emb)
+	return s, nil
+}
+
+// FromModelSnapshot builds a store holding the raw embedding table of an
+// ehna model snapshot (see ehna.LoadEmbeddingTable).
+func FromModelSnapshot(r io.Reader, shards int) (*Store, error) {
+	emb, err := ehna.LoadEmbeddingTable(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromMatrix(emb, shards)
+}
+
+// Dim returns the vector dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// shardIndex hashes id onto a shard index. The multiply-xorshift mix
+// (splitmix-style finalizer) decorrelates the low bits so sequential
+// node IDs spread evenly.
+func (s *Store) shardIndex(id graph.NodeID) int {
+	x := uint32(id)
+	x ^= x >> 16
+	x *= 0x45d9f3b
+	x ^= x >> 16
+	// Reduce in uint32: int(x) is negative for half of all hashes on
+	// 32-bit platforms, and Go's % would preserve the sign.
+	return int(x % uint32(len(s.shards)))
+}
+
+func (s *Store) shardFor(id graph.NodeID) *shard {
+	return &s.shards[s.shardIndex(id)]
+}
+
+// Len returns the number of stored vectors.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.vecs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// BulkLoad upserts row i of emb as node ID i for every row. It panics on
+// dimension mismatch (programmer error, matching tensor conventions).
+// Rows are copied; the caller keeps ownership of emb.
+func (s *Store) BulkLoad(emb *tensor.Matrix) {
+	if emb.Cols != s.dim {
+		panic(fmt.Sprintf("embstore: bulk load of %d-dim rows into %d-dim store", emb.Cols, s.dim))
+	}
+	// Group rows per shard first so each shard's lock is taken once.
+	groups := make([][]graph.NodeID, len(s.shards))
+	for i := 0; i < emb.Rows; i++ {
+		id := graph.NodeID(i)
+		idx := s.shardIndex(id)
+		groups[idx] = append(groups[idx], id)
+	}
+	var wg sync.WaitGroup
+	for idx := range groups {
+		if len(groups[idx]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard, ids []graph.NodeID) {
+			defer wg.Done()
+			sh.mu.Lock()
+			for _, id := range ids {
+				v := make([]float64, s.dim)
+				copy(v, emb.Row(int(id)))
+				sh.vecs[id] = entry{vec: v, norm: tensor.L2NormVec(v)}
+			}
+			sh.mu.Unlock()
+		}(&s.shards[idx], groups[idx])
+	}
+	wg.Wait()
+}
+
+// Upsert inserts or replaces the vector for id. The vector is copied.
+func (s *Store) Upsert(id graph.NodeID, vec []float64) error {
+	if len(vec) != s.dim {
+		return fmt.Errorf("embstore: upsert of %d-dim vector into %d-dim store", len(vec), s.dim)
+	}
+	v := make([]float64, s.dim)
+	copy(v, vec)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.vecs[id] = entry{vec: v, norm: tensor.L2NormVec(v)}
+	sh.mu.Unlock()
+	return nil
+}
+
+// Delete removes id, reporting whether it was present.
+func (s *Store) Delete(id graph.NodeID) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.vecs[id]
+	delete(sh.vecs, id)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Get returns a copy of the vector for id.
+func (s *Store) Get(id graph.NodeID) ([]float64, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	e, ok := sh.vecs[id]
+	if !ok {
+		sh.mu.RUnlock()
+		return nil, false
+	}
+	out := make([]float64, len(e.vec))
+	copy(out, e.vec)
+	sh.mu.RUnlock()
+	return out, true
+}
+
+// With runs fn on the stored vector for id under the shard read lock,
+// avoiding the copy Get makes. norm is the vector's L2 norm, maintained
+// on write. fn must not retain the slice or call any mutating Store
+// method (the shard lock is held). Reports presence.
+func (s *Store) With(id graph.NodeID, fn func(vec []float64, norm float64)) bool {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	e, ok := sh.vecs[id]
+	if ok {
+		fn(e.vec, e.norm)
+	}
+	sh.mu.RUnlock()
+	return ok
+}
+
+// RangeShard iterates shard i under its read lock, stopping when fn
+// returns false. norm is each vector's L2 norm, maintained on write.
+// The vector passed to fn is a view: fn must not retain it or call any
+// mutating Store method. Iterating shards from separate goroutines is
+// how ann parallelizes exact search.
+func (s *Store) RangeShard(i int, fn func(id graph.NodeID, vec []float64, norm float64) bool) {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for id, e := range sh.vecs {
+		if !fn(id, e.vec, e.norm) {
+			return
+		}
+	}
+}
+
+// IDs returns all stored node IDs in ascending order.
+func (s *Store) IDs() []graph.NodeID {
+	out := make([]graph.NodeID, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.vecs {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// storeWire is the gob wire format of a snapshot: IDs ascending, vectors
+// concatenated in the same order, so identical contents always produce
+// identical bytes.
+type storeWire struct {
+	Version int
+	Dim     int
+	IDs     []graph.NodeID
+	Data    []float64
+}
+
+// storeSnapshotVersion guards the wire format; bump on incompatible changes.
+const storeSnapshotVersion = 1
+
+// Save writes a snapshot of the store to w. Concurrent upserts during
+// Save are each either fully included or fully absent (per-vector
+// atomicity via the shard locks); for a point-in-time image, quiesce
+// writers first.
+func (s *Store) Save(w io.Writer) error {
+	ids := s.IDs()
+	wire := storeWire{
+		Version: storeSnapshotVersion,
+		Dim:     s.dim,
+		IDs:     make([]graph.NodeID, 0, len(ids)),
+		Data:    make([]float64, 0, len(ids)*s.dim),
+	}
+	for _, id := range ids {
+		// IDs and Data are appended together under the same read lock, so
+		// an ID deleted between IDs() and here is omitted entirely rather
+		// than resurrected as a zero row.
+		s.With(id, func(vec []float64, _ float64) {
+			wire.IDs = append(wire.IDs, id)
+			wire.Data = append(wire.Data, vec...)
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("embstore: save: %v", err)
+	}
+	return nil
+}
+
+// Load reconstructs a store from a snapshot written by Save.
+func Load(r io.Reader, shards int) (*Store, error) {
+	var wire storeWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("embstore: load: %v", err)
+	}
+	if wire.Version != storeSnapshotVersion {
+		return nil, fmt.Errorf("embstore: load: snapshot version %d, want %d", wire.Version, storeSnapshotVersion)
+	}
+	if len(wire.Data) != len(wire.IDs)*wire.Dim {
+		return nil, fmt.Errorf("embstore: load: corrupt snapshot: %d values for %d vectors of dim %d",
+			len(wire.Data), len(wire.IDs), wire.Dim)
+	}
+	s, err := New(wire.Dim, shards)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range wire.IDs {
+		if err := s.Upsert(id, wire.Data[i*wire.Dim:(i+1)*wire.Dim]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,239 @@
+package embstore
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"ehna/internal/ehna"
+	"ehna/internal/graph"
+	"ehna/internal/tensor"
+	"ehna/internal/testutil"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	s, err := New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != DefaultShards {
+		t.Fatalf("shards = %d, want default %d", s.NumShards(), DefaultShards)
+	}
+}
+
+func TestUpsertGetDelete(t *testing.T) {
+	s, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Upsert(7, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Upsert(7, []float64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after double upsert", s.Len())
+	}
+	v, ok := s.Get(7)
+	if !ok || v[0] != 4 || v[2] != 6 {
+		t.Fatalf("Get(7) = %v, %v", v, ok)
+	}
+	// Get must return a copy.
+	v[0] = 99
+	v2, _ := s.Get(7)
+	if v2[0] != 4 {
+		t.Fatal("Get returned a view, not a copy")
+	}
+	if err := s.Upsert(8, []float64{1, 2}); err == nil {
+		t.Fatal("wrong-dim upsert accepted")
+	}
+	if !s.Delete(7) {
+		t.Fatal("Delete(7) = false for present id")
+	}
+	if s.Delete(7) {
+		t.Fatal("Delete(7) = true for absent id")
+	}
+	if _, ok := s.Get(7); ok {
+		t.Fatal("Get(7) after delete")
+	}
+}
+
+func TestBulkLoadCoversAllRowsAndShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	emb := tensor.Randn(257, 5, 1, rng)
+	s, err := FromMatrix(emb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 257 {
+		t.Fatalf("Len = %d, want 257", s.Len())
+	}
+	for i := 0; i < emb.Rows; i++ {
+		v, ok := s.Get(graph.NodeID(i))
+		if !ok {
+			t.Fatalf("node %d missing", i)
+		}
+		for j, x := range v {
+			if x != emb.At(i, j) {
+				t.Fatalf("node %d dim %d: %g != %g", i, j, x, emb.At(i, j))
+			}
+		}
+	}
+	// Every shard should hold something at 257 ids over 8 shards, unless
+	// the hash is badly broken.
+	for sh := 0; sh < s.NumShards(); sh++ {
+		n := 0
+		s.RangeShard(sh, func(graph.NodeID, []float64, float64) bool { n++; return true })
+		if n == 0 {
+			t.Fatalf("shard %d empty after bulk load of 257 ids", sh)
+		}
+	}
+}
+
+func TestWithReportsMaintainedNorm(t *testing.T) {
+	s, _ := New(3, 2)
+	_ = s.Upsert(4, []float64{3, 4, 0})
+	var norm float64
+	if !s.With(4, func(_ []float64, n float64) { norm = n }) {
+		t.Fatal("With(4) = false")
+	}
+	if norm != 5 {
+		t.Fatalf("norm = %g, want 5", norm)
+	}
+	_ = s.Upsert(4, []float64{0, 0, 2})
+	s.With(4, func(_ []float64, n float64) { norm = n })
+	if norm != 2 {
+		t.Fatalf("norm after re-upsert = %g, want 2", norm)
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	s, _ := New(1, 4)
+	for _, id := range []graph.NodeID{42, 7, 19, 3} {
+		_ = s.Upsert(id, []float64{1})
+	}
+	ids := s.IDs()
+	want := []graph.NodeID{3, 7, 19, 42}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	emb := tensor.Randn(50, 4, 1, rng)
+	s, err := FromMatrix(emb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Delete(13)
+	_ = s.Upsert(1000, []float64{1, 2, 3, 4})
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), 7) // different shard count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() || loaded.Dim() != s.Dim() {
+		t.Fatalf("loaded %d×%d, want %d×%d", loaded.Len(), loaded.Dim(), s.Len(), s.Dim())
+	}
+	for _, id := range s.IDs() {
+		a, _ := s.Get(id)
+		b, ok := loaded.Get(id)
+		if !ok {
+			t.Fatalf("node %d missing after load", id)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("node %d differs after round trip", id)
+			}
+		}
+	}
+	// Identical contents must serialize to identical bytes.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("snapshot bytes differ across save/load/save")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a snapshot"), 4); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFromModelSnapshot(t *testing.T) {
+	g := testutil.TwoCommunities(8, 0.6, 3)
+	cfg := ehna.DefaultConfig()
+	cfg.Dim = 6
+	cfg.Epochs = 1
+	cfg.Walk.NumWalks = 2
+	cfg.Walk.WalkLen = 3
+	m, err := ehna.NewModel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromModelSnapshot(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != g.NumNodes() || s.Dim() != cfg.Dim {
+		t.Fatalf("store %d×%d, want %d×%d", s.Len(), s.Dim(), g.NumNodes(), cfg.Dim)
+	}
+	raw := m.RawEmbeddings()
+	v, _ := s.Get(0)
+	for j := range v {
+		if v[j] != raw.At(0, j) {
+			t.Fatal("store row 0 differs from raw embedding table")
+		}
+	}
+}
+
+func TestConcurrentMixedAccess(t *testing.T) {
+	s, _ := New(8, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			vec := make([]float64, 8)
+			for i := 0; i < 500; i++ {
+				id := graph.NodeID(rng.Intn(256))
+				switch rng.Intn(4) {
+				case 0:
+					vec[0] = float64(i)
+					_ = s.Upsert(id, vec)
+				case 1:
+					_, _ = s.Get(id)
+				case 2:
+					_ = s.Delete(id)
+				default:
+					s.RangeShard(rng.Intn(8), func(graph.NodeID, []float64, float64) bool { return true })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -373,6 +373,52 @@ func (d *LinkPredData) Split(trainFrac float64, rng *rand.Rand) (train, test *Li
 	return mk(order[:cut]), mk(order[cut:]), nil
 }
 
+// RecallAtK measures approximate nearest-neighbor quality for one query:
+// the fraction of the exact top-k IDs that the approximate result set
+// recovered (order-insensitive, the standard ANN recall@k). exact defines
+// k; approx may be shorter (missing hits count against recall) or longer
+// (extra hits are ignored — truncate upstream to audit a stricter k).
+func RecallAtK(approx, exact []graph.NodeID) (float64, error) {
+	if len(exact) == 0 {
+		return 0, fmt.Errorf("eval: recall@k with empty exact set")
+	}
+	want := make(map[graph.NodeID]bool, len(exact))
+	for _, id := range exact {
+		want[id] = true
+	}
+	if len(want) != len(exact) {
+		return 0, fmt.Errorf("eval: recall@k exact set has duplicates")
+	}
+	hits := 0
+	for _, id := range approx {
+		if want[id] {
+			hits++
+			want[id] = false // count each exact ID once
+		}
+	}
+	return float64(hits) / float64(len(exact)), nil
+}
+
+// MeanRecallAtK averages RecallAtK over aligned per-query result sets —
+// the headline number for comparing an LSH index against exact search.
+func MeanRecallAtK(approx, exact [][]graph.NodeID) (float64, error) {
+	if len(approx) != len(exact) {
+		return 0, fmt.Errorf("eval: %d approx result sets vs %d exact", len(approx), len(exact))
+	}
+	if len(exact) == 0 {
+		return 0, fmt.Errorf("eval: recall@k with no queries")
+	}
+	var sum float64
+	for i := range exact {
+		r, err := RecallAtK(approx[i], exact[i])
+		if err != nil {
+			return 0, fmt.Errorf("eval: query %d: %v", i, err)
+		}
+		sum += r
+	}
+	return sum / float64(len(exact)), nil
+}
+
 // CombinedFeatures concatenates several operators' edge representations
 // into one feature matrix (len(pairs) × len(ops)·d). The paper notes that
 // "the choice of operator may be domain specific ... we are unaware of any

@@ -356,3 +356,52 @@ func TestCombinedFeatures(t *testing.T) {
 		t.Fatal("empty operator list accepted")
 	}
 }
+
+func TestRecallAtK(t *testing.T) {
+	exact := []graph.NodeID{1, 2, 3, 4}
+	cases := []struct {
+		name   string
+		approx []graph.NodeID
+		want   float64
+	}{
+		{"perfect", []graph.NodeID{4, 3, 2, 1}, 1},
+		{"half", []graph.NodeID{1, 2, 9, 8}, 0.5},
+		{"miss", []graph.NodeID{7, 8, 9, 10}, 0},
+		{"short approx", []graph.NodeID{1}, 0.25},
+		{"duplicate approx counted once", []graph.NodeID{1, 1, 1, 1}, 0.25},
+		{"extra hits ignored", []graph.NodeID{1, 2, 3, 4, 5, 6}, 1},
+	}
+	for _, c := range cases {
+		got, err := RecallAtK(c.approx, exact)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Fatalf("%s: recall = %g, want %g", c.name, got, c.want)
+		}
+	}
+	if _, err := RecallAtK(nil, nil); err == nil {
+		t.Fatal("empty exact set accepted")
+	}
+	if _, err := RecallAtK(nil, []graph.NodeID{1, 1}); err == nil {
+		t.Fatal("duplicated exact set accepted")
+	}
+}
+
+func TestMeanRecallAtK(t *testing.T) {
+	approx := [][]graph.NodeID{{1, 2}, {5, 6}}
+	exact := [][]graph.NodeID{{1, 2}, {5, 7}}
+	got, err := MeanRecallAtK(approx, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.75 {
+		t.Fatalf("mean recall = %g, want 0.75", got)
+	}
+	if _, err := MeanRecallAtK(approx, exact[:1]); err == nil {
+		t.Fatal("misaligned sets accepted")
+	}
+	if _, err := MeanRecallAtK(nil, nil); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+}
