@@ -1,0 +1,150 @@
+// Command benchjson converts `go test -bench` text output into JSON and
+// merges it under a label into a trajectory file, so benchmark runs
+// before and after a change land in one machine-readable document:
+//
+//	go test -run=NONE -bench=. -benchmem . > bench.txt
+//	benchjson -label before -out BENCH_PR2.json bench.txt
+//	... apply the change ...
+//	benchjson -label after -out BENCH_PR2.json bench2.txt
+//
+// scripts/bench.sh orchestrates exactly this flow for the repo's key
+// benchmarks. With no input files, stdin is read.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value: ns/op, B/op, allocs/op plus any
+	// custom b.ReportMetric units (e.g. recall@10, EHNA_s).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Run is the set of benchmarks captured under one label.
+type Run struct {
+	GOOS   string      `json:"goos,omitempty"`
+	GOARCH string      `json:"goarch,omitempty"`
+	CPU    string      `json:"cpu,omitempty"`
+	Bench  []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "label to store this run under (e.g. before, after)")
+	out := flag.String("out", "BENCH_PR2.json", "JSON file to merge the run into")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+
+	var readers []io.Reader
+	if flag.NArg() == 0 {
+		readers = append(readers, os.Stdin)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+
+	run := &Run{}
+	for _, r := range readers {
+		if err := parseInto(run, r); err != nil {
+			fatal(err)
+		}
+	}
+	if len(run.Bench) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	doc := map[string]*Run{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fatal(fmt.Errorf("%s: %v", *out, err))
+		}
+	}
+	doc[*label] = run
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks under %q to %s\n", len(run.Bench), *label, *out)
+}
+
+// parseInto scans go-test benchmark output, appending results to run.
+func parseInto(run *Run, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			run.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		run.Bench = append(run.Bench, b)
+	}
+	return sc.Err()
+}
+
+// parseLine parses one "BenchmarkX-8  N  v1 unit1  v2 unit2 ..." line.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	// Strip the trailing -GOMAXPROCS suffix from the name.
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"ehna/internal/tensor"
+	"ehna/internal/vecmath"
 )
 
 // Node is one value in the computation graph.
@@ -262,10 +263,7 @@ func (t *Tape) SoftmaxRow(a *Node) *Node {
 	if n.needs {
 		n.back = func(n *Node) {
 			// dL/dx_i = s_i (dL/ds_i − Σ_j dL/ds_j s_j)
-			var dot float64
-			for j, s := range val.Data {
-				dot += n.grad.Data[j] * s
-			}
+			dot := vecmath.Dot(n.grad.Data, val.Data)
 			g := a.Grad()
 			for i, s := range val.Data {
 				g.Data[i] += s * (n.grad.Data[i] - dot)
@@ -284,16 +282,10 @@ func (t *Tape) ConcatCols(a, b *Node) *Node {
 			for i := 0; i < n.Value.Rows; i++ {
 				grow := n.grad.Row(i)
 				if a.needs {
-					arow := a.Grad().Row(i)
-					for j := range arow {
-						arow[j] += grow[j]
-					}
+					vecmath.Add(a.Grad().Row(i), grow[:ac])
 				}
 				if b.needs {
-					brow := b.Grad().Row(i)
-					for j := range brow {
-						brow[j] += grow[ac+j]
-					}
+					vecmath.Add(b.Grad().Row(i), grow[ac:])
 				}
 			}
 		}
@@ -322,14 +314,10 @@ func (t *Tape) RowScale(x, s *Node) *Node {
 			for i := 0; i < x.Value.Rows; i++ {
 				grow := n.grad.Row(i)
 				if x.needs {
-					xg := x.Grad().Row(i)
-					si := s.Value.Data[i]
-					for j, g := range grow {
-						xg[j] += si * g
-					}
+					vecmath.Axpy(x.Grad().Row(i), s.Value.Data[i], grow)
 				}
 				if s.needs {
-					s.Grad().Data[i] += tensor.DotVec(grow, x.Value.Row(i))
+					s.Grad().Data[i] += vecmath.Dot(grow, x.Value.Row(i))
 				}
 			}
 		}
@@ -344,10 +332,7 @@ func (t *Tape) Row(x *Node, i int) *Node {
 	n := &Node{Value: val, needs: x.needs}
 	if n.needs {
 		n.back = func(n *Node) {
-			row := x.Grad().Row(i)
-			for j, g := range n.grad.Data {
-				row[j] += g
-			}
+			vecmath.Add(x.Grad().Row(i), n.grad.Data)
 		}
 	}
 	return t.add(n)
@@ -373,11 +358,7 @@ func (t *Tape) StackRows(rows []*Node) *Node {
 		n.back = func(n *Node) {
 			for i, r := range rows {
 				if r.needs {
-					g := r.Grad()
-					grow := n.grad.Row(i)
-					for j := range g.Data {
-						g.Data[j] += grow[j]
-					}
+					vecmath.Add(r.Grad().Data, n.grad.Row(i))
 				}
 			}
 		}
@@ -403,10 +384,7 @@ func (t *Tape) SumAll(x *Node) *Node {
 
 // SumSquares returns the 1×1 sum of squared elements of x.
 func (t *Tape) SumSquares(x *Node) *Node {
-	var s float64
-	for _, v := range x.Value.Data {
-		s += v * v
-	}
+	s := vecmath.SquaredL2(x.Value.Data)
 	n := &Node{Value: tensor.FromSlice(1, 1, []float64{s}), needs: x.needs}
 	if n.needs {
 		n.back = func(n *Node) {
@@ -428,10 +406,7 @@ func (t *Tape) MeanRows(x *Node) *Node {
 		n.back = func(n *Node) {
 			xg := x.Grad()
 			for i := 0; i < x.Value.Rows; i++ {
-				row := xg.Row(i)
-				for j := range row {
-					row[j] += inv * n.grad.Data[j]
-				}
+				vecmath.Axpy(xg.Row(i), inv, n.grad.Data)
 			}
 		}
 	}
@@ -444,13 +419,13 @@ func (t *Tape) L2NormalizeRow(x *Node) *Node {
 		panic("ag: L2NormalizeRow expects 1×d")
 	}
 	const eps = 1e-12
-	norm := tensor.L2NormVec(x.Value.Data) + eps
+	norm := vecmath.Norm(x.Value.Data) + eps
 	val := tensor.Scale(x.Value, 1/norm)
 	n := &Node{Value: val, needs: x.needs}
 	if n.needs {
 		n.back = func(n *Node) {
 			// d(x/‖x‖)/dx = (I − y·yᵀ)/‖x‖ where y = x/‖x‖
-			dot := tensor.DotVec(n.grad.Data, val.Data)
+			dot := vecmath.Dot(n.grad.Data, val.Data)
 			xg := x.Grad()
 			for i := range xg.Data {
 				xg.Data[i] += (n.grad.Data[i] - dot*val.Data[i]) / norm

@@ -1,0 +1,138 @@
+package ag
+
+import (
+	"math"
+	"testing"
+
+	"ehna/internal/tensor"
+)
+
+// lstmInputs builds the 15 input matrices of one LSTM step:
+// x, h, c, then the 12 gate weights in LSTMWeights order.
+func lstmInputs(n, in, hidden int, seed int64) []*tensor.Matrix {
+	ms := []*tensor.Matrix{rnd(n, in, seed), rnd(n, hidden, seed+1), rnd(n, hidden, seed+2)}
+	s := seed + 3
+	for g := 0; g < 4; g++ {
+		ms = append(ms, rnd(in, hidden, s), rnd(hidden, hidden, s+1), rnd(1, hidden, s+2))
+		s += 3
+	}
+	return ms
+}
+
+func weightsFrom(leaves []*Node) LSTMWeights {
+	return LSTMWeights{
+		Wi: leaves[3], Ui: leaves[4], Bi: leaves[5],
+		Wf: leaves[6], Uf: leaves[7], Bf: leaves[8],
+		Wo: leaves[9], Uo: leaves[10], Bo: leaves[11],
+		Wg: leaves[12], Ug: leaves[13], Bg: leaves[14],
+	}
+}
+
+// unfusedStep is the reference composition LSTMStep replaced.
+func unfusedStep(tp *Tape, w LSTMWeights, x, h, c *Node) (hNew, cNew *Node) {
+	gate := func(W, U, B *Node) *Node {
+		return tp.AddRowBroadcast(tp.Add(tp.MatMul(x, W), tp.MatMul(h, U)), B)
+	}
+	i := tp.Sigmoid(gate(w.Wi, w.Ui, w.Bi))
+	f := tp.Sigmoid(gate(w.Wf, w.Uf, w.Bf))
+	o := tp.Sigmoid(gate(w.Wo, w.Uo, w.Bo))
+	g := tp.Tanh(gate(w.Wg, w.Ug, w.Bg))
+	cNew = tp.Add(tp.Mul(f, c), tp.Mul(i, g))
+	hNew = tp.Mul(o, tp.Tanh(cNew))
+	return hNew, cNew
+}
+
+// TestGradLSTMStep verifies the fused backward against central finite
+// differences for every input, with both outputs consumed.
+func TestGradLSTMStep(t *testing.T) {
+	checkGrad(t, "LSTMStep", lstmInputs(2, 3, 4, 42), func(tp *Tape, leaves []*Node) *Node {
+		hN, cN := tp.LSTMStep(weightsFrom(leaves), leaves[0], leaves[1], leaves[2])
+		return tp.Add(tp.SumSquares(hN), tp.SumSquares(cN))
+	})
+}
+
+// TestGradLSTMStepDanglingCell covers the final-timestep shape: cNew is
+// never consumed, so its gradient must be treated as zero.
+func TestGradLSTMStepDanglingCell(t *testing.T) {
+	checkGrad(t, "LSTMStep/dangling-c", lstmInputs(1, 3, 3, 7), func(tp *Tape, leaves []*Node) *Node {
+		hN, _ := tp.LSTMStep(weightsFrom(leaves), leaves[0], leaves[1], leaves[2])
+		return tp.SumSquares(hN)
+	})
+}
+
+// TestGradLSTMStepChained runs two fused timesteps so state gradients
+// flow through both the hidden and the cell paths.
+func TestGradLSTMStepChained(t *testing.T) {
+	inputs := append(lstmInputs(1, 4, 4, 11), rnd(1, 4, 99)) // second x
+	checkGrad(t, "LSTMStep/chain", inputs, func(tp *Tape, leaves []*Node) *Node {
+		w := weightsFrom(leaves)
+		h1, c1 := tp.LSTMStep(w, leaves[0], leaves[1], leaves[2])
+		h2, _ := tp.LSTMStep(w, leaves[15], h1, c1)
+		return tp.SumSquares(h2)
+	})
+}
+
+// TestLSTMStepMatchesUnfused checks value and gradient agreement with
+// the op-by-op composition the fused kernel replaced.
+func TestLSTMStepMatchesUnfused(t *testing.T) {
+	run := func(step func(tp *Tape, w LSTMWeights, x, h, c *Node) (*Node, *Node)) (val *tensor.Matrix, grads []*tensor.Matrix) {
+		inputs := lstmInputs(2, 3, 4, 1234)
+		tp := New()
+		leaves := make([]*Node, len(inputs))
+		grads = make([]*tensor.Matrix, len(inputs))
+		for i, in := range inputs {
+			grads[i] = tensor.New(in.Rows, in.Cols)
+			leaves[i] = tp.Leaf(in, grads[i])
+		}
+		hN, cN := step(tp, weightsFrom(leaves), leaves[0], leaves[1], leaves[2])
+		tp.Backward(tp.Add(tp.SumSquares(hN), tp.SumSquares(cN)))
+		return hN.Value, grads
+	}
+	fv, fg := run(func(tp *Tape, w LSTMWeights, x, h, c *Node) (*Node, *Node) {
+		return tp.LSTMStep(w, x, h, c)
+	})
+	uv, ug := run(unfusedStep)
+	if !tensor.Equal(fv, uv, 1e-12) {
+		t.Fatalf("fused h' %v != unfused %v", fv, uv)
+	}
+	for i := range fg {
+		if !tensor.Equal(fg[i], ug[i], 1e-9) {
+			t.Fatalf("gradient %d: fused %v != unfused %v", i, fg[i], ug[i])
+		}
+	}
+}
+
+// TestGradLayerNorm verifies the fused LayerNorm backward against
+// finite differences for x, gain and bias.
+func TestGradLayerNorm(t *testing.T) {
+	inputs := []*tensor.Matrix{rnd(3, 5, 21), rnd(1, 5, 22), rnd(1, 5, 23)}
+	checkGrad(t, "LayerNorm", inputs, func(tp *Tape, leaves []*Node) *Node {
+		return tp.SumSquares(tp.LayerNorm(leaves[0], leaves[1], leaves[2], 1e-5))
+	})
+}
+
+// TestLayerNormForward checks the normalization invariants directly:
+// with unit gain and zero bias every row has mean 0 and variance ~1.
+func TestLayerNormForward(t *testing.T) {
+	x := rnd(4, 8, 33)
+	gain := tensor.New(1, 8)
+	gain.Fill(1)
+	bias := tensor.New(1, 8)
+	tp := New()
+	y := tp.LayerNorm(tp.Const(x), tp.Const(gain), tp.Const(bias), 1e-9)
+	for r := 0; r < 4; r++ {
+		row := y.Value.Row(r)
+		var mu, v float64
+		for _, e := range row {
+			mu += e
+		}
+		mu /= 8
+		for _, e := range row {
+			v += (e - mu) * (e - mu)
+		}
+		v /= 8
+		if math.Abs(mu) > 1e-9 || math.Abs(v-1) > 1e-6 {
+			t.Fatalf("row %d: mean %g var %g", r, mu, v)
+		}
+	}
+}

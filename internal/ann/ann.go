@@ -5,17 +5,23 @@
 // cosine or raw dot-product, the two metrics the paper's evaluation uses
 // (network reconstruction ranks pairs by dot product; attention weights
 // are cosine-shaped).
+//
+// The single-query hot path is allocation-free: all per-query state
+// (top-k heaps, LSH signature and candidate buffers) comes from a
+// pooled scratch, the scoring kernels are vecmath's unrolled loops, and
+// SearchInto writes results into a caller-owned slice. Search is a thin
+// veneer that copies the results out (one allocation).
 package ann
 
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"ehna/internal/embstore"
 	"ehna/internal/graph"
-	"ehna/internal/tensor"
+	"ehna/internal/vecmath"
 )
 
 // Metric selects the similarity function.
@@ -54,17 +60,13 @@ func ParseMetric(s string) (Metric, error) {
 }
 
 // score computes the similarity of q and v. qNorm and vNorm are the
-// precomputed L2 norms (only used for Cosine; the store maintains vNorm
-// on write so the scan never recomputes it).
+// precomputed L2 norms: the store maintains vNorm on write and callers
+// compute qNorm once per query, so the scan never recomputes either.
 func (m Metric) score(q, v []float64, qNorm, vNorm float64) float64 {
-	d := tensor.DotVec(q, v)
 	if m == DotProduct {
-		return d
+		return vecmath.Dot(q, v)
 	}
-	if qNorm == 0 || vNorm == 0 {
-		return 0
-	}
-	return d / (qNorm * vNorm)
+	return vecmath.CosineWithNorms(q, v, qNorm, vNorm)
 }
 
 // Result is one query hit. Higher Score means more similar.
@@ -84,6 +86,9 @@ type Index interface {
 	// Search returns up to k results most similar to q, sorted by
 	// descending score (ties broken by ascending ID).
 	Search(q []float64, k int) ([]Result, error)
+	// SearchInto is Search writing into dst (grown as needed and
+	// returned re-sliced): the zero-allocation single-query path.
+	SearchInto(dst []Result, q []float64, k int) ([]Result, error)
 	// SearchBatch answers many queries, executing them in parallel.
 	SearchBatch(qs [][]float64, k int) ([][]Result, error)
 	// Metric reports the similarity metric the index ranks by.
@@ -98,7 +103,11 @@ type topK struct {
 	heap []Result
 }
 
-func newTopK(k int) *topK { return &topK{k: k, heap: make([]Result, 0, k)} }
+// reset prepares t for a query of size k, reusing the heap's capacity.
+func (t *topK) reset(k int) {
+	t.k = k
+	t.heap = t.heap[:0]
+}
 
 // worse reports whether a ranks below b (lower score, or same score and
 // higher ID).
@@ -145,16 +154,74 @@ func (t *topK) push(r Result) {
 	}
 }
 
-// sorted drains the heap into descending-score order.
-func (t *topK) sorted() []Result {
-	out := t.heap
-	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
-	return out
+// resultCmp orders results descending by score, ties ascending by ID
+// (the inverse of worse). A package-level comparator keeps the sort
+// allocation-free, unlike a sort.Slice closure.
+func resultCmp(a, b Result) int {
+	switch {
+	case worse(b, a):
+		return -1
+	case worse(a, b):
+		return 1
+	default:
+		return 0
+	}
 }
 
-// Exact is the brute-force index: every query scans the whole store,
-// shards in parallel. It is the ground truth LSH recall is measured
-// against and the sane default below ~100k vectors.
+// sorted orders the heap into descending-score order in place and
+// returns it. The slice aliases the heap storage; callers that outlive
+// the scratch must copy.
+func (t *topK) sorted() []Result {
+	slices.SortFunc(t.heap, resultCmp)
+	return t.heap
+}
+
+// queryScratch is the pooled per-query working state shared by both
+// index types. Everything is capacity-reused across queries, making
+// the steady-state single-query path allocation-free.
+type queryScratch struct {
+	top     topK
+	sigs    []uint32         // LSH per-table signatures
+	cand    []graph.NodeID   // LSH candidate IDs (with duplicates)
+	byShard [][]graph.NodeID // LSH candidates grouped by store shard
+
+	// stamp/epoch implement O(1) candidate deduplication for dense ID
+	// spaces: stamp[id] == epoch marks id as already seen this query.
+	// Bounded by stampCap; queries over sparser ID spaces fall back to
+	// sort-and-compact (see LSH.collectCandidates).
+	stamp []uint32
+	epoch uint32
+}
+
+// stampCap bounds the epoch-stamp dedup array (16M IDs ≈ 64 MB per
+// pooled scratch at the limit). Node IDs are dense row indices in this
+// system, so real stores sit far below the cap.
+const stampCap = 1 << 24
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+// checkQuery validates a query against the store.
+func checkQuery(store *embstore.Store, q []float64, k int) error {
+	if len(q) != store.Dim() {
+		return fmt.Errorf("ann: query dim %d, store dim %d", len(q), store.Dim())
+	}
+	if k < 1 {
+		return fmt.Errorf("ann: k %d < 1", k)
+	}
+	return nil
+}
+
+// appendResults copies rs onto dst[:0], growing dst as needed.
+func appendResults(dst, rs []Result) []Result {
+	return append(dst[:0], rs...)
+}
+
+// Exact is the brute-force index: every query scans the whole store.
+// With more than one CPU the shards are scanned in parallel; on a
+// single CPU (or a single shard) the scan runs sequentially through
+// pooled scratch, which is both faster and allocation-free. It is the
+// ground truth LSH recall is measured against and the sane default
+// below ~100k vectors.
 type Exact struct {
 	store  *embstore.Store
 	metric Metric
@@ -174,20 +241,50 @@ func (e *Exact) Add(id graph.NodeID, vec []float64) error { return e.store.Upser
 // Remove deletes from the backing store.
 func (e *Exact) Remove(id graph.NodeID) bool { return e.store.Delete(id) }
 
-// Search scans all shards concurrently, merging per-shard top-k heaps.
+// scanSeq scans every shard sequentially into the scratch heap and
+// returns the sorted results (aliasing scratch storage).
+func (e *Exact) scanSeq(sc *queryScratch, q []float64, qNorm float64, k int) []Result {
+	sc.top.reset(k)
+	t := &sc.top
+	for sIdx := 0; sIdx < e.store.NumShards(); sIdx++ {
+		e.store.RangeShard(sIdx, func(id graph.NodeID, vec []float64, norm float64) bool {
+			t.push(Result{ID: id, Score: e.metric.score(q, vec, qNorm, norm)})
+			return true
+		})
+	}
+	return t.sorted()
+}
+
+// Search scans the store and returns the freshly allocated top-k.
 func (e *Exact) Search(q []float64, k int) ([]Result, error) {
+	out, err := e.SearchInto(nil, q, k)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SearchInto scans the store, writing the top-k into dst.
+func (e *Exact) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(e.store, q, k); err != nil {
 		return nil, err
 	}
-	qNorm := tensor.L2NormVec(q)
+	qNorm := vecmath.Norm(q)
 	nShards := e.store.NumShards()
+	if runtime.GOMAXPROCS(0) == 1 || nShards == 1 {
+		sc := scratchPool.Get().(*queryScratch)
+		dst = appendResults(dst, e.scanSeq(sc, q, qNorm, k))
+		scratchPool.Put(sc)
+		return dst, nil
+	}
+	// Parallel scan: one goroutine per shard, merged through a heap.
 	partial := make([]*topK, nShards)
 	var wg sync.WaitGroup
 	for sIdx := 0; sIdx < nShards; sIdx++ {
 		wg.Add(1)
 		go func(sIdx int) {
 			defer wg.Done()
-			t := newTopK(k)
+			t := &topK{k: k, heap: make([]Result, 0, k)}
 			e.store.RangeShard(sIdx, func(id graph.NodeID, vec []float64, norm float64) bool {
 				t.push(Result{ID: id, Score: e.metric.score(q, vec, qNorm, norm)})
 				return true
@@ -196,13 +293,13 @@ func (e *Exact) Search(q []float64, k int) ([]Result, error) {
 		}(sIdx)
 	}
 	wg.Wait()
-	merged := newTopK(k)
+	merged := &topK{k: k, heap: make([]Result, 0, k)}
 	for _, t := range partial {
 		for _, r := range t.heap {
 			merged.push(r)
 		}
 	}
-	return merged.sorted(), nil
+	return appendResults(dst, merged.sorted()), nil
 }
 
 // SearchBatch runs queries across a GOMAXPROCS-sized worker pool. Each
@@ -212,26 +309,11 @@ func (e *Exact) SearchBatch(qs [][]float64, k int) ([][]Result, error) {
 		if err := checkQuery(e.store, q, k); err != nil {
 			return nil, err
 		}
-		qNorm := tensor.L2NormVec(q)
-		t := newTopK(k)
-		for sIdx := 0; sIdx < e.store.NumShards(); sIdx++ {
-			e.store.RangeShard(sIdx, func(id graph.NodeID, vec []float64, norm float64) bool {
-				t.push(Result{ID: id, Score: e.metric.score(q, vec, qNorm, norm)})
-				return true
-			})
-		}
-		return t.sorted(), nil
+		sc := scratchPool.Get().(*queryScratch)
+		out := appendResults(nil, e.scanSeq(sc, q, vecmath.Norm(q), k))
+		scratchPool.Put(sc)
+		return out, nil
 	})
-}
-
-func checkQuery(store *embstore.Store, q []float64, k int) error {
-	if len(q) != store.Dim() {
-		return fmt.Errorf("ann: query dim %d, store dim %d", len(q), store.Dim())
-	}
-	if k < 1 {
-		return fmt.Errorf("ann: k %d < 1", k)
-	}
-	return nil
 }
 
 // batchSearch fans qs out over min(GOMAXPROCS, len(qs)) workers. The

@@ -7,16 +7,27 @@
 // exact metric re-ranks that set. When probing yields fewer than k
 // candidates the search transparently falls back to a brute-force scan,
 // so results never silently degrade on sparse regions.
+//
+// Query-path engineering (see BENCH_PR2.json for the measured effect):
+// the query's L2 norm is computed once per query and threaded through
+// CosineWithNorms rather than recomputed per candidate; candidates are
+// deduplicated by sort instead of a per-query map; re-ranking groups
+// candidates by store shard so each shard lock is taken once per query
+// instead of once per candidate; and signature/candidate buffers come
+// from the pooled scratch, leaving the steady-state query path
+// allocation-free (SearchInto).
 package ann
 
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 
 	"ehna/internal/embstore"
 	"ehna/internal/graph"
 	"ehna/internal/tensor"
+	"ehna/internal/vecmath"
 )
 
 // LSHConfig parameterizes the index. Recall grows with Tables and
@@ -74,6 +85,9 @@ type LSH struct {
 	cfg   LSHConfig
 	// planes holds Tables×Bits hyperplanes, row-major, each of store dim.
 	planes *tensor.Matrix
+	// fallback is the prebuilt brute-force index used when probing
+	// surfaces fewer than k candidates.
+	fallback *Exact
 
 	mu     sync.RWMutex
 	tables []map[uint32][]graph.NodeID
@@ -89,18 +103,19 @@ func NewLSH(store *embstore.Store, cfg LSHConfig) (*LSH, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	l := &LSH{
-		store:  store,
-		cfg:    cfg,
-		planes: tensor.Randn(cfg.Tables*cfg.Bits, store.Dim(), 1, rng),
-		tables: make([]map[uint32][]graph.NodeID, cfg.Tables),
-		sigs:   make(map[graph.NodeID][]uint32, store.Len()),
+		store:    store,
+		cfg:      cfg,
+		planes:   tensor.Randn(cfg.Tables*cfg.Bits, store.Dim(), 1, rng),
+		fallback: NewExact(store, cfg.Metric),
+		tables:   make([]map[uint32][]graph.NodeID, cfg.Tables),
+		sigs:     make(map[graph.NodeID][]uint32, store.Len()),
 	}
 	for t := range l.tables {
 		l.tables[t] = make(map[uint32][]graph.NodeID)
 	}
 	for _, id := range store.IDs() {
 		store.With(id, func(vec []float64, _ float64) {
-			l.insertLocked(id, l.signatures(vec))
+			l.insertLocked(id, l.signatures(vec, nil))
 		})
 	}
 	return l, nil
@@ -112,25 +127,29 @@ func (l *LSH) Config() LSHConfig { return l.cfg }
 // Metric reports the re-ranking similarity metric.
 func (l *LSH) Metric() Metric { return l.cfg.Metric }
 
-// signatures computes the per-table signatures of vec.
-func (l *LSH) signatures(vec []float64) []uint32 {
-	sigs := make([]uint32, l.cfg.Tables)
+// signatures computes the per-table signatures of vec into buf
+// (grown as needed and returned re-sliced).
+func (l *LSH) signatures(vec []float64, buf []uint32) []uint32 {
+	if cap(buf) < l.cfg.Tables {
+		buf = make([]uint32, l.cfg.Tables)
+	}
+	buf = buf[:l.cfg.Tables]
 	for t := 0; t < l.cfg.Tables; t++ {
 		var sig uint32
 		base := t * l.cfg.Bits
 		for b := 0; b < l.cfg.Bits; b++ {
-			if tensor.DotVec(l.planes.Row(base+b), vec) >= 0 {
+			if vecmath.Dot(l.planes.Row(base+b), vec) >= 0 {
 				sig |= 1 << uint(b)
 			}
 		}
-		sigs[t] = sig
+		buf[t] = sig
 	}
-	return sigs
+	return buf
 }
 
-// insertLocked records id under sigs in every table. Caller must hold
-// l.mu (NewLSH is the one exception: it runs before the index is
-// shared, so it calls this lock-free).
+// insertLocked records id under sigs in every table, taking ownership
+// of sigs. Caller must hold l.mu (NewLSH is the one exception: it runs
+// before the index is shared, so it calls this lock-free).
 func (l *LSH) insertLocked(id graph.NodeID, sigs []uint32) {
 	for t, sig := range sigs {
 		l.tables[t][sig] = append(l.tables[t][sig], id)
@@ -175,7 +194,7 @@ func (l *LSH) Add(id graph.NodeID, vec []float64) error {
 		return err
 	}
 	l.removeLocked(id)
-	l.insertLocked(id, l.signatures(vec))
+	l.insertLocked(id, l.signatures(vec, nil))
 	return nil
 }
 
@@ -188,45 +207,109 @@ func (l *LSH) Remove(id graph.NodeID) bool {
 	return l.removeLocked(id) || inStore
 }
 
-// candidates returns the IDs sharing a probed bucket with q in any table.
-func (l *LSH) candidates(q []float64) map[graph.NodeID]struct{} {
-	sigs := l.signatures(q)
-	cand := make(map[graph.NodeID]struct{})
+// collectCandidates appends the IDs of every probed bucket across all
+// tables into sc.cand (with duplicates), then deduplicates in place.
+// Dense ID spaces use the O(1)-per-candidate epoch-stamp array; IDs at
+// or above stampCap fall back to sort-and-compact. Returns the
+// deduplicated candidate slice (owned by sc).
+func (l *LSH) collectCandidates(sc *queryScratch, q []float64) []graph.NodeID {
+	sc.sigs = l.signatures(q, sc.sigs)
+	sc.cand = sc.cand[:0]
+	var maxID graph.NodeID
 	l.mu.RLock()
-	for t, sig := range sigs {
-		probe := func(s uint32) {
-			for _, id := range l.tables[t][s] {
-				cand[id] = struct{}{}
+	for t, sig := range sc.sigs {
+		table := l.tables[t]
+		for _, id := range table[sig] {
+			if id > maxID {
+				maxID = id
 			}
+			sc.cand = append(sc.cand, id)
 		}
-		probe(sig)
 		for b := 0; b < l.cfg.Probes; b++ {
-			probe(sig ^ (1 << uint(b)))
+			for _, id := range table[sig^(1<<uint(b))] {
+				if id > maxID {
+					maxID = id
+				}
+				sc.cand = append(sc.cand, id)
+			}
 		}
 	}
 	l.mu.RUnlock()
-	return cand
+
+	if len(sc.cand) > 0 && int(maxID) < stampCap {
+		if int(maxID) >= len(sc.stamp) {
+			grown := make([]uint32, int(maxID)+1)
+			copy(grown, sc.stamp)
+			sc.stamp = grown
+		}
+		sc.epoch++
+		if sc.epoch == 0 { // wrapped: stale stamps could collide
+			clear(sc.stamp)
+			sc.epoch = 1
+		}
+		w := 0
+		for _, id := range sc.cand {
+			if sc.stamp[id] != sc.epoch {
+				sc.stamp[id] = sc.epoch
+				sc.cand[w] = id
+				w++
+			}
+		}
+		sc.cand = sc.cand[:w]
+		return sc.cand
+	}
+	slices.Sort(sc.cand)
+	sc.cand = slices.Compact(sc.cand)
+	return sc.cand
 }
 
 // Search probes the hash tables for candidates and re-ranks them with
 // the exact metric. If fewer than k candidates surface, it falls back to
 // a brute-force scan so callers always get min(k, Len) results.
 func (l *LSH) Search(q []float64, k int) ([]Result, error) {
+	return l.SearchInto(nil, q, k)
+}
+
+// SearchInto is Search writing the results into dst: the
+// zero-allocation query path.
+func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(l.store, q, k); err != nil {
 		return nil, err
 	}
-	cand := l.candidates(q)
+	sc := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(sc)
+	cand := l.collectCandidates(sc, q)
 	if len(cand) < k {
-		return NewExact(l.store, l.cfg.Metric).Search(q, k)
+		return l.fallback.SearchInto(dst, q, k)
 	}
-	qNorm := tensor.L2NormVec(q)
-	t := newTopK(k)
-	for id := range cand {
-		l.store.With(id, func(vec []float64, norm float64) {
+
+	// Group candidates by store shard so each shard read lock is taken
+	// once per query rather than once per candidate.
+	nShards := l.store.NumShards()
+	for len(sc.byShard) < nShards {
+		sc.byShard = append(sc.byShard, nil)
+	}
+	byShard := sc.byShard[:nShards]
+	for i := range byShard {
+		byShard[i] = byShard[i][:0]
+	}
+	for _, id := range cand {
+		si := l.store.ShardOf(id)
+		byShard[si] = append(byShard[si], id)
+	}
+
+	qNorm := vecmath.Norm(q) // once per query, not per candidate
+	sc.top.reset(k)
+	t := &sc.top
+	for si, ids := range byShard {
+		if len(ids) == 0 {
+			continue
+		}
+		l.store.WithShard(si, ids, func(id graph.NodeID, vec []float64, norm float64) {
 			t.push(Result{ID: id, Score: l.cfg.Metric.score(q, vec, qNorm, norm)})
 		})
 	}
-	return t.sorted(), nil
+	return appendResults(dst, t.sorted()), nil
 }
 
 // SearchBatch answers queries across a worker pool.

@@ -17,6 +17,7 @@ import (
 	"ehna/internal/sample"
 	"ehna/internal/skipgram"
 	"ehna/internal/tensor"
+	"ehna/internal/vecmath"
 )
 
 // Config parameterizes LINE.
@@ -100,29 +101,16 @@ func trainOrder(g *graph.Temporal, edges []graph.Edge, edgeAlias *sample.Alias, 
 			src, dst = dst, src
 		}
 		v := emb.Row(int(src))
-		for i := range grad {
-			grad[i] = 0
-		}
-		update(v, ctx.Row(int(dst)), 1, lr, grad)
+		vecmath.Zero(grad)
+		vecmath.SgnsUpdate(v, ctx.Row(int(dst)), grad, 1, lr)
 		for k := 0; k < cfg.Negatives; k++ {
 			neg := graph.NodeID(noise.Draw(rng))
 			if neg == dst || neg == src {
 				continue
 			}
-			update(v, ctx.Row(int(neg)), 0, lr, grad)
+			vecmath.SgnsUpdate(v, ctx.Row(int(neg)), grad, 0, lr)
 		}
-		for i := range v {
-			v[i] += grad[i]
-		}
+		vecmath.Add(v, grad)
 	}
 	return emb
-}
-
-func update(v, c []float64, label float64, lr float64, grad []float64) {
-	score := tensor.SigmoidScalar(tensor.DotVec(v, c))
-	gv := lr * (label - score)
-	for i := range c {
-		grad[i] += gv * c[i]
-		c[i] += gv * v[i]
-	}
 }

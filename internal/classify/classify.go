@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"ehna/internal/tensor"
+	"ehna/internal/vecmath"
 )
 
 // Config parameterizes the logistic regression.
@@ -122,11 +123,9 @@ func (m *Model) sgdStep(X *tensor.Matrix, y []int, idx []int, lr, l2 float64) {
 	var gradB float64
 	for _, i := range idx {
 		row := X.Row(i)
-		p := tensor.SigmoidScalar(tensor.DotVec(m.W, row) + m.Bias)
+		p := vecmath.Sigmoid(vecmath.Dot(m.W, row) + m.Bias)
 		g := p - float64(y[i])
-		for j, x := range row {
-			gradW[j] += g * x
-		}
+		vecmath.Axpy(gradW, g, row)
 		gradB += g
 	}
 	inv := 1 / float64(len(idx))

@@ -210,21 +210,29 @@ func (m *Model) NumParams() int { return m.params.Count() }
 // on — is preserved.
 func timeWeight(sumT float64) float64 { return 1 / (1 + sumT) }
 
-// incidentTimeSums returns, for each position i of the walk, the sum of
-// timestamps of the walk's edges incident to the node occupying position i,
-// aggregated over all occurrences of that node in the walk (the
-// Σ_{(u,v) in r} t(u,v) term of Eq. 3).
-func incidentTimeSums(w walk.Walk) []float64 {
-	perNode := make(map[graph.NodeID]float64, len(w.Nodes))
-	for i, t := range w.Times {
-		perNode[w.Nodes[i]] += t
-		perNode[w.Nodes[i+1]] += t
+// incidentTimeSumsInto writes, for each position i of the walk, the sum
+// of timestamps of the walk's edges incident to the node occupying
+// position i, aggregated over all occurrences of that node in the walk
+// (the Σ_{(u,v) in r} t(u,v) term of Eq. 3). dst is reusable scratch;
+// the result reuses its capacity. Walks are short (ℓ ≤ ~10), so the
+// O(ℓ²) scan beats the map the previous implementation allocated per
+// walk.
+func incidentTimeSumsInto(dst []float64, w walk.Walk) []float64 {
+	if cap(dst) < len(w.Nodes) {
+		dst = make([]float64, len(w.Nodes))
+	} else {
+		dst = dst[:len(w.Nodes)]
 	}
-	out := make([]float64, len(w.Nodes))
 	for i, v := range w.Nodes {
-		out[i] = perNode[v]
+		var s float64
+		for j, t := range w.Times {
+			if w.Nodes[j] == v || w.Nodes[j+1] == v {
+				s += t
+			}
+		}
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // Aggregate builds the aggregated embedding z_x (Algorithm 1) for target
@@ -232,7 +240,12 @@ func incidentTimeSums(w walk.Walk) []float64 {
 // 1×Dim L2-normalized row. Gradients flow into the embedding table and all
 // network parameters when the tape is run backward.
 func (m *Model) Aggregate(tp *ag.Tape, x graph.NodeID, tTarget float64, rng *rand.Rand) *ag.Node {
-	walks := m.walker.Walks(x, tTarget, rng)
+	// Walk buffers are pooled: the walks are fully consumed (embedding
+	// rows copied onto the tape, time sums reduced) before this
+	// function returns, so the scratch can be recycled on exit.
+	sc := walk.GetScratch()
+	defer walk.PutScratch(sc)
+	walks := m.walker.WalksScratch(sc, x, tTarget, rng)
 	ex := m.emb.LookupOne(tp, int(x))
 	if m.cfg.SingleLevel {
 		return m.aggregateSingleLevel(tp, ex, walks)
@@ -241,9 +254,10 @@ func (m *Model) Aggregate(tp *ag.Tape, x graph.NodeID, tTarget float64, rng *ran
 	// First level: node attention + LSTM per walk (lines 1–4).
 	hs := make([]*ag.Node, len(walks))
 	walkFactors := make([]float64, len(walks))
+	var sums []float64 // per-walk scratch, reused across iterations
 	for i, w := range walks {
 		evs := m.emb.Lookup(tp, nodeInts(w.Nodes))
-		sums := incidentTimeSums(w)
+		sums = incidentTimeSumsInto(sums, w)
 		var seq *ag.Node
 		if m.cfg.DisableAttention || len(w.Nodes) == 1 {
 			seq = evs

@@ -109,7 +109,7 @@ func TestIncidentTimeSums(t *testing.T) {
 		Nodes: []graph.NodeID{1, 2, 1, 3},
 		Times: []float64{0.5, 0.4, 0.3},
 	}
-	sums := incidentTimeSums(w)
+	sums := incidentTimeSumsInto(nil, w)
 	// Node 1 occurs at positions 0 and 2; incident edges: (1,2,0.5),
 	// (2,1,0.4), (1,3,0.3) → 1.2. Node 2: 0.5+0.4 = 0.9. Node 3: 0.3.
 	want := []float64{1.2, 0.9, 1.2, 0.3}

@@ -6,6 +6,12 @@
 // hashed across N independently-locked shards so readers on different
 // shards never contend, and snapshot save/load lets a daemon restart
 // without retraining.
+//
+// Each shard stores its vectors in one dense structure-of-arrays slab
+// (ids, contiguous vector rows, norms) plus an id→slot map. Scans walk
+// the slab linearly — cache-friendly and allocation-free — instead of
+// iterating a map of per-vector heap allocations, and bulk loads
+// allocate one slab per shard rather than one slice per vector.
 package embstore
 
 import (
@@ -18,19 +24,17 @@ import (
 	"ehna/internal/ehna"
 	"ehna/internal/graph"
 	"ehna/internal/tensor"
+	"ehna/internal/vecmath"
 )
 
-// entry is one stored vector with its L2 norm, maintained on write so
-// cosine scoring never recomputes norms on the query path.
-type entry struct {
-	vec  []float64
-	norm float64
-}
-
-// shard is one lock domain of the store.
+// shard is one lock domain of the store: a dense slab of vectors with
+// an id→slot index. Deletes swap-remove so the slab stays dense.
 type shard struct {
-	mu   sync.RWMutex
-	vecs map[graph.NodeID]entry
+	mu    sync.RWMutex
+	slot  map[graph.NodeID]int
+	ids   []graph.NodeID
+	vecs  []float64 // len(ids)*dim; row i is vecs[i*dim:(i+1)*dim]
+	norms []float64 // L2 norms, maintained on write
 }
 
 // Store is a sharded in-memory map from node ID to embedding vector.
@@ -57,7 +61,7 @@ func New(dim, shards int) (*Store, error) {
 	}
 	s := &Store{dim: dim, shards: make([]shard, shards)}
 	for i := range s.shards {
-		s.shards[i].vecs = make(map[graph.NodeID]entry)
+		s.shards[i].slot = make(map[graph.NodeID]int)
 	}
 	return s, nil
 }
@@ -89,6 +93,11 @@ func (s *Store) Dim() int { return s.dim }
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
+// ShardOf returns the index of the shard holding id. Batch consumers
+// (e.g. LSH re-ranking) group IDs by shard so each shard's lock is
+// taken once per batch instead of once per vector.
+func (s *Store) ShardOf(id graph.NodeID) int { return s.shardIndex(id) }
+
 // shardIndex hashes id onto a shard index. The multiply-xorshift mix
 // (splitmix-style finalizer) decorrelates the low bits so sequential
 // node IDs spread evenly.
@@ -112,15 +121,35 @@ func (s *Store) Len() int {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		n += len(sh.vecs)
+		n += len(sh.ids)
 		sh.mu.RUnlock()
 	}
 	return n
 }
 
+// row returns the slot'th vector of the shard. Caller holds the lock.
+func (sh *shard) row(slot, dim int) []float64 {
+	return sh.vecs[slot*dim : (slot+1)*dim]
+}
+
+// upsertLocked inserts or replaces id's vector. Caller holds sh.mu.
+func (sh *shard) upsertLocked(id graph.NodeID, vec []float64, dim int) {
+	if slot, ok := sh.slot[id]; ok {
+		copy(sh.row(slot, dim), vec)
+		sh.norms[slot] = vecmath.Norm(vec)
+		return
+	}
+	sh.slot[id] = len(sh.ids)
+	sh.ids = append(sh.ids, id)
+	sh.vecs = append(sh.vecs, vec...)
+	sh.norms = append(sh.norms, vecmath.Norm(vec))
+}
+
 // BulkLoad upserts row i of emb as node ID i for every row. It panics on
 // dimension mismatch (programmer error, matching tensor conventions).
-// Rows are copied; the caller keeps ownership of emb.
+// Rows are copied; the caller keeps ownership of emb. Each shard's slab
+// is grown once, so the load performs O(shards) allocations rather than
+// one per vector.
 func (s *Store) BulkLoad(emb *tensor.Matrix) {
 	if emb.Cols != s.dim {
 		panic(fmt.Sprintf("embstore: bulk load of %d-dim rows into %d-dim store", emb.Cols, s.dim))
@@ -141,10 +170,13 @@ func (s *Store) BulkLoad(emb *tensor.Matrix) {
 		go func(sh *shard, ids []graph.NodeID) {
 			defer wg.Done()
 			sh.mu.Lock()
+			if extra := len(ids); cap(sh.vecs)-len(sh.vecs) < extra*s.dim {
+				sh.vecs = append(make([]float64, 0, (len(sh.ids)+extra)*s.dim), sh.vecs...)
+				sh.ids = append(make([]graph.NodeID, 0, len(sh.ids)+extra), sh.ids...)
+				sh.norms = append(make([]float64, 0, len(sh.norms)+extra), sh.norms...)
+			}
 			for _, id := range ids {
-				v := make([]float64, s.dim)
-				copy(v, emb.Row(int(id)))
-				sh.vecs[id] = entry{vec: v, norm: tensor.L2NormVec(v)}
+				sh.upsertLocked(id, emb.Row(int(id)), s.dim)
 			}
 			sh.mu.Unlock()
 		}(&s.shards[idx], groups[idx])
@@ -157,36 +189,50 @@ func (s *Store) Upsert(id graph.NodeID, vec []float64) error {
 	if len(vec) != s.dim {
 		return fmt.Errorf("embstore: upsert of %d-dim vector into %d-dim store", len(vec), s.dim)
 	}
-	v := make([]float64, s.dim)
-	copy(v, vec)
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	sh.vecs[id] = entry{vec: v, norm: tensor.L2NormVec(v)}
+	sh.upsertLocked(id, vec, s.dim)
 	sh.mu.Unlock()
 	return nil
 }
 
-// Delete removes id, reporting whether it was present.
+// Delete removes id, reporting whether it was present. The last vector
+// of the shard's slab is swapped into the vacated slot so scans stay
+// dense.
 func (s *Store) Delete(id graph.NodeID) bool {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	_, ok := sh.vecs[id]
-	delete(sh.vecs, id)
-	sh.mu.Unlock()
-	return ok
+	defer sh.mu.Unlock()
+	slot, ok := sh.slot[id]
+	if !ok {
+		return false
+	}
+	last := len(sh.ids) - 1
+	if slot != last {
+		movedID := sh.ids[last]
+		sh.ids[slot] = movedID
+		copy(sh.row(slot, s.dim), sh.row(last, s.dim))
+		sh.norms[slot] = sh.norms[last]
+		sh.slot[movedID] = slot
+	}
+	sh.ids = sh.ids[:last]
+	sh.vecs = sh.vecs[:last*s.dim]
+	sh.norms = sh.norms[:last]
+	delete(sh.slot, id)
+	return true
 }
 
 // Get returns a copy of the vector for id.
 func (s *Store) Get(id graph.NodeID) ([]float64, bool) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	e, ok := sh.vecs[id]
+	slot, ok := sh.slot[id]
 	if !ok {
 		sh.mu.RUnlock()
 		return nil, false
 	}
-	out := make([]float64, len(e.vec))
-	copy(out, e.vec)
+	out := make([]float64, s.dim)
+	copy(out, sh.row(slot, s.dim))
 	sh.mu.RUnlock()
 	return out, true
 }
@@ -198,9 +244,9 @@ func (s *Store) Get(id graph.NodeID) ([]float64, bool) {
 func (s *Store) With(id graph.NodeID, fn func(vec []float64, norm float64)) bool {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	e, ok := sh.vecs[id]
+	slot, ok := sh.slot[id]
 	if ok {
-		fn(e.vec, e.norm)
+		fn(sh.row(slot, s.dim), sh.norms[slot])
 	}
 	sh.mu.RUnlock()
 	return ok
@@ -210,14 +256,32 @@ func (s *Store) With(id graph.NodeID, fn func(vec []float64, norm float64)) bool
 // returns false. norm is each vector's L2 norm, maintained on write.
 // The vector passed to fn is a view: fn must not retain it or call any
 // mutating Store method. Iterating shards from separate goroutines is
-// how ann parallelizes exact search.
+// how ann parallelizes exact search. Iteration order is the dense slab
+// order (insertion order, perturbed by swap-remove deletes).
 func (s *Store) RangeShard(i int, fn func(id graph.NodeID, vec []float64, norm float64) bool) {
 	sh := &s.shards[i]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	for id, e := range sh.vecs {
-		if !fn(id, e.vec, e.norm) {
+	dim := s.dim
+	vecs := sh.vecs
+	for slot, id := range sh.ids {
+		if !fn(id, vecs[slot*dim:(slot+1)*dim], sh.norms[slot]) {
 			return
+		}
+	}
+}
+
+// WithShard looks up each of ids (all of which must hash to shard i —
+// see ShardOf) under a single acquisition of the shard's read lock,
+// invoking fn for every ID that is present. The batch analogue of
+// With for consumers that score many candidates per query.
+func (s *Store) WithShard(i int, ids []graph.NodeID, fn func(id graph.NodeID, vec []float64, norm float64)) {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, id := range ids {
+		if slot, ok := sh.slot[id]; ok {
+			fn(id, sh.row(slot, s.dim), sh.norms[slot])
 		}
 	}
 }
@@ -228,9 +292,7 @@ func (s *Store) IDs() []graph.NodeID {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for id := range sh.vecs {
-			out = append(out, id)
-		}
+		out = append(out, sh.ids...)
 		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

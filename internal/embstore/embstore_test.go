@@ -237,3 +237,39 @@ func TestConcurrentMixedAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestWithShardBatchLookup(t *testing.T) {
+	s, err := New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Upsert(graph.NodeID(i), []float64{float64(i), 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Group all IDs by shard, then look each group up in one batch.
+	groups := make([][]graph.NodeID, s.NumShards())
+	for i := 0; i < 100; i++ {
+		id := graph.NodeID(i)
+		groups[s.ShardOf(id)] = append(groups[s.ShardOf(id)], id)
+	}
+	seen := make(map[graph.NodeID]float64)
+	for si, ids := range groups {
+		// Include a missing ID: it must be skipped, not panic.
+		s.WithShard(si, append(ids, graph.NodeID(10_000+si)), func(id graph.NodeID, vec []float64, norm float64) {
+			seen[id] = vec[0]
+			if norm != vec[0] {
+				t.Errorf("id %d: norm %g want %g", id, norm, vec[0])
+			}
+		})
+	}
+	if len(seen) != 100 {
+		t.Fatalf("batch lookup found %d of 100", len(seen))
+	}
+	for id, v := range seen {
+		if v != float64(id) {
+			t.Fatalf("id %d: vec[0] %g", id, v)
+		}
+	}
+}

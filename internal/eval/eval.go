@@ -8,12 +8,12 @@ package eval
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 
 	"ehna/internal/graph"
 	"ehna/internal/tensor"
+	"ehna/internal/vecmath"
 )
 
 // Operator is one of the binary operators of Table II turning two node
@@ -50,29 +50,18 @@ func (op Operator) String() string {
 	}
 }
 
-// Apply writes the edge representation of (ex, ey) into dst.
+// Apply writes the edge representation of (ex, ey) into dst through the
+// vecmath score kernels.
 func (op Operator) Apply(dst, ex, ey []float64) {
-	if len(dst) != len(ex) || len(ex) != len(ey) {
-		panic("eval: operator length mismatch")
-	}
 	switch op {
 	case Mean:
-		for i := range dst {
-			dst[i] = (ex[i] + ey[i]) / 2
-		}
+		vecmath.ScoreMean(dst, ex, ey)
 	case Hadamard:
-		for i := range dst {
-			dst[i] = ex[i] * ey[i]
-		}
+		vecmath.ScoreHadamard(dst, ex, ey)
 	case WeightedL1:
-		for i := range dst {
-			dst[i] = math.Abs(ex[i] - ey[i])
-		}
+		vecmath.ScoreL1(dst, ex, ey)
 	case WeightedL2:
-		for i := range dst {
-			d := ex[i] - ey[i]
-			dst[i] = d * d
-		}
+		vecmath.ScoreL2(dst, ex, ey)
 	default:
 		panic(fmt.Sprintf("eval: unknown operator %d", int(op)))
 	}
@@ -276,7 +265,7 @@ func PrecisionAtP(g *graph.Temporal, emb *tensor.Matrix, sampleNodes []graph.Nod
 			u, v := sampleNodes[i], sampleNodes[j]
 			pairs = append(pairs, scored{
 				pair:  CanonicalPair(u, v),
-				score: tensor.DotVec(emb.Row(int(u)), emb.Row(int(v))),
+				score: vecmath.Dot(emb.Row(int(u)), emb.Row(int(v))),
 			})
 		}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"ehna/internal/ag"
 	"ehna/internal/tensor"
+	"ehna/internal/vecmath"
 )
 
 // Param is one trainable matrix with its gradient accumulator.
@@ -53,9 +54,7 @@ func (ps *Params) ZeroGrad() {
 func (ps *Params) GradNorm() float64 {
 	var s float64
 	for _, p := range ps.list {
-		for _, g := range p.G.Data {
-			s += g * g
-		}
+		s += vecmath.SquaredL2(p.G.Data)
 	}
 	return math.Sqrt(s)
 }
@@ -155,17 +154,28 @@ func (c *LSTMCell) InitState(tp *ag.Tape, n int) State {
 	return State{H: tp.Const(tensor.New(n, c.Hidden)), C: tp.Const(tensor.New(n, c.Hidden))}
 }
 
-// Step advances the cell by one timestep with input x (n×in).
-func (c *LSTMCell) Step(tp *ag.Tape, x *ag.Node, s State) State {
-	gate := func(w, u, b *Param) *ag.Node {
-		return tp.AddRowBroadcast(tp.Add(tp.MatMul(x, w.Node(tp)), tp.MatMul(s.H, u.Node(tp))), b.Node(tp))
+// Weights records the cell's twelve gate parameters on the tape once,
+// so a sequence of StepW calls shares the leaf nodes instead of
+// re-binding every parameter at every timestep.
+func (c *LSTMCell) Weights(tp *ag.Tape) ag.LSTMWeights {
+	return ag.LSTMWeights{
+		Wi: c.Wi.Node(tp), Ui: c.Ui.Node(tp), Bi: c.Bi.Node(tp),
+		Wf: c.Wf.Node(tp), Uf: c.Uf.Node(tp), Bf: c.Bf.Node(tp),
+		Wo: c.Wo.Node(tp), Uo: c.Uo.Node(tp), Bo: c.Bo.Node(tp),
+		Wg: c.Wg.Node(tp), Ug: c.Ug.Node(tp), Bg: c.Bg.Node(tp),
 	}
-	i := tp.Sigmoid(gate(c.Wi, c.Ui, c.Bi))
-	f := tp.Sigmoid(gate(c.Wf, c.Uf, c.Bf))
-	o := tp.Sigmoid(gate(c.Wo, c.Uo, c.Bo))
-	g := tp.Tanh(gate(c.Wg, c.Ug, c.Bg))
-	cNew := tp.Add(tp.Mul(f, s.C), tp.Mul(i, g))
-	hNew := tp.Mul(o, tp.Tanh(cNew))
+}
+
+// Step advances the cell by one timestep with input x (n×in) through
+// the fused ag.LSTMStep kernel.
+func (c *LSTMCell) Step(tp *ag.Tape, x *ag.Node, s State) State {
+	return c.StepW(tp, c.Weights(tp), x, s)
+}
+
+// StepW is Step with pre-bound weight nodes (see Weights); sequence
+// loops use it to avoid re-recording the parameters each timestep.
+func (c *LSTMCell) StepW(tp *ag.Tape, w ag.LSTMWeights, x *ag.Node, s State) State {
+	hNew, cNew := tp.LSTMStep(w, x, s.H, s.C)
 	return State{H: hNew, C: cNew}
 }
 
@@ -211,10 +221,11 @@ func (s *StackedLSTM) Forward(tp *ag.Tape, seq *ag.Node) *ag.Node {
 		inputs[t] = tp.Row(seq, t)
 	}
 	for _, cell := range s.Cells {
+		w := cell.Weights(tp)
 		st := cell.InitState(tp, 1)
 		outs := make([]*ag.Node, T)
 		for t := 0; t < T; t++ {
-			st = cell.Step(tp, inputs[t], st)
+			st = cell.StepW(tp, w, inputs[t], st)
 			outs[t] = st.H
 		}
 		inputs = outs
@@ -248,37 +259,10 @@ func NewNorm(name string, dim int) *Norm {
 func (n *Norm) Register(ps *Params) { ps.Add(n.Gain, n.Bias) }
 
 // Forward normalizes each row of x to zero mean and unit variance across
-// features, then applies the learned affine transform.
+// features, then applies the learned affine transform, through the fused
+// ag.LayerNorm kernel (one tape node instead of ~13 per row).
 func (n *Norm) Forward(tp *ag.Tape, x *ag.Node) *ag.Node {
-	d := float64(x.Value.Cols)
-	rows := make([]*ag.Node, x.Value.Rows)
-	for i := 0; i < x.Value.Rows; i++ {
-		row := tp.Row(x, i)
-		mean := tp.Scale(tp.SumAll(row), 1/d)
-		// center = row − mean (broadcast scalar): implement via AddConst of
-		// the negated mean is not possible (mean is a node), so expand.
-		meanVec := tp.MatMul(mean, tp.Const(onesRow(x.Value.Cols)))
-		centered := tp.Sub(row, meanVec)
-		varN := tp.Scale(tp.SumSquares(centered), 1/d)
-		std := tp.AddConst(varN, n.eps)
-		inv := tp.RSqrt(std)
-		invVec := tp.MatMul(inv, tp.Const(onesRow(x.Value.Cols)))
-		rows[i] = tp.Mul(centered, invVec)
-	}
-	var normed *ag.Node
-	if len(rows) == 1 {
-		normed = rows[0]
-	} else {
-		normed = tp.StackRows(rows)
-	}
-	scaled := tp.RowBroadcastMul(normed, n.Gain.Node(tp))
-	return tp.AddRowBroadcast(scaled, n.Bias.Node(tp))
-}
-
-func onesRow(n int) *tensor.Matrix {
-	m := tensor.New(1, n)
-	m.Fill(1)
-	return m
+	return tp.LayerNorm(x, n.Gain.Node(tp), n.Bias.Node(tp), n.eps)
 }
 
 // Embedding is a |V|×d table with sparse gradient accumulation: only rows
@@ -316,10 +300,7 @@ func (e *Embedding) Lookup(tp *ag.Tape, idx []int) *ag.Node {
 				acc = make([]float64, e.W.Cols)
 				e.grads[id] = acc
 			}
-			grow := grad.Row(i)
-			for j := range acc {
-				acc[j] += grow[j]
-			}
+			vecmath.Add(acc, grad.Row(i))
 		}
 	})
 }
@@ -332,10 +313,7 @@ func (e *Embedding) LookupOne(tp *ag.Tape, id int) *ag.Node {
 // Step applies plain SGD to the touched rows and clears the accumulators.
 func (e *Embedding) Step(lr float64) {
 	for id, g := range e.grads {
-		row := e.W.Row(id)
-		for j := range row {
-			row[j] -= lr * g[j]
-		}
+		vecmath.Axpy(e.W.Row(id), -lr, g)
 	}
 	e.ZeroGrad()
 }
@@ -359,10 +337,7 @@ type SGD struct {
 // Step updates all parameters in ps from their gradients.
 func (o *SGD) Step(ps *Params) {
 	for _, p := range ps.List() {
-		for i := range p.W.Data {
-			g := p.G.Data[i] + o.WeightDecay*p.W.Data[i]
-			p.W.Data[i] -= o.LR * g
-		}
+		vecmath.SgdStep(p.W.Data, p.G.Data, o.LR, o.WeightDecay)
 	}
 }
 
@@ -392,13 +367,7 @@ func (o *Adam) Step(ps *Params) {
 			o.v[p] = make([]float64, len(p.W.Data))
 		}
 		v := o.v[p]
-		for i, g := range p.G.Data {
-			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
-			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
-			mHat := m[i] / c1
-			vHat := v[i] / c2
-			p.W.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
-		}
+		vecmath.AdamStep(p.W.Data, m, v, p.G.Data, o.LR, o.Beta1, o.Beta2, o.Eps, c1, c2)
 	}
 }
 
@@ -454,9 +423,7 @@ func (e *Embedding) MergeGradsInto(dst *Embedding) {
 			acc = make([]float64, dst.W.Cols)
 			dst.grads[id] = acc
 		}
-		for j := range acc {
-			acc[j] += g[j]
-		}
+		vecmath.Add(acc, g)
 	}
 	e.ZeroGrad()
 }

@@ -18,6 +18,7 @@ import (
 	"ehna/internal/graph"
 	"ehna/internal/sample"
 	"ehna/internal/tensor"
+	"ehna/internal/vecmath"
 )
 
 // Config parameterizes SGNS training.
@@ -144,36 +145,24 @@ func (m *Model) trainSequence(seq []graph.NodeID, noise *sample.Alias, cfg Confi
 	}
 }
 
-// pair applies the SGNS update for one (center, context) pair.
+// pair applies the SGNS update for one (center, context) pair through
+// the fused vecmath.SgnsUpdate kernel (dot, sigmoid and both axpys in
+// one pass). grad is caller-owned per-worker scratch, so the whole
+// pair loop is allocation-free (asserted in skipgram_test.go).
 func (m *Model) pair(center, context int, noise *sample.Alias, negatives int, lr float64, rng *rand.Rand, grad []float64) {
 	v := m.Emb.Row(center)
-	for i := range grad {
-		grad[i] = 0
-	}
+	vecmath.Zero(grad)
 	// Positive example: label 1.
-	m.updateOne(v, m.Ctx.Row(context), 1, lr, grad)
+	vecmath.SgnsUpdate(v, m.Ctx.Row(context), grad, 1, lr)
 	// Negatives: label 0.
 	for k := 0; k < negatives; k++ {
 		neg := noise.Draw(rng)
 		if neg == context {
 			continue
 		}
-		m.updateOne(v, m.Ctx.Row(neg), 0, lr, grad)
+		vecmath.SgnsUpdate(v, m.Ctx.Row(neg), grad, 0, lr)
 	}
-	for i := range v {
-		v[i] += grad[i]
-	}
-}
-
-// updateOne performs the logistic update on (v, ctx) toward label,
-// accumulating the input-vector gradient into grad.
-func (m *Model) updateOne(v, ctx []float64, label float64, lr float64, grad []float64) {
-	score := tensor.SigmoidScalar(tensor.DotVec(v, ctx))
-	g := lr * (label - score)
-	for i := range ctx {
-		grad[i] += g * ctx[i]
-		ctx[i] += g * v[i]
-	}
+	vecmath.Add(v, grad)
 }
 
 // DegreeNoise builds the deg^0.75 noise distribution over g's nodes,

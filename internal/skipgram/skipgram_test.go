@@ -166,3 +166,35 @@ func BenchmarkTrainEpoch(b *testing.B) {
 		}
 	}
 }
+
+// TestPairLoopZeroAlloc asserts the SGNS inner loop — the hogwild hot
+// path every worker spins on — performs no allocations per sequence
+// once the per-worker grad scratch exists.
+func TestPairLoopZeroAlloc(t *testing.T) {
+	cfg := Config{Dim: 32, Window: 4, Negatives: 5, LR: 0.025, Epochs: 1}
+	rng := rand.New(rand.NewSource(1))
+	m := NewModel(50, cfg.Dim, rng)
+	noise, err := sample.NewAlias(make50Weights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]graph.NodeID, 20)
+	for i := range seq {
+		seq[i] = graph.NodeID(rng.Intn(50))
+	}
+	grad := make([]float64, cfg.Dim)
+	allocs := testing.AllocsPerRun(50, func() {
+		m.trainSequence(seq, noise, cfg, cfg.LR, rng, grad)
+	})
+	if allocs != 0 {
+		t.Fatalf("SGNS pair loop allocated %v times per sequence", allocs)
+	}
+}
+
+func make50Weights() []float64 {
+	w := make([]float64, 50)
+	for i := range w {
+		w[i] = float64(i%7) + 1
+	}
+	return w
+}

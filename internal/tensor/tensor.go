@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"ehna/internal/vecmath"
 )
 
 // Matrix is a dense row-major matrix of float64 values.
@@ -126,13 +128,19 @@ func MatMul(a, b *Matrix) *Matrix {
 
 // MatMulInto computes out = a·b without allocating. out must not alias a or b.
 func MatMulInto(out, a, b *Matrix) {
+	out.Zero()
+	MatMulAddInto(out, a, b)
+}
+
+// MatMulAddInto computes out += a·b without allocating. out must not
+// alias a or b.
+func MatMulAddInto(out, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
 	}
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul out %dx%d want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
-	out.Zero()
 	n := b.Cols
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
@@ -141,10 +149,7 @@ func MatMulInto(out, a, b *Matrix) {
 			if av == 0 {
 				continue
 			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+			vecmath.Axpy(orow, av, b.Data[k*n:(k+1)*n])
 		}
 	}
 }
@@ -162,10 +167,7 @@ func MatMulATransposed(a, b *Matrix) *Matrix {
 			if av == 0 {
 				continue
 			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+			vecmath.Axpy(out.Row(i), av, brow)
 		}
 	}
 	return out
@@ -181,12 +183,7 @@ func MatMulBTransposed(a, b *Matrix) *Matrix {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
+			orow[j] = vecmath.Dot(arow, b.Row(j))
 		}
 	}
 	return out
@@ -245,24 +242,18 @@ func Scale(m *Matrix, s float64) *Matrix {
 // AddInPlace computes a += b.
 func AddInPlace(a, b *Matrix) {
 	sameShape(a, b)
-	for i := range a.Data {
-		a.Data[i] += b.Data[i]
-	}
+	vecmath.Add(a.Data, b.Data)
 }
 
 // AxpyInPlace computes a += s·b.
 func AxpyInPlace(a *Matrix, s float64, b *Matrix) {
 	sameShape(a, b)
-	for i := range a.Data {
-		a.Data[i] += s * b.Data[i]
-	}
+	vecmath.Axpy(a.Data, s, b.Data)
 }
 
 // ScaleInPlace computes m *= s.
 func ScaleInPlace(m *Matrix, s float64) {
-	for i := range m.Data {
-		m.Data[i] *= s
-	}
+	vecmath.ScaleInPlace(m.Data, s)
 }
 
 // AddRowBroadcast returns m with the 1×cols row vector bias added to every row.
@@ -307,14 +298,7 @@ func ReLU(m *Matrix) *Matrix {
 }
 
 // SigmoidScalar is the numerically stable logistic function.
-func SigmoidScalar(x float64) float64 {
-	if x >= 0 {
-		z := math.Exp(-x)
-		return 1 / (1 + z)
-	}
-	z := math.Exp(x)
-	return z / (1 + z)
-}
+func SigmoidScalar(x float64) float64 { return vecmath.Sigmoid(x) }
 
 // SoftmaxRows returns row-wise softmax of m.
 func SoftmaxRows(m *Matrix) *Matrix {
@@ -383,46 +367,19 @@ func (m *Matrix) Sum() float64 {
 // Dot returns the inner product of two equal-shape matrices flattened.
 func Dot(a, b *Matrix) float64 {
 	sameShape(a, b)
-	var s float64
-	for i, v := range a.Data {
-		s += v * b.Data[i]
-	}
-	return s
+	return vecmath.Dot(a.Data, b.Data)
 }
 
 // DotVec returns the inner product of two equal-length vectors.
-func DotVec(a, b []float64) float64 {
-	if len(a) != len(b) {
-		panic("tensor: DotVec length mismatch")
-	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
-}
+// It is a thin veneer over vecmath.Dot, kept for callers that already
+// import tensor.
+func DotVec(a, b []float64) float64 { return vecmath.Dot(a, b) }
 
 // L2NormVec returns the Euclidean norm of v.
-func L2NormVec(v []float64) float64 {
-	var s float64
-	for _, x := range v {
-		s += x * x
-	}
-	return math.Sqrt(s)
-}
+func L2NormVec(v []float64) float64 { return vecmath.Norm(v) }
 
 // SqDistVec returns the squared Euclidean distance between a and b.
-func SqDistVec(a, b []float64) float64 {
-	if len(a) != len(b) {
-		panic("tensor: SqDistVec length mismatch")
-	}
-	var s float64
-	for i, x := range a {
-		d := x - b[i]
-		s += d * d
-	}
-	return s
-}
+func SqDistVec(a, b []float64) float64 { return vecmath.SqDist(a, b) }
 
 // Frobenius returns the Frobenius norm of m.
 func (m *Matrix) Frobenius() float64 { return L2NormVec(m.Data) }

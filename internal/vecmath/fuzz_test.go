@@ -1,0 +1,77 @@
+package vecmath
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeVecs turns fuzz bytes into two equal-length float64 vectors,
+// rejecting NaN/Inf and absurd magnitudes so reference comparisons stay
+// meaningful. Length is capped at 257 to cover every unroll remainder.
+func decodeVecs(data []byte) (a, b []float64, ok bool) {
+	if len(data) < 1 {
+		return nil, nil, false
+	}
+	n := int(data[0]) // 0..255, plus the remainder cases below
+	data = data[1:]
+	if len(data) < 2*8*n {
+		n = len(data) / 16
+	}
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i:]))
+		y := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i+8:]))
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+			x = float64(i%7) - 3
+		}
+		if math.IsNaN(y) || math.IsInf(y, 0) || math.Abs(y) > 1e100 {
+			y = float64(i%5) - 2
+		}
+		a[i], b[i] = x, y
+	}
+	return a, b, true
+}
+
+// FuzzKernelsMatchReference fuzzes the unrolled kernels against the
+// naive scalar references. Run with: go test -fuzz=FuzzKernels ./internal/vecmath
+func FuzzKernelsMatchReference(f *testing.F) {
+	// Seed the corpus with every unroll remainder around the 4-element
+	// block size plus a longer vector.
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 63, 64, 65} {
+		seed := make([]byte, 1+16*n)
+		seed[0] = byte(n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(seed[1+16*i:], math.Float64bits(float64(i)-1.5))
+			binary.LittleEndian.PutUint64(seed[1+16*i+8:], math.Float64bits(2.5-float64(i)))
+		}
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b, ok := decodeVecs(data)
+		if !ok {
+			return
+		}
+		if got, want := Dot(a, b), refDot(a, b); !close12(got, want) {
+			t.Fatalf("Dot n=%d: got %g want %g", len(a), got, want)
+		}
+		if got, want := SquaredL2(a), refSquaredL2(a); !close12(got, want) {
+			t.Fatalf("SquaredL2 n=%d: got %g want %g", len(a), got, want)
+		}
+		if got, want := SqDist(a, b), refSqDist(a, b); !close12(got, want) {
+			t.Fatalf("SqDist n=%d: got %g want %g", len(a), got, want)
+		}
+		dst := append([]float64(nil), a...)
+		want := append([]float64(nil), a...)
+		Axpy(dst, 0.5, b)
+		for i := range want {
+			want[i] += 0.5 * b[i]
+		}
+		for i := range want {
+			if !close12(dst[i], want[i]) {
+				t.Fatalf("Axpy n=%d: [%d] got %g want %g", len(a), i, dst[i], want[i])
+			}
+		}
+	})
+}

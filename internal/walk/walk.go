@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"ehna/internal/graph"
 )
@@ -23,6 +24,36 @@ type Walk struct {
 
 // Len returns the number of nodes in the walk.
 func (w Walk) Len() int { return len(w.Nodes) }
+
+// Scratch holds reusable walk-generation buffers: the walk slice, the
+// per-walk Nodes/Times backing arrays and the transition-weight
+// scratch. The training loop generates k walks per aggregation and
+// immediately consumes them, so recycling the buffers removes the
+// dominant allocation source of walk generation. Obtain via
+// GetScratch, generate with TemporalWalker.WalksScratch, and return
+// with PutScratch once the walks are no longer referenced.
+type Scratch struct {
+	walks   []Walk
+	weights []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a pooled scratch buffer.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch recycles s. The walks most recently produced from s must
+// no longer be referenced.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+// slot returns walk slot i, growing the slice while keeping previously
+// recycled Nodes/Times capacity.
+func (s *Scratch) slot(i int) *Walk {
+	for len(s.walks) <= i {
+		s.walks = append(s.walks, Walk{})
+	}
+	return &s.walks[i]
+}
 
 // TemporalConfig parameterizes the EHNA temporal random walk.
 type TemporalConfig struct {
@@ -79,25 +110,36 @@ func (w *TemporalWalker) Config() TemporalConfig { return w.cfg }
 // exists. Walks of length 1 (the bare source) are still returned so the
 // aggregation layer always has k inputs.
 func (w *TemporalWalker) Walks(x graph.NodeID, tTarget float64, rng *rand.Rand) []Walk {
-	out := make([]Walk, 0, w.cfg.NumWalks)
-	for i := 0; i < w.cfg.NumWalks; i++ {
-		out = append(out, w.one(x, tTarget, rng))
+	out := make([]Walk, w.cfg.NumWalks)
+	var weights []float64
+	for i := range out {
+		w.oneInto(&out[i], x, tTarget, rng, &weights)
 	}
 	return out
 }
 
-func (w *TemporalWalker) one(x graph.NodeID, tTarget float64, rng *rand.Rand) Walk {
-	nodes := make([]graph.NodeID, 1, w.cfg.WalkLen)
-	times := make([]float64, 0, w.cfg.WalkLen-1)
-	nodes[0] = x
+// WalksScratch is Walks generating into pooled buffers: the returned
+// slice and the Nodes/Times of each walk are owned by s and are only
+// valid until the next WalksScratch call on s (or PutScratch).
+func (w *TemporalWalker) WalksScratch(s *Scratch, x graph.NodeID, tTarget float64, rng *rand.Rand) []Walk {
+	for i := 0; i < w.cfg.NumWalks; i++ {
+		w.oneInto(s.slot(i), x, tTarget, rng, &s.weights)
+	}
+	return s.walks[:w.cfg.NumWalks]
+}
+
+// oneInto generates one walk into dst, reusing dst's backing arrays
+// and the caller's transition-weight scratch.
+func (w *TemporalWalker) oneInto(dst *Walk, x graph.NodeID, tTarget float64, rng *rand.Rand, weightsScratch *[]float64) {
+	nodes := append(dst.Nodes[:0], x)
+	times := dst.Times[:0]
 
 	cur := x
 	var prev graph.NodeID
 	hasPrev := false
 	prevTime := tTarget
 
-	// Reused scratch for transition weights.
-	var weights []float64
+	weights := *weightsScratch
 
 	for len(nodes) < w.cfg.WalkLen {
 		var cands []graph.HalfEdge
@@ -158,7 +200,9 @@ func (w *TemporalWalker) one(x graph.NodeID, tTarget float64, rng *rand.Rand) Wa
 			prevTime = chosen.Time
 		}
 	}
-	return Walk{Nodes: nodes, Times: times}
+	*weightsScratch = weights
+	dst.Nodes = nodes
+	dst.Times = times
 }
 
 // edgeBetween reports whether a historical edge (≤ tTarget) connects a and
