@@ -2,6 +2,8 @@ package main
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ehna/internal/ann"
@@ -19,20 +21,44 @@ type nnRequest struct {
 
 type nnResponse struct {
 	results []ann.Result
+	buf     *resultBuf // release() when done with results; may be nil
 	err     error
 }
 
+// resultBuf is one coalesced batch's pooled result storage: a slice of
+// per-request []Result buffers whose capacity survives across batches,
+// so the steady-state query path performs no result allocations. It is
+// handed out to every handler served from the batch and returned to the
+// pool when the last one releases it.
+type resultBuf struct {
+	pool *sync.Pool
+	refs atomic.Int32
+	bufs [][]ann.Result
+}
+
+// release returns the buffer to its pool once every consumer is done.
+// Safe on nil (error/shutdown responses carry no buffer).
+func (rb *resultBuf) release() {
+	if rb != nil && rb.refs.Add(-1) == 0 {
+		rb.pool.Put(rb)
+	}
+}
+
 // batcher coalesces concurrent single-query /v1/neighbors requests into
-// one SearchBatch call: the first arrival opens a window, everything
-// landing within it (up to maxBatch) rides the same index pass. Under
-// load this amortizes per-query overhead and keeps the worker pool warm;
-// an idle daemon pays at most the window in extra latency.
+// one index pass: the first arrival opens a window, everything landing
+// within it (up to maxBatch) rides the same flush. Under load this
+// amortizes per-query overhead; an idle daemon pays at most the window
+// in extra latency. Each flush answers its queries through SearchInto
+// on pooled buffers — the allocating Search veneer never runs, keeping
+// the daemon's steady-state query path allocation-free end to end.
 type batcher struct {
 	index    ann.Index
 	in       chan nnRequest
 	maxBatch int
 	window   time.Duration
 	stop     chan struct{}
+	bufPool  sync.Pool
+	errs     []error // flush scratch; only the run() goroutine touches it
 }
 
 func newBatcher(index ann.Index, maxBatch int, window time.Duration) *batcher {
@@ -46,25 +72,28 @@ func newBatcher(index ann.Index, maxBatch int, window time.Duration) *batcher {
 		window:   window,
 		stop:     make(chan struct{}),
 	}
+	b.bufPool.New = func() any { return &resultBuf{pool: &b.bufPool} }
 	go b.run()
 	return b
 }
 
-// do submits one query and blocks for its result. A closed batcher
-// fails fast instead of blocking forever (req.out is buffered, so a
-// flush racing the shutdown reply is dropped harmlessly).
-func (b *batcher) do(vec []float64, k int) ([]ann.Result, error) {
+// do submits one query and blocks for its result. The caller must
+// release() the returned buffer after it is done reading (and mutating
+// — trimSelf filters in place) the results. A closed batcher fails fast
+// instead of blocking forever (req.out is buffered, so a flush racing
+// the shutdown reply is dropped harmlessly).
+func (b *batcher) do(vec []float64, k int) ([]ann.Result, *resultBuf, error) {
 	req := nnRequest{vec: vec, k: k, out: make(chan nnResponse, 1)}
 	select {
 	case b.in <- req:
 	case <-b.stop:
-		return nil, errShutdown
+		return nil, nil, errShutdown
 	}
 	select {
 	case resp := <-req.out:
-		return resp.results, resp.err
+		return resp.results, resp.buf, resp.err
 	case <-b.stop:
-		return nil, errShutdown
+		return nil, nil, errShutdown
 	}
 }
 
@@ -126,28 +155,35 @@ func (b *batcher) drain() {
 	}
 }
 
-// flush executes a gathered batch and fans results back out. Requests
-// may ask for different k; the batch runs at the max and each reply is
-// trimmed to its own k.
+// flush executes a gathered batch through SearchInto on this batch's
+// pooled buffers, each query at its own k, and fans the results back
+// out. Lone queries (the idle-daemon common case) run inline;
+// ann.ParallelFor spreads larger batches across GOMAXPROCS workers.
 func (b *batcher) flush(batch []nnRequest) {
-	qs := make([][]float64, len(batch))
-	maxK := 1
-	for i, req := range batch {
-		qs[i] = req.vec
-		if req.k > maxK {
-			maxK = req.k
-		}
+	rb := b.bufPool.Get().(*resultBuf)
+	for len(rb.bufs) < len(batch) {
+		rb.bufs = append(rb.bufs, nil)
 	}
-	results, err := b.index.SearchBatch(qs, maxK)
+	rb.refs.Store(int32(len(batch)))
+
+	for len(b.errs) < len(batch) {
+		b.errs = append(b.errs, nil)
+	}
+	errs := b.errs[:len(batch)]
+	ann.ParallelFor(len(batch), func(i int) {
+		out, err := b.index.SearchInto(rb.bufs[i][:0], batch[i].vec, batch[i].k)
+		if err == nil {
+			rb.bufs[i] = out // keep the (possibly grown) buffer for reuse
+		}
+		errs[i] = err
+	})
+
 	for i, req := range batch {
-		if err != nil {
-			req.out <- nnResponse{err: err}
+		if errs[i] != nil {
+			rb.release() // this request carries no buffer reference
+			req.out <- nnResponse{err: errs[i]}
 			continue
 		}
-		r := results[i]
-		if len(r) > req.k {
-			r = r[:req.k]
-		}
-		req.out <- nnResponse{results: r}
+		req.out <- nnResponse{results: rb.bufs[i], buf: rb}
 	}
 }

@@ -11,11 +11,18 @@
 //	                    edge operator (hadamard sum = dot product)
 //	POST /v1/upsert     insert/replace vectors (store + index)
 //	GET  /healthz       liveness + store/index stats
+//	GET  /debug/pprof/  (with -pprof) live CPU/heap/mutex profiling
 //
 // The embedding source is either -model (an ehna model snapshot written
 // by Model.Save — serves the raw embedding table) or -snapshot (an
 // embstore snapshot written by Store.Save — e.g. the attention-
 // aggregated InferAll embeddings exported by examples/serving).
+//
+// Index selection: -index exact (ground truth, linear scan), lsh
+// (multi-probe hashing) or hnsw (graph search — the sublinear choice at
+// 100k+ nodes). With -index hnsw, -hnsw-graph names a gob snapshot of
+// the graph structure: loaded when present so the daemon boots without
+// rebuilding, written after a fresh build otherwise.
 package main
 
 import (
@@ -39,14 +46,19 @@ func main() {
 		model     = flag.String("model", "", "path to an ehna model snapshot (Model.Save)")
 		snapshot  = flag.String("snapshot", "", "path to an embstore snapshot (Store.Save)")
 		shards    = flag.Int("shards", embstore.DefaultShards, "store shard count")
-		indexKind = flag.String("index", "lsh", "ann index: lsh or exact")
+		indexKind = flag.String("index", "lsh", "ann index: exact, lsh or hnsw")
 		tables    = flag.Int("tables", 16, "lsh: number of hash tables")
 		bits      = flag.Int("bits", 8, "lsh: signature bits per table")
 		probes    = flag.Int("probes", -1, "lsh: Hamming-1 probes per table (-1 = bits)")
-		seed      = flag.Int64("seed", 1, "lsh: hyperplane seed")
+		m         = flag.Int("m", 16, "hnsw: graph degree M (layer 0 allows 2M links)")
+		efCons    = flag.Int("ef-construction", 200, "hnsw: build-time beam width")
+		efSearch  = flag.Int("ef-search", 64, "hnsw: query-time beam width (recall/latency dial)")
+		hnswGraph = flag.String("hnsw-graph", "", "hnsw: graph snapshot path — loaded if present (boot without rebuild), written after a fresh build otherwise")
+		seed      = flag.Int64("seed", 1, "lsh hyperplane / hnsw level-draw seed")
 		metric    = flag.String("metric", "cosine", "similarity metric: cosine or dot")
 		maxBatch  = flag.Int("max-batch", 64, "micro-batcher: max coalesced queries")
 		window    = flag.Duration("batch-window", 2*time.Millisecond, "micro-batcher: gather window (0 disables)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 	)
 	flag.Parse()
 
@@ -54,18 +66,30 @@ func main() {
 	if err != nil {
 		log.Fatalf("ehnad: %v", err)
 	}
-	m, err := ann.ParseMetric(*metric)
+	mt, err := ann.ParseMetric(*metric)
 	if err != nil {
 		log.Fatalf("ehnad: %v", err)
 	}
-	index, err := buildIndex(store, *indexKind, m, *tables, *bits, *probes, *seed)
+	index, err := buildIndex(store, indexOptions{
+		kind:           *indexKind,
+		metric:         mt,
+		seed:           *seed,
+		tables:         *tables,
+		bits:           *bits,
+		probes:         *probes,
+		m:              *m,
+		efConstruction: *efCons,
+		efSearch:       *efSearch,
+		graphPath:      *hnswGraph,
+	})
 	if err != nil {
 		log.Fatalf("ehnad: %v", err)
 	}
 	log.Printf("ehnad: store loaded: %d nodes × %d dims across %d shards, %s index (%s metric)",
-		store.Len(), store.Dim(), store.NumShards(), *indexKind, m)
+		store.Len(), store.Dim(), store.NumShards(), *indexKind, mt)
 
 	srv := newServer(store, index, *indexKind, *maxBatch, *window)
+	srv.pprof = *pprofOn
 	defer srv.close()
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 
@@ -81,6 +105,9 @@ func main() {
 		close(done)
 	}()
 
+	if *pprofOn {
+		log.Printf("ehnad: pprof mounted at %s/debug/pprof/", *addr)
+	}
 	log.Printf("ehnad: listening on %s", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("ehnad: %v", err)
@@ -112,14 +139,91 @@ func loadStore(model, snapshot string, shards int) (*embstore.Store, error) {
 	}
 }
 
-func buildIndex(store *embstore.Store, kind string, metric ann.Metric, tables, bits, probes int, seed int64) (ann.Index, error) {
-	switch kind {
+// indexOptions carries every index-selection flag; only the fields for
+// the chosen kind are consulted.
+type indexOptions struct {
+	kind   string
+	metric ann.Metric
+	seed   int64
+	// lsh
+	tables, bits, probes int
+	// hnsw
+	m, efConstruction, efSearch int
+	graphPath                   string
+}
+
+func buildIndex(store *embstore.Store, o indexOptions) (ann.Index, error) {
+	switch o.kind {
 	case "exact":
-		return ann.NewExact(store, metric), nil
+		return ann.NewExact(store, o.metric), nil
 	case "lsh":
-		cfg := ann.LSHConfig{Tables: tables, Bits: bits, Probes: probes, Seed: seed, Metric: metric}
+		cfg := ann.LSHConfig{Tables: o.tables, Bits: o.bits, Probes: o.probes, Seed: o.seed, Metric: o.metric}
 		return ann.NewLSH(store, cfg)
+	case "hnsw":
+		return buildHNSW(store, o)
 	default:
-		return nil, fmt.Errorf("unknown index %q (want lsh or exact)", kind)
+		return nil, fmt.Errorf("unknown index %q (want exact, lsh or hnsw)", o.kind)
 	}
+}
+
+// buildHNSW loads the graph snapshot when one exists (boot without
+// rebuild) and builds+saves it otherwise.
+func buildHNSW(store *embstore.Store, o indexOptions) (ann.Index, error) {
+	cfg := ann.HNSWConfig{M: o.m, EfConstruction: o.efConstruction, EfSearch: o.efSearch, Seed: o.seed, Metric: o.metric}
+	if o.graphPath != "" {
+		if f, err := os.Open(o.graphPath); err == nil {
+			defer f.Close()
+			h, err := ann.LoadHNSWGraph(f, store)
+			if err != nil {
+				return nil, fmt.Errorf("load hnsw graph %s: %w", o.graphPath, err)
+			}
+			// The snapshot fixes the build-time parameters (metric, M,
+			// ef-construction); only -ef-search applies at load. A metric
+			// mismatch would silently rank by the wrong similarity, so
+			// refuse it rather than ignore the flag.
+			loaded := h.Config()
+			if loaded.Metric != o.metric {
+				return nil, fmt.Errorf("hnsw graph %s was built with metric %s, conflicting with -metric %s (rebuild, or match the flag)",
+					o.graphPath, loaded.Metric, o.metric)
+			}
+			h.SetEfSearch(o.efSearch)
+			alive, tombs, maxLevel := h.Stats()
+			log.Printf("ehnad: hnsw graph loaded from %s: %d nodes (%d tombstones), %d layers, m=%d ef-construction=%d (snapshot values)",
+				o.graphPath, alive, tombs, maxLevel+1, loaded.M, loaded.EfConstruction)
+			return h, nil
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	h, err := ann.BuildHNSW(store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	alive, _, maxLevel := h.Stats()
+	log.Printf("ehnad: hnsw graph built: %d nodes, %d layers in %v", alive, maxLevel+1, time.Since(start).Round(time.Millisecond))
+	if o.graphPath != "" {
+		// Write-then-rename so a crash mid-save cannot leave a truncated
+		// snapshot that bricks every subsequent boot.
+		tmp := o.graphPath + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.SaveGraph(f); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return nil, err
+		}
+		if err := os.Rename(tmp, o.graphPath); err != nil {
+			os.Remove(tmp)
+			return nil, err
+		}
+		log.Printf("ehnad: hnsw graph saved to %s", o.graphPath)
+	}
+	return h, nil
 }

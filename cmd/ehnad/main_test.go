@@ -21,10 +21,19 @@ import (
 	"ehna/internal/walk"
 )
 
+// testIndexOptions is the flag-default option set used by the tests.
+func testIndexOptions(kind string) indexOptions {
+	return indexOptions{
+		kind: kind, metric: ann.Cosine, seed: 1,
+		tables: 16, bits: 8, probes: -1,
+		m: 16, efConstruction: 200, efSearch: 64,
+	}
+}
+
 // newTestServer stands up the full daemon handler over the given store.
 func newTestServer(t *testing.T, store *embstore.Store, indexKind string) (*server, *httptest.Server) {
 	t.Helper()
-	index, err := buildIndex(store, indexKind, ann.Cosine, 16, 8, -1, 1)
+	index, err := buildIndex(store, testIndexOptions(indexKind))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +115,7 @@ func trainedStore(t *testing.T) (*embstore.Store, *graph.Temporal) {
 
 func TestNeighborsEndToEndOnTrainedGraph(t *testing.T) {
 	store, g := trainedStore(t)
-	for _, kind := range []string{"exact", "lsh"} {
+	for _, kind := range []string{"exact", "lsh", "hnsw"} {
 		_, ts := newTestServer(t, store, kind)
 		var resp neighborsResponse
 		status, raw := postJSON(t, ts.URL+"/v1/neighbors", map[string]any{"id": 0, "k": 5}, &resp)
@@ -221,7 +230,7 @@ func TestScoreMatchesDotProduct(t *testing.T) {
 
 func TestUpsertThenQuery(t *testing.T) {
 	store, _ := trainedStore(t)
-	for _, kind := range []string{"exact", "lsh"} {
+	for _, kind := range []string{"exact", "lsh", "hnsw"} {
 		_, ts := newTestServer(t, store, kind)
 		id := uint32(200000)
 		vec := make([]float64, store.Dim())
@@ -329,7 +338,8 @@ func TestBatcherShutdownUnblocksCallers(t *testing.T) {
 			defer wg.Done()
 			// Either a real result (flushed before close) or errShutdown —
 			// never a hang.
-			_, _ = b.do(q, 3)
+			_, buf, _ := b.do(q, 3)
+			buf.release()
 		}()
 	}
 	b.close()
@@ -387,5 +397,74 @@ func TestLoadStoreFromModelSnapshot(t *testing.T) {
 	}
 	if _, err := loadStore(path, path, 4); err == nil {
 		t.Fatal("two sources accepted")
+	}
+}
+
+// TestPprofMount checks /debug/pprof/ is served only when -pprof is set.
+func TestPprofMount(t *testing.T) {
+	store, _ := trainedStore(t)
+	srv, ts := newTestServer(t, store, "exact")
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof served without -pprof")
+	}
+
+	srv.pprof = true
+	ts2 := httptest.NewServer(srv.handler())
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index with -pprof: status %d", resp.StatusCode)
+	}
+}
+
+// TestHNSWGraphSnapshotBoot builds an HNSW index with -hnsw-graph set
+// (writing the snapshot), boots a second index from the saved graph,
+// and checks the loaded index answers queries identically — the
+// restart-without-rebuild path.
+func TestHNSWGraphSnapshotBoot(t *testing.T) {
+	store, _ := trainedStore(t)
+	opts := testIndexOptions("hnsw")
+	opts.graphPath = filepath.Join(t.TempDir(), "graph.gob")
+	built, err := buildIndex(store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(opts.graphPath); err != nil {
+		t.Fatalf("graph snapshot not written: %v", err)
+	}
+	loaded, err := buildIndex(store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loaded.(*ann.HNSW); !ok {
+		t.Fatalf("loaded index is %T, want *ann.HNSW", loaded)
+	}
+	for qi := graph.NodeID(0); qi < 10; qi++ {
+		q := mustGet(t, store, qi)
+		want, err := built.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results vs %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d: %+v vs %+v", qi, i, got[i], want[i])
+			}
+		}
 	}
 }

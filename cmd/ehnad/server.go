@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -21,6 +22,7 @@ type server struct {
 	batch     *batcher
 	indexName string
 	started   time.Time
+	pprof     bool // mount net/http/pprof on the mux (-pprof)
 }
 
 func newServer(store *embstore.Store, index ann.Index, indexName string, maxBatch int, window time.Duration) *server {
@@ -35,13 +37,22 @@ func newServer(store *embstore.Store, index ann.Index, indexName string, maxBatc
 
 func (s *server) close() { s.batch.close() }
 
-// handler builds the route table.
+// handler builds the route table. With -pprof the net/http/pprof
+// handlers ride the same admin mux, so a live daemon can be profiled
+// (go tool pprof http://host/debug/pprof/profile) while serving.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/neighbors", s.handleNeighbors)
 	mux.HandleFunc("/v1/score", s.handleScore)
 	mux.HandleFunc("/v1/upsert", s.handleUpsert)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -143,12 +154,13 @@ func (s *server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	if self != nil {
 		ask++
 	}
-	results, err := s.batch.do(vec, ask)
+	results, buf, err := s.batch.do(vec, ask)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "search: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": trimSelf(results, self, k)})
+	buf.release() // results must not be touched past this point
 }
 
 // handleNeighborsBatch answers an explicit client-side batch in one
@@ -308,7 +320,7 @@ func (s *server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status":   "ok",
 		"nodes":    s.store.Len(),
 		"dim":      s.store.Dim(),
@@ -316,5 +328,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"index":    s.indexName,
 		"metric":   s.index.Metric().String(),
 		"uptime_s": time.Since(s.started).Seconds(),
-	})
+	}
+	if h, ok := s.index.(*ann.HNSW); ok {
+		// Tombstones accumulate under delete/replace churn and are only
+		// reclaimed by a rebuild — the number to watch before restarting
+		// with a fresh graph.
+		alive, tombstones, maxLevel := h.Stats()
+		out["graph"] = map[string]any{
+			"nodes":      alive,
+			"tombstones": tombstones,
+			"layers":     maxLevel + 1,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }

@@ -1,9 +1,10 @@
 // Serving walkthrough: the full train → serialize → embstore → ann →
 // ehnad pipeline. It trains EHNA on a synthetic temporal network,
 // exports both snapshot formats the daemon accepts, builds the sharded
-// store and both ANN indexes in-process, audits LSH recall against
-// exact search, and prints the exact commands to serve the artifacts
-// with cmd/ehnad.
+// store and all three ANN indexes in-process (exact scan, LSH, HNSW),
+// audits the approximate indexes' recall against exact search, saves
+// the HNSW graph snapshot the daemon can boot from without rebuilding,
+// and prints the exact commands to serve the artifacts with cmd/ehnad.
 package main
 
 import (
@@ -76,12 +77,27 @@ func main() {
 	fmt.Printf("artifacts: %s (model), %s (store, %d×%d across %d shards)\n",
 		modelPath, storePath, store.Len(), store.Dim(), store.NumShards())
 
-	// 3. Build both indexes and answer the same query.
+	// 3. Build all three indexes and answer the same query. The HNSW
+	//    graph is also snapshotted so the daemon can boot without paying
+	//    the build again (-hnsw-graph).
 	exact := ann.NewExact(store, ann.Cosine)
 	lsh, err := ann.NewLSH(store, ann.DefaultLSHConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
+	hnsw, err := ann.BuildHNSW(store, ann.DefaultHNSWConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	graphPath := filepath.Join(outDir, "hnsw.gob")
+	gf, err := os.Create(graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hnsw.SaveGraph(gf); err != nil {
+		log.Fatal(err)
+	}
+	gf.Close()
 	const target, k = 0, 10
 	q, _ := store.Get(target)
 	exactTop, err := exact.Search(q, k+1)
@@ -96,39 +112,49 @@ func main() {
 		fmt.Printf("  node %4d  score %.4f\n", r.ID, r.Score)
 	}
 
-	// 4. Audit LSH recall@k against exact over a query sample — the
-	//    number to watch when tuning -tables/-bits for your store size.
+	// 4. Audit approximate recall@k against exact over a query sample —
+	//    the number to watch when tuning -tables/-bits (LSH) or
+	//    -m/-ef-search (HNSW) for your store size.
 	nq := 50
 	if nq > store.Len() {
 		nq = store.Len()
 	}
-	var approx, truth [][]graph.NodeID
-	for qi := 0; qi < nq; qi++ {
-		qv, ok := store.Get(graph.NodeID(qi))
-		if !ok {
-			continue
+	for _, idx := range []struct {
+		name  string
+		index ann.Index
+	}{{"LSH", lsh}, {"HNSW", hnsw}} {
+		var approx, truth [][]graph.NodeID
+		for qi := 0; qi < nq; qi++ {
+			qv, ok := store.Get(graph.NodeID(qi))
+			if !ok {
+				continue
+			}
+			er, err := exact.Search(qv, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ar, err := idx.index.Search(qv, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			truth = append(truth, resultIDs(er))
+			approx = append(approx, resultIDs(ar))
 		}
-		er, err := exact.Search(qv, k)
+		recall, err := eval.MeanRecallAtK(approx, truth)
 		if err != nil {
 			log.Fatal(err)
 		}
-		lr, err := lsh.Search(qv, k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		truth = append(truth, resultIDs(er))
-		approx = append(approx, resultIDs(lr))
+		fmt.Printf("%s recall@%d vs exact over %d queries: %.3f\n", idx.name, k, nq, recall)
 	}
-	recall, err := eval.MeanRecallAtK(approx, truth)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nLSH recall@%d vs exact over %d queries: %.3f\n", k, nq, recall)
 
-	// 5. Serve it. Either artifact boots the daemon:
+	// 5. Serve it. Either embedding artifact boots the daemon; pick the
+	//    index with -index (hnsw reuses the saved graph snapshot).
 	fmt.Printf(`
 serve the aggregated embeddings (recommended):
   go run ./cmd/ehnad -snapshot %s
+
+with the sublinear HNSW index, booting from the saved graph:
+  go run ./cmd/ehnad -snapshot %s -index hnsw -hnsw-graph %s
 
 or the raw table straight from the model snapshot:
   go run ./cmd/ehnad -model %s
@@ -138,7 +164,7 @@ then query:
   curl -s -X POST localhost:8080/v1/neighbors -d '{"id":%d,"k":%d}'
   curl -s -X POST localhost:8080/v1/score -d '{"u":0,"v":1,"op":"hadamard"}'
   curl -s -X POST localhost:8080/v1/upsert -d '{"id":900000,"vector":[...]}'
-`, storePath, modelPath, target, k)
+`, storePath, storePath, graphPath, modelPath, target, k)
 }
 
 func resultIDs(rs []ann.Result) []graph.NodeID {

@@ -46,7 +46,11 @@ func TestSearchIntoZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, idx := range map[string]Index{"exact": exact, "lsh": lsh} {
+	hnsw, err := BuildHNSW(store, DefaultHNSWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, idx := range map[string]Index{"exact": exact, "lsh": lsh, "hnsw": hnsw} {
 		dst := make([]Result, 0, k)
 		// Warm the scratch pool and result buffers.
 		for i := 0; i < 3; i++ {
@@ -71,16 +75,21 @@ func TestSearchIntoZeroAlloc(t *testing.T) {
 }
 
 // TestSearchIntoMatchesSearch checks the buffered path returns exactly
-// what the allocating path returns, for both index types.
+// what the allocating path returns, for every index type.
 func TestSearchIntoMatchesSearch(t *testing.T) {
 	store := buildStore(t, 500, 16)
 	lsh, err := NewLSH(store, DefaultLSHConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
+	hnsw, err := BuildHNSW(store, DefaultHNSWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for name, idx := range map[string]Index{
 		"exact": NewExact(store, Cosine),
 		"lsh":   lsh,
+		"hnsw":  hnsw,
 	} {
 		for qi := 0; qi < 10; qi++ {
 			q := make([]float64, 16)

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"ehna/internal/embstore"
 	"ehna/internal/graph"
@@ -316,38 +317,47 @@ func (e *Exact) SearchBatch(qs [][]float64, k int) ([][]Result, error) {
 	})
 }
 
-// batchSearch fans qs out over min(GOMAXPROCS, len(qs)) workers. The
-// first error wins; results stay index-aligned with qs.
-func batchSearch(qs [][]float64, k int, search func(q []float64) ([]Result, error)) ([][]Result, error) {
-	out := make([][]Result, len(qs))
-	errs := make([]error, len(qs))
+// ParallelFor runs fn(i) for every i in [0, n) across min(GOMAXPROCS,
+// n) workers pulling from a shared atomic cursor; n ≤ 1 (or a single
+// CPU) runs inline with no goroutines. The one fan-out primitive behind
+// batch queries, HNSW bulk builds and the daemon's batcher flushes.
+func ParallelFor(n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(qs) {
-		workers = len(qs)
+	if workers > n {
+		workers = n
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
 	}
-	var next sync.Mutex
-	idx := 0
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				next.Lock()
-				i := idx
-				idx++
-				next.Unlock()
-				if i >= len(qs) {
+				i := int(next.Add(1)) - 1
+				if i >= n {
 					return
 				}
-				out[i], errs[i] = search(qs[i])
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// batchSearch fans qs out over ParallelFor. The first error wins;
+// results stay index-aligned with qs.
+func batchSearch(qs [][]float64, k int, search func(q []float64) ([]Result, error)) ([][]Result, error) {
+	out := make([][]Result, len(qs))
+	errs := make([]error, len(qs))
+	ParallelFor(len(qs), func(i int) {
+		out[i], errs[i] = search(qs[i])
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -107,7 +107,7 @@ func TestExactSearchBatchMatchesSearch(t *testing.T) {
 
 func TestSearchValidation(t *testing.T) {
 	s := randomStore(t, 10, 4, 5)
-	for _, idx := range []Index{NewExact(s, Cosine), mustLSH(t, s, DefaultLSHConfig())} {
+	for _, idx := range []Index{NewExact(s, Cosine), mustLSH(t, s, DefaultLSHConfig()), mustHNSW(t, s, DefaultHNSWConfig())} {
 		if _, err := idx.Search([]float64{1, 2}, 3); err == nil {
 			t.Fatal("wrong-dim query accepted")
 		}
@@ -119,7 +119,7 @@ func TestSearchValidation(t *testing.T) {
 
 func TestKLargerThanStore(t *testing.T) {
 	s := randomStore(t, 5, 4, 6)
-	for _, idx := range []Index{NewExact(s, Cosine), mustLSH(t, s, DefaultLSHConfig())} {
+	for _, idx := range []Index{NewExact(s, Cosine), mustLSH(t, s, DefaultLSHConfig()), mustHNSW(t, s, DefaultHNSWConfig())} {
 		got, err := idx.Search([]float64{1, 0, 0, 0}, 50)
 		if err != nil {
 			t.Fatal(err)

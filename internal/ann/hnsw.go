@@ -1,0 +1,995 @@
+// Hierarchical Navigable Small World (HNSW, Malkov & Yashunin): a
+// multi-layer proximity graph over the embstore. Every vector gets a
+// geometrically-distributed top level; upper layers form progressively
+// sparser graphs that greedy descent crosses in a few hops, and layer 0
+// holds the dense graph a beam search (width efSearch) scans for the
+// final candidates. Queries therefore touch O(log n)-ish nodes instead
+// of the whole store (Exact) or a bucket union re-rank (LSH) — the
+// sublinear query path for 100k+ node stores.
+//
+// The search hot path holds the PR 2 bar: all per-query state (the
+// epoch-stamped visited array, candidate/result heaps, shard-grouping
+// buffers) lives in a pooled scratch, the query norm is computed once
+// per query, and candidate vectors are read straight out of the
+// embstore SoA slabs in shard-grouped batches (one WithShard lock
+// acquisition per shard per expansion), so SearchInto is allocation-
+// free in steady state.
+//
+// Mutability: Add inserts online (discovery under the read lock, link
+// mutation under the write lock, so concurrent searches keep running
+// through an insert's expensive phase); Remove tombstones the slot and
+// repairs the hole by cross-linking the victim's neighbors, falling
+// back to a fresh entry point when the entry node itself is removed.
+// Build inserts a whole store snapshot in parallel with per-worker
+// scratch. SaveGraph/LoadHNSWGraph snapshot the graph structure so a
+// daemon can boot without paying the build again.
+package ann
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"slices"
+	"sync"
+
+	"ehna/internal/embstore"
+	"ehna/internal/graph"
+	"ehna/internal/vecmath"
+)
+
+// HNSWConfig parameterizes the graph. Recall grows with M (graph
+// degree), EfConstruction (build-time beam width) and EfSearch
+// (query-time beam width); query cost grows with M and EfSearch, build
+// cost with M and EfConstruction.
+type HNSWConfig struct {
+	// M is the target out-degree per node on layers ≥ 1; layer 0 allows
+	// 2M. Default 16. Must be at least 2.
+	M int
+	// EfConstruction is the beam width used while inserting (default
+	// 200). Wider beams find better neighbors and raise recall.
+	EfConstruction int
+	// EfSearch is the layer-0 beam width at query time (default 64);
+	// queries run at max(EfSearch, k). The recall/latency dial.
+	EfSearch int
+	// Seed fixes the level draws for reproducible builds.
+	Seed int64
+	// Metric is the similarity the graph is built and searched under
+	// (default Cosine).
+	Metric Metric
+}
+
+// DefaultHNSWConfig returns the configuration used by cmd/ehnad unless
+// overridden: M=16, efConstruction=200, efSearch=64 measures recall@10
+// ≥ 0.95 against exact search at 100k isotropic Gaussian vectors (the
+// hardest case — real embeddings cluster and recall rises).
+func DefaultHNSWConfig() HNSWConfig {
+	return HNSWConfig{M: 16, EfConstruction: 200, EfSearch: 64, Seed: 1, Metric: Cosine}
+}
+
+func (c *HNSWConfig) fill() error {
+	if c.M == 0 {
+		c.M = 16
+	}
+	if c.M < 2 || c.M > 128 {
+		return fmt.Errorf("ann: hnsw M %d outside [2,128]", c.M)
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 64
+	}
+	return nil
+}
+
+// hnswMaxLevel caps the geometric level draw; with M ≥ 2 the chance of
+// a legitimate draw this high is ≈ 2^-32.
+const hnswMaxLevel = 32
+
+// hnswNode is one graph vertex. Slots are append-only: a node keeps its
+// slot for the index's lifetime, so link lists can store bare slot
+// numbers. Tombstoned slots (alive=false) keep id for bookkeeping but
+// drop their links.
+type hnswNode struct {
+	id    graph.NodeID
+	alive bool
+	links [][]uint32 // layer → neighbor slots; len(links) == level+1
+}
+
+// HNSW is the graph index over an embstore. The store remains the
+// source of truth for vectors; the graph only holds link structure.
+// Safe for concurrent use: searches share the read lock, mutations
+// take the write lock, and Add holds the write lock only for its cheap
+// bookkeeping and link-wiring phases — neighbor discovery (the
+// expensive part) runs under the read lock alongside queries.
+//
+// Invariant: store writes for indexed IDs happen under h.mu, so while
+// the read lock is held every alive slot's vector is present in the
+// store (lock order is always h.mu → shard lock, matching LSH).
+type HNSW struct {
+	store    *embstore.Store
+	levelMul float64 // 1/ln(M): geometric level distribution parameter
+	fallback *Exact
+
+	mu       sync.RWMutex
+	cfg      HNSWConfig // EfSearch mutable via SetEfSearch
+	nodes    []hnswNode
+	slotOf   map[graph.NodeID]uint32 // alive slots only
+	entry    int                     // entry-point slot; -1 when empty
+	maxLevel int                     // level of entry; -1 when empty
+	alive    int
+	rng      *rand.Rand // level draws; guarded by mu
+}
+
+// NewHNSW returns an empty graph over store. Call Build to index the
+// vectors already in the store, or Add them incrementally.
+func NewHNSW(store *embstore.Store, cfg HNSWConfig) (*HNSW, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &HNSW{
+		store:    store,
+		cfg:      cfg,
+		levelMul: 1 / math.Log(float64(cfg.M)),
+		fallback: NewExact(store, cfg.Metric),
+		slotOf:   make(map[graph.NodeID]uint32, store.Len()),
+		entry:    -1,
+		maxLevel: -1,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// BuildHNSW is NewHNSW followed by Build: the one-call path from a
+// loaded store to a queryable graph.
+func BuildHNSW(store *embstore.Store, cfg HNSWConfig) (*HNSW, error) {
+	h, err := NewHNSW(store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Build(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Config returns the (filled-in) configuration.
+func (h *HNSW) Config() HNSWConfig {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.cfg
+}
+
+// SetEfSearch adjusts the query-time beam width (ignored if ef ≤ 0) —
+// the recall/latency dial, safe to turn on a live index.
+func (h *HNSW) SetEfSearch(ef int) {
+	if ef <= 0 {
+		return
+	}
+	h.mu.Lock()
+	h.cfg.EfSearch = ef
+	h.mu.Unlock()
+}
+
+// Metric reports the similarity metric.
+func (h *HNSW) Metric() Metric { return h.cfg.Metric }
+
+// Len reports the number of live (searchable) nodes in the graph.
+func (h *HNSW) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.alive
+}
+
+// Stats reports graph shape: live nodes, tombstoned slots awaiting a
+// rebuild, and the top layer of the hierarchy.
+func (h *HNSW) Stats() (alive, tombstones, maxLevel int) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.alive, len(h.nodes) - h.alive, h.maxLevel
+}
+
+// maxConn is the per-layer degree cap: 2M on the dense base layer, M
+// above it.
+func (h *HNSW) maxConn(layer int) int {
+	if layer == 0 {
+		return 2 * h.cfg.M
+	}
+	return h.cfg.M
+}
+
+// randomLevelLocked draws a geometric level: P(level ≥ l) = M^-l.
+// Caller holds h.mu.
+func (h *HNSW) randomLevelLocked() int {
+	u := h.rng.Float64()
+	for u == 0 {
+		u = h.rng.Float64()
+	}
+	l := int(-math.Log(u) * h.levelMul)
+	if l > hnswMaxLevel {
+		l = hnswMaxLevel
+	}
+	return l
+}
+
+// scoredNode pairs a graph slot with its similarity to the current
+// pivot (query vector or prune subject). Higher score = closer.
+type scoredNode struct {
+	slot  uint32
+	score float64
+}
+
+// scoredCmp orders descending by score, ties ascending by slot, for
+// deterministic neighbor selection (package-level to keep sorts
+// allocation-free).
+func scoredCmp(a, b scoredNode) int {
+	switch {
+	case a.score > b.score:
+		return -1
+	case a.score < b.score:
+		return 1
+	case a.slot < b.slot:
+		return -1
+	case a.slot > b.slot:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// nodeHeap is a hand-rolled binary heap over scoredNode. Result beams
+// are min-heaps (root = current worst, evicted first); the expansion
+// frontier is a max-heap (root = most promising candidate).
+type nodeHeap struct {
+	min bool
+	a   []scoredNode
+}
+
+func (hp *nodeHeap) reset(min bool) { hp.min, hp.a = min, hp.a[:0] }
+func (hp *nodeHeap) len() int       { return len(hp.a) }
+
+// peek returns the root: the worst element of a min-heap, the best of a
+// max-heap.
+func (hp *nodeHeap) peek() scoredNode { return hp.a[0] }
+
+func (hp *nodeHeap) before(a, b scoredNode) bool {
+	if hp.min {
+		return a.score < b.score
+	}
+	return a.score > b.score
+}
+
+func (hp *nodeHeap) push(n scoredNode) {
+	hp.a = append(hp.a, n)
+	i := len(hp.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !hp.before(hp.a[i], hp.a[p]) {
+			break
+		}
+		hp.a[i], hp.a[p] = hp.a[p], hp.a[i]
+		i = p
+	}
+}
+
+func (hp *nodeHeap) pop() scoredNode {
+	root := hp.a[0]
+	last := len(hp.a) - 1
+	hp.a[0] = hp.a[last]
+	hp.a = hp.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(hp.a) && hp.before(hp.a[l], hp.a[best]) {
+			best = l
+		}
+		if r < len(hp.a) && hp.before(hp.a[r], hp.a[best]) {
+			best = r
+		}
+		if best == i {
+			return root
+		}
+		hp.a[i], hp.a[best] = hp.a[best], hp.a[i]
+		i = best
+	}
+}
+
+// hnswScratch is the pooled per-query (and per-build-worker) working
+// state. Everything is capacity-reused, so the steady-state search
+// path performs no allocations.
+type hnswScratch struct {
+	// visited is the epoch-stamp array over graph slots: visited[s] ==
+	// epoch marks s as seen this beam search. Sized to the node count,
+	// grown (amortized) as the graph grows.
+	visited []uint32
+	epoch   uint32
+
+	cand    nodeHeap // expansion frontier (max-heap)
+	res     nodeHeap // beam results (min-heap, capped at ef)
+	pending []uint32 // slots awaiting batch scoring this expansion
+
+	// Shard-grouping buffers: pending slots and their IDs bucketed by
+	// store shard so each expansion takes one read lock per shard.
+	shardSlots [][]uint32
+	shardIDs   [][]graph.NodeID
+
+	// Neighbor-selection state: beam survivors sorted by score with
+	// their vectors cached out of the store, so the diversity heuristic
+	// scores candidate pairs without further locking. candNorms < 0
+	// flags a candidate whose vector was missing.
+	work      []scoredNode
+	candVecs  []float64
+	candNorms []float64
+	chosen    []int
+	discard   []int
+	selected  [][]uint32 // per-layer chosen neighbor slots (insert)
+
+	qbuf []float64 // prune-subject vector copy (pruneLocked)
+	vbuf []float64 // insert-vector copy (Build); distinct from qbuf,
+	// which pruneLocked clobbers mid-insert
+	top topK // final top-k assembly
+}
+
+var hnswScratchPool = sync.Pool{New: func() any { return new(hnswScratch) }}
+
+// bumpEpoch starts a fresh visited generation over n slots.
+func (sc *hnswScratch) bumpEpoch(n int) {
+	if len(sc.visited) < n {
+		grown := make([]uint32, n)
+		copy(grown, sc.visited)
+		sc.visited = grown
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale stamps could collide
+		clear(sc.visited)
+		sc.epoch = 1
+	}
+}
+
+// scoreSlot scores a single slot against q through the store, reporting
+// whether the vector was present. Used for entry points and prune
+// subjects; bulk scoring goes through scorePending.
+func (h *HNSW) scoreSlot(slot uint32, q []float64, qNorm float64) (float64, bool) {
+	var s float64
+	ok := h.store.With(h.nodes[slot].id, func(vec []float64, norm float64) {
+		s = h.cfg.Metric.score(q, vec, qNorm, norm)
+	})
+	return s, ok
+}
+
+// scorePending scores every slot queued in sc.pending against q,
+// reading vectors from the store's SoA slabs in shard-grouped batches —
+// one WithShard lock acquisition per shard touched, not one per vector
+// — and invokes visit for each vector found. Slots whose vector has
+// vanished (a remove racing a stale link) are silently skipped.
+func (h *HNSW) scorePending(sc *hnswScratch, q []float64, qNorm float64, visit func(slot uint32, score float64)) {
+	nShards := h.store.NumShards()
+	for len(sc.shardSlots) < nShards {
+		sc.shardSlots = append(sc.shardSlots, nil)
+		sc.shardIDs = append(sc.shardIDs, nil)
+	}
+	for i := 0; i < nShards; i++ {
+		sc.shardSlots[i] = sc.shardSlots[i][:0]
+		sc.shardIDs[i] = sc.shardIDs[i][:0]
+	}
+	for _, slot := range sc.pending {
+		id := h.nodes[slot].id
+		si := h.store.ShardOf(id)
+		sc.shardSlots[si] = append(sc.shardSlots[si], slot)
+		sc.shardIDs[si] = append(sc.shardIDs[si], id)
+	}
+	for si := 0; si < nShards; si++ {
+		if len(sc.shardIDs[si]) == 0 {
+			continue
+		}
+		ids, slots := sc.shardIDs[si], sc.shardSlots[si]
+		cur := 0
+		h.store.WithShard(si, ids, func(id graph.NodeID, vec []float64, norm float64) {
+			// WithShard preserves request order but skips missing IDs;
+			// advance the cursor to re-align (alive slots have unique IDs,
+			// so the match is unambiguous).
+			for ids[cur] != id {
+				cur++
+			}
+			visit(slots[cur], h.cfg.Metric.score(q, vec, qNorm, norm))
+			cur++
+		})
+	}
+}
+
+// searchLayer runs a beam search of width ef across one layer from the
+// (already scored, alive) entry ep, leaving the ≤ ef best alive nodes
+// in sc.res. ef=1 degrades to the greedy descent used on upper layers.
+// Caller holds h.mu (read or write).
+func (h *HNSW) searchLayer(sc *hnswScratch, q []float64, qNorm float64, ep scoredNode, ef, layer int) {
+	sc.bumpEpoch(len(h.nodes))
+	sc.visited[ep.slot] = sc.epoch
+	sc.cand.reset(false)
+	sc.res.reset(true)
+	sc.cand.push(ep)
+	sc.res.push(ep)
+	for sc.cand.len() > 0 {
+		c := sc.cand.pop()
+		if sc.res.len() >= ef && c.score < sc.res.peek().score {
+			break // every remaining candidate is worse than the beam's worst
+		}
+		sc.pending = sc.pending[:0]
+		for _, nb := range h.nodes[c.slot].links[layer] {
+			if sc.visited[nb] == sc.epoch {
+				continue
+			}
+			sc.visited[nb] = sc.epoch
+			if !h.nodes[nb].alive {
+				continue // tombstone: repaired links route around it
+			}
+			sc.pending = append(sc.pending, nb)
+		}
+		h.scorePending(sc, q, qNorm, func(slot uint32, score float64) {
+			if sc.res.len() < ef {
+				sc.cand.push(scoredNode{slot, score})
+				sc.res.push(scoredNode{slot, score})
+			} else if score > sc.res.peek().score {
+				sc.cand.push(scoredNode{slot, score})
+				sc.res.push(scoredNode{slot, score})
+				sc.res.pop()
+			}
+		})
+	}
+}
+
+// bestOfRes returns the highest-scoring element of sc.res (the res heap
+// is a min-heap, so the best is not the root).
+func (sc *hnswScratch) bestOfRes() scoredNode {
+	best := sc.res.a[0]
+	for _, n := range sc.res.a[1:] {
+		if n.score > best.score {
+			best = n
+		}
+	}
+	return best
+}
+
+// gatherWork sorts sc.res into sc.work (descending score) and caches
+// each survivor's vector and norm from the store in shard-grouped
+// batches, so the selection heuristic can score candidate pairs without
+// touching the store again. Missing vectors are flagged with a negative
+// norm. Caller holds h.mu.
+func (h *HNSW) gatherWork(sc *hnswScratch, dim int) {
+	sc.work = append(sc.work[:0], sc.res.a...)
+	slices.SortFunc(sc.work, scoredCmp)
+	need := len(sc.work) * dim
+	if cap(sc.candVecs) < need {
+		sc.candVecs = make([]float64, need)
+	}
+	sc.candVecs = sc.candVecs[:need]
+	if cap(sc.candNorms) < len(sc.work) {
+		sc.candNorms = make([]float64, len(sc.work))
+	}
+	sc.candNorms = sc.candNorms[:len(sc.work)]
+	for i := range sc.candNorms {
+		sc.candNorms[i] = -1
+	}
+
+	nShards := h.store.NumShards()
+	for len(sc.shardSlots) < nShards {
+		sc.shardSlots = append(sc.shardSlots, nil)
+		sc.shardIDs = append(sc.shardIDs, nil)
+	}
+	for i := 0; i < nShards; i++ {
+		// shardSlots carries work indices here, not graph slots.
+		sc.shardSlots[i] = sc.shardSlots[i][:0]
+		sc.shardIDs[i] = sc.shardIDs[i][:0]
+	}
+	for i, w := range sc.work {
+		id := h.nodes[w.slot].id
+		si := h.store.ShardOf(id)
+		sc.shardSlots[si] = append(sc.shardSlots[si], uint32(i))
+		sc.shardIDs[si] = append(sc.shardIDs[si], id)
+	}
+	for si := 0; si < nShards; si++ {
+		if len(sc.shardIDs[si]) == 0 {
+			continue
+		}
+		ids, idxs := sc.shardIDs[si], sc.shardSlots[si]
+		cur := 0
+		h.store.WithShard(si, ids, func(id graph.NodeID, vec []float64, norm float64) {
+			for ids[cur] != id {
+				cur++
+			}
+			w := int(idxs[cur])
+			copy(sc.candVecs[w*dim:(w+1)*dim], vec)
+			sc.candNorms[w] = norm
+			cur++
+		})
+	}
+}
+
+// selectNeighbors runs the HNSW diversity heuristic over sc.work (as
+// prepared by gatherWork): walking candidates best-first, keep one only
+// if it is closer to the pivot than to every already-kept neighbor —
+// spreading links across directions instead of bunching them in the
+// nearest cluster — then recycle pruned candidates to fill spare
+// capacity. Appends up to m chosen slots to dst and returns it.
+func (h *HNSW) selectNeighbors(sc *hnswScratch, dst []uint32, m, dim int) []uint32 {
+	sc.chosen = sc.chosen[:0]
+	sc.discard = sc.discard[:0]
+	for i := range sc.work {
+		if len(sc.chosen) >= m {
+			break
+		}
+		if sc.candNorms[i] < 0 {
+			continue
+		}
+		ci := sc.candVecs[i*dim : (i+1)*dim]
+		keep := true
+		for _, j := range sc.chosen {
+			sim := h.cfg.Metric.score(ci, sc.candVecs[j*dim:(j+1)*dim], sc.candNorms[i], sc.candNorms[j])
+			if sim > sc.work[i].score {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			sc.chosen = append(sc.chosen, i)
+		} else {
+			sc.discard = append(sc.discard, i)
+		}
+	}
+	for _, i := range sc.discard { // keep-pruned: don't waste capacity
+		if len(sc.chosen) >= m {
+			break
+		}
+		sc.chosen = append(sc.chosen, i)
+	}
+	for _, i := range sc.chosen {
+		dst = append(dst, sc.work[i].slot)
+	}
+	return dst
+}
+
+// pruneLocked re-selects slot u's links at layer down to the degree
+// cap, scoring from u's own vector and dropping dead links along the
+// way. Caller holds h.mu for writing.
+func (h *HNSW) pruneLocked(u uint32, layer int, sc *hnswScratch) {
+	dim := h.store.Dim()
+	if cap(sc.qbuf) < dim {
+		sc.qbuf = make([]float64, dim)
+	}
+	q := sc.qbuf[:dim]
+	var qNorm float64
+	ok := h.store.With(h.nodes[u].id, func(vec []float64, norm float64) {
+		copy(q, vec)
+		qNorm = norm
+	})
+	if !ok {
+		return
+	}
+	sc.pending = sc.pending[:0]
+	for _, nb := range h.nodes[u].links[layer] {
+		if nb != u && h.nodes[nb].alive {
+			sc.pending = append(sc.pending, nb)
+		}
+	}
+	sc.res.reset(true)
+	h.scorePending(sc, q, qNorm, func(slot uint32, score float64) {
+		sc.res.push(scoredNode{slot, score})
+	})
+	h.gatherWork(sc, dim)
+	h.nodes[u].links[layer] = h.selectNeighbors(sc, h.nodes[u].links[layer][:0], h.maxConn(layer), dim)
+}
+
+// Add inserts or replaces a vector in the store and the graph.
+func (h *HNSW) Add(id graph.NodeID, vec []float64) error {
+	sc := hnswScratchPool.Get().(*hnswScratch)
+	err := h.insert(id, vec, sc, true)
+	hnswScratchPool.Put(sc)
+	return err
+}
+
+// insert runs the three-phase online insertion. upsert=false is the
+// Build path, where the vector is already in the store.
+func (h *HNSW) insert(id graph.NodeID, vec []float64, sc *hnswScratch, upsert bool) error {
+	// Phase 1 (write lock, cheap): store upsert, tombstone of any prior
+	// slot for this id, level draw, slot allocation.
+	h.mu.Lock()
+	if upsert {
+		if err := h.store.Upsert(id, vec); err != nil {
+			h.mu.Unlock()
+			return err
+		}
+	}
+	if old, ok := h.slotOf[id]; ok {
+		h.detachLocked(old, sc)
+	}
+	level := h.randomLevelLocked()
+	slot := uint32(len(h.nodes))
+	h.nodes = append(h.nodes, hnswNode{id: id, alive: true, links: make([][]uint32, level+1)})
+	h.slotOf[id] = slot
+	h.alive++
+	if h.entry < 0 { // first node: it is the graph
+		h.entry, h.maxLevel = int(slot), level
+		h.mu.Unlock()
+		return nil
+	}
+	h.mu.Unlock()
+
+	// Phase 2 (read lock): neighbor discovery — greedy descent through
+	// the upper layers, then an efConstruction-wide beam plus the
+	// diversity heuristic on every layer the new node occupies. Runs
+	// concurrently with searches and other inserts' discovery.
+	qNorm := vecmath.Norm(vec)
+	dim := h.store.Dim()
+	h.mu.RLock()
+	entry, entryLevel := h.entry, h.maxLevel
+	top := -1
+	if entry >= 0 && uint32(entry) != slot {
+		if epScore, ok := h.scoreSlot(uint32(entry), vec, qNorm); ok {
+			cur := scoredNode{uint32(entry), epScore}
+			top = min(level, entryLevel)
+			for layer := entryLevel; layer > top; layer-- {
+				h.searchLayer(sc, vec, qNorm, cur, 1, layer)
+				cur = sc.res.peek()
+			}
+			for len(sc.selected) <= top {
+				sc.selected = append(sc.selected, nil)
+			}
+			for layer := top; layer >= 0; layer-- {
+				h.searchLayer(sc, vec, qNorm, cur, h.cfg.EfConstruction, layer)
+				cur = sc.bestOfRes()
+				h.gatherWork(sc, dim)
+				sc.selected[layer] = h.selectNeighbors(sc, sc.selected[layer][:0], h.cfg.M, dim)
+			}
+		}
+	}
+	h.mu.RUnlock()
+
+	// Phase 3 (write lock): wire the links both ways and prune any
+	// neighbor pushed over its degree cap.
+	h.mu.Lock()
+	n := &h.nodes[slot]
+	if n.alive { // a racing Remove may have tombstoned us mid-insert
+		for layer := 0; layer <= top; layer++ {
+			sel := sc.selected[layer]
+			n.links[layer] = append(n.links[layer][:0], sel...)
+			for _, u := range sel {
+				un := &h.nodes[u]
+				if !un.alive || len(un.links) <= layer {
+					continue // tombstoned between discovery and wiring
+				}
+				un.links[layer] = append(un.links[layer], slot)
+				if len(un.links[layer]) > h.maxConn(layer) {
+					h.pruneLocked(u, layer, sc)
+				}
+			}
+		}
+		if level > h.maxLevel {
+			h.entry, h.maxLevel = int(slot), level
+		}
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// detachLocked tombstones slot and repairs the hole it leaves: each
+// alive neighbor drops its link to the victim and receives the victim's
+// other neighbors as replacement candidates, re-pruned by the diversity
+// heuristic, so the graph stays navigable as nodes churn. If the victim
+// was the entry point, a fresh one is chosen from the surviving nodes.
+// Caller holds h.mu for writing.
+func (h *HNSW) detachLocked(slot uint32, sc *hnswScratch) {
+	n := &h.nodes[slot]
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	h.alive--
+	if cur, ok := h.slotOf[n.id]; ok && cur == slot {
+		delete(h.slotOf, n.id)
+	}
+	links := n.links
+	n.links = nil
+	for layer := range links {
+		for _, u := range links[layer] {
+			un := &h.nodes[u]
+			if !un.alive || len(un.links) <= layer {
+				continue
+			}
+			// Drop the link to the victim, then offer the victim's other
+			// neighbors as candidates.
+			ul := un.links[layer][:0]
+			for _, nb := range un.links[layer] {
+				if nb != slot {
+					ul = append(ul, nb)
+				}
+			}
+			for _, c := range links[layer] {
+				if c == u || !h.nodes[c].alive || slices.Contains(ul, c) {
+					continue
+				}
+				ul = append(ul, c)
+			}
+			un.links[layer] = ul
+			if len(ul) > h.maxConn(layer) {
+				h.pruneLocked(u, layer, sc)
+			}
+		}
+	}
+	if h.entry == int(slot) {
+		h.pickEntryLocked()
+	}
+}
+
+// pickEntryLocked selects the highest-level alive node as the new entry
+// point (−1 when the graph is empty). Caller holds h.mu for writing.
+func (h *HNSW) pickEntryLocked() {
+	h.entry, h.maxLevel = -1, -1
+	for i := range h.nodes {
+		if h.nodes[i].alive && len(h.nodes[i].links)-1 > h.maxLevel {
+			h.entry, h.maxLevel = i, len(h.nodes[i].links)-1
+		}
+	}
+}
+
+// Remove tombstones the node in the graph (repairing its neighborhood)
+// and deletes the vector from the store, atomically with respect to
+// other mutations. Tombstoned slots are reclaimed only by a rebuild.
+func (h *HNSW) Remove(id graph.NodeID) bool {
+	sc := hnswScratchPool.Get().(*hnswScratch)
+	h.mu.Lock()
+	slot, ok := h.slotOf[id]
+	if ok {
+		h.detachLocked(slot, sc)
+	}
+	inStore := h.store.Delete(id)
+	h.mu.Unlock()
+	hnswScratchPool.Put(sc)
+	return ok || inStore
+}
+
+// Build indexes every vector already in the store, fanning inserts out
+// over a ParallelFor worker pool with pooled per-worker scratch.
+// Discovery (the expensive phase) runs under the shared read lock, so
+// workers overlap; only the link-wiring critical sections serialize.
+func (h *HNSW) Build() error {
+	ids := h.store.IDs()
+	dim := h.store.Dim()
+	ParallelFor(len(ids), func(i int) {
+		sc := hnswScratchPool.Get().(*hnswScratch)
+		if cap(sc.vbuf) < dim {
+			sc.vbuf = make([]float64, dim)
+		}
+		vbuf := sc.vbuf[:dim]
+		if h.store.With(ids[i], func(vec []float64, _ float64) { copy(vbuf, vec) }) {
+			_ = h.insert(ids[i], vbuf, sc, false) // upsert=false never errors
+		}
+		hnswScratchPool.Put(sc)
+	})
+	return nil
+}
+
+// Search returns the top-k neighbors of q as a fresh slice.
+func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
+	return h.SearchInto(nil, q, k)
+}
+
+// SearchInto is Search writing into dst: the zero-allocation query
+// path. Greedy descent from the entry point to layer 1, then a beam of
+// width max(EfSearch, k) across layer 0; if the beam surfaces fewer
+// than min(k, live) results (possible only on a heavily-churned graph),
+// the exact fallback takes over so results never silently degrade.
+func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
+	if err := checkQuery(h.store, q, k); err != nil {
+		return nil, err
+	}
+	qNorm := vecmath.Norm(q)
+	sc := hnswScratchPool.Get().(*hnswScratch)
+
+	h.mu.RLock()
+	if h.entry < 0 {
+		h.mu.RUnlock()
+		hnswScratchPool.Put(sc)
+		// Empty graph: serve whatever the store holds (normally nothing).
+		return h.fallback.SearchInto(dst, q, k)
+	}
+	ef := h.cfg.EfSearch
+	if ef < k {
+		ef = k
+	}
+	epScore, ok := h.scoreSlot(uint32(h.entry), q, qNorm)
+	if !ok {
+		h.mu.RUnlock()
+		hnswScratchPool.Put(sc)
+		return h.fallback.SearchInto(dst, q, k)
+	}
+	cur := scoredNode{uint32(h.entry), epScore}
+	for layer := h.maxLevel; layer > 0; layer-- {
+		h.searchLayer(sc, q, qNorm, cur, 1, layer)
+		cur = sc.res.peek()
+	}
+	h.searchLayer(sc, q, qNorm, cur, ef, 0)
+	sc.top.reset(k)
+	for _, n := range sc.res.a {
+		sc.top.push(Result{ID: h.nodes[n.slot].id, Score: n.score})
+	}
+	alive := h.alive
+	h.mu.RUnlock()
+
+	got := sc.top.sorted()
+	want := k
+	if alive < want {
+		want = alive
+	}
+	if len(got) < want {
+		hnswScratchPool.Put(sc)
+		return h.fallback.SearchInto(dst, q, k)
+	}
+	dst = appendResults(dst, got)
+	hnswScratchPool.Put(sc)
+	return dst, nil
+}
+
+// SearchBatch answers queries across a worker pool.
+func (h *HNSW) SearchBatch(qs [][]float64, k int) ([][]Result, error) {
+	return batchSearch(qs, k, func(q []float64) ([]Result, error) {
+		return h.Search(q, k)
+	})
+}
+
+// hnswWire is the gob wire format of a graph snapshot: per-slot arrays
+// plus one flattened link stream, so encoding cost is a handful of
+// slice writes rather than a gob walk over every neighbor list.
+type hnswWire struct {
+	Version        int
+	M              int
+	EfConstruction int
+	EfSearch       int
+	Seed           int64
+	Metric         int
+	Entry          int
+	MaxLevel       int
+	IDs            []graph.NodeID
+	Alive          []bool
+	Layers         []int32 // per slot: layer count (0 for detached tombstones)
+	Counts         []int32 // per slot per layer: link count
+	Links          []uint32
+}
+
+// hnswSnapshotVersion guards the wire format; bump on incompatible changes.
+const hnswSnapshotVersion = 1
+
+// SaveGraph writes a snapshot of the graph structure (not the vectors —
+// those live in the embstore snapshot) so a daemon can reload the index
+// without rebuilding. Quiesce writers for a point-in-time image.
+func (h *HNSW) SaveGraph(w io.Writer) error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	wire := hnswWire{
+		Version:        hnswSnapshotVersion,
+		M:              h.cfg.M,
+		EfConstruction: h.cfg.EfConstruction,
+		EfSearch:       h.cfg.EfSearch,
+		Seed:           h.cfg.Seed,
+		Metric:         int(h.cfg.Metric),
+		Entry:          h.entry,
+		MaxLevel:       h.maxLevel,
+		IDs:            make([]graph.NodeID, len(h.nodes)),
+		Alive:          make([]bool, len(h.nodes)),
+		Layers:         make([]int32, len(h.nodes)),
+	}
+	for i := range h.nodes {
+		n := &h.nodes[i]
+		wire.IDs[i] = n.id
+		wire.Alive[i] = n.alive
+		wire.Layers[i] = int32(len(n.links))
+		for _, links := range n.links {
+			wire.Counts = append(wire.Counts, int32(len(links)))
+			wire.Links = append(wire.Links, links...)
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("ann: hnsw save: %v", err)
+	}
+	return nil
+}
+
+// LoadHNSWGraph reconstructs a graph written by SaveGraph over store,
+// which must hold the same vectors the graph was built on (the embstore
+// snapshot saved alongside it). Every live node must be present in the
+// store; structural corruption is rejected.
+func LoadHNSWGraph(r io.Reader, store *embstore.Store) (*HNSW, error) {
+	var wire hnswWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("ann: hnsw load: %v", err)
+	}
+	if wire.Version != hnswSnapshotVersion {
+		return nil, fmt.Errorf("ann: hnsw load: snapshot version %d, want %d", wire.Version, hnswSnapshotVersion)
+	}
+	cfg := HNSWConfig{
+		M:              wire.M,
+		EfConstruction: wire.EfConstruction,
+		EfSearch:       wire.EfSearch,
+		Seed:           wire.Seed,
+		Metric:         Metric(wire.Metric),
+	}
+	h, err := NewHNSW(store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nSlots := len(wire.IDs)
+	if len(wire.Alive) != nSlots || len(wire.Layers) != nSlots {
+		return nil, fmt.Errorf("ann: hnsw load: corrupt snapshot: %d ids, %d alive, %d layer counts",
+			nSlots, len(wire.Alive), len(wire.Layers))
+	}
+	h.nodes = make([]hnswNode, nSlots)
+	ci, li := 0, 0
+	for i := 0; i < nSlots; i++ {
+		n := &h.nodes[i]
+		n.id, n.alive = wire.IDs[i], wire.Alive[i]
+		layers := int(wire.Layers[i])
+		if layers < 0 || ci+layers > len(wire.Counts) {
+			return nil, fmt.Errorf("ann: hnsw load: corrupt snapshot: layer counts overrun at slot %d", i)
+		}
+		if layers > 0 {
+			n.links = make([][]uint32, layers)
+			for l := 0; l < layers; l++ {
+				cnt := int(wire.Counts[ci])
+				ci++
+				if cnt < 0 || li+cnt > len(wire.Links) {
+					return nil, fmt.Errorf("ann: hnsw load: corrupt snapshot: link stream overrun at slot %d", i)
+				}
+				n.links[l] = wire.Links[li : li+cnt : li+cnt]
+				for _, nb := range n.links[l] {
+					if int(nb) >= nSlots {
+						return nil, fmt.Errorf("ann: hnsw load: corrupt snapshot: link to slot %d of %d", nb, nSlots)
+					}
+					// A live linked node must occupy this layer, or the beam
+					// would index past its link lists at query time (dead
+					// targets are skipped before expansion, so they may have
+					// dropped theirs).
+					if wire.Alive[nb] && int(wire.Layers[nb]) <= l {
+						return nil, fmt.Errorf("ann: hnsw load: corrupt snapshot: slot %d links to slot %d at layer %d beyond its %d layers",
+							i, nb, l, wire.Layers[nb])
+					}
+				}
+				li += cnt
+			}
+		}
+		if n.alive {
+			if layers < 1 {
+				return nil, fmt.Errorf("ann: hnsw load: corrupt snapshot: live slot %d has no layers", i)
+			}
+			h.slotOf[n.id] = uint32(i)
+			h.alive++
+			if !store.With(n.id, func([]float64, float64) {}) {
+				return nil, fmt.Errorf("ann: hnsw load: node %d in graph but not in store (snapshot mismatch)", n.id)
+			}
+		}
+	}
+	if ci != len(wire.Counts) || li != len(wire.Links) {
+		return nil, fmt.Errorf("ann: hnsw load: corrupt snapshot: %d/%d counts and %d/%d links consumed",
+			ci, len(wire.Counts), li, len(wire.Links))
+	}
+	if wire.Entry < -1 || wire.Entry >= nSlots ||
+		(wire.Entry >= 0 && !h.nodes[wire.Entry].alive) ||
+		(wire.Entry < 0) != (wire.MaxLevel < 0) {
+		return nil, fmt.Errorf("ann: hnsw load: corrupt snapshot: entry slot %d (max level %d)", wire.Entry, wire.MaxLevel)
+	}
+	// The search descent starts at maxLevel, so the entry point must
+	// actually occupy that layer.
+	if wire.Entry >= 0 && int(wire.Layers[wire.Entry]) != wire.MaxLevel+1 {
+		return nil, fmt.Errorf("ann: hnsw load: corrupt snapshot: entry slot %d has %d layers, max level %d",
+			wire.Entry, wire.Layers[wire.Entry], wire.MaxLevel)
+	}
+	// Membership was checked graph→store above; require the counts to
+	// match too, or a stale snapshot over a newer, larger store would
+	// load cleanly and silently exclude the extra vectors from every
+	// search.
+	if h.alive != store.Len() {
+		return nil, fmt.Errorf("ann: hnsw load: graph indexes %d nodes but store holds %d (stale snapshot? rebuild)",
+			h.alive, store.Len())
+	}
+	h.entry, h.maxLevel = wire.Entry, wire.MaxLevel
+	return h, nil
+}

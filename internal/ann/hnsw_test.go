@@ -1,0 +1,398 @@
+package ann
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ehna/internal/embstore"
+	"ehna/internal/eval"
+	"ehna/internal/graph"
+	"ehna/internal/tensor"
+)
+
+func mustHNSW(t testing.TB, s *embstore.Store, cfg HNSWConfig) *HNSW {
+	t.Helper()
+	h, err := BuildHNSW(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// recallVsExact measures mean recall@k of idx against the exact index
+// over nq stored-vector queries.
+func recallVsExact(t testing.TB, s *embstore.Store, idx Index, emb *tensor.Matrix, nq, k int) float64 {
+	t.Helper()
+	exact := NewExact(s, idx.Metric())
+	var approx, truth [][]graph.NodeID
+	for qi := 0; qi < nq; qi++ {
+		q := emb.Row(qi)
+		er, err := exact.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar, err := idx.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth = append(truth, ids(er))
+		approx = append(approx, ids(ar))
+	}
+	recall, err := eval.MeanRecallAtK(approx, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recall
+}
+
+// TestHNSWSelfQuery: every stored vector must find itself as its own
+// nearest neighbor (cosine of a vector with itself is the maximum).
+func TestHNSWSelfQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	emb := tensor.Randn(500, 16, 1, rng)
+	s, err := embstore.FromMatrix(emb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mustHNSW(t, s, DefaultHNSWConfig())
+	for qi := 0; qi < 50; qi++ {
+		got, err := h.Search(emb.Row(qi), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].ID != graph.NodeID(qi) {
+			t.Fatalf("self-query of node %d = %v", qi, got)
+		}
+	}
+}
+
+// TestHNSWRecallSmall is the fast recall guard at 2k vectors.
+func TestHNSWRecallSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	emb := tensor.Randn(2000, 32, 1, rng)
+	s, err := embstore.FromMatrix(emb, embstore.DefaultShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mustHNSW(t, s, DefaultHNSWConfig())
+	recall := recallVsExact(t, s, h, emb, 50, 10)
+	t.Logf("HNSW recall@10 over 50 queries on 2000 nodes: %.3f", recall)
+	if recall < 0.95 {
+		t.Fatalf("HNSW recall@10 = %.3f < 0.95", recall)
+	}
+}
+
+// TestHNSWRecall100k is the acceptance gate: at 100k isotropic Gaussian
+// vectors (the hardest case for a proximity graph) the default
+// configuration must hold recall@10 ≥ 0.95 against exact search.
+func TestHNSWRecall100k(t *testing.T) {
+	if raceEnabled {
+		t.Skip("100k graph build is too slow under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("100k graph build skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(13))
+	emb := tensor.Randn(100_000, 32, 1, rng)
+	s, err := embstore.FromMatrix(emb, embstore.DefaultShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mustHNSW(t, s, DefaultHNSWConfig())
+	recall := recallVsExact(t, s, h, emb, 50, 10)
+	t.Logf("HNSW recall@10 over 50 queries on 100k nodes: %.3f", recall)
+	if recall < 0.95 {
+		t.Fatalf("HNSW recall@10 = %.3f < 0.95", recall)
+	}
+}
+
+func TestHNSWAddRemove(t *testing.T) {
+	s := randomStore(t, 100, 8, 14)
+	h := mustHNSW(t, s, DefaultHNSWConfig())
+
+	// A vector added after construction must be findable by itself.
+	vec := make([]float64, 8)
+	vec[0], vec[3] = 2, -1
+	if err := h.Add(500, vec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Search(vec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 500 {
+		t.Fatalf("self-query after Add = %v, want id 500", got)
+	}
+
+	// Replacing the vector must not leave a duplicate: remove once and
+	// the id must be gone.
+	if err := h.Add(500, vec); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Remove(500) {
+		t.Fatal("Remove(500) = false")
+	}
+	if h.Remove(500) {
+		t.Fatal("second Remove(500) = true")
+	}
+	got, err = h.Search(vec, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r.ID == 500 {
+			t.Fatal("removed id still returned")
+		}
+	}
+}
+
+// TestHNSWRemoveRepair churns a third of the graph out and checks the
+// tombstone repair keeps the survivors reachable: searches must still
+// return full result sets with high recall, never a removed id.
+func TestHNSWRemoveRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	emb := tensor.Randn(1000, 16, 1, rng)
+	s, err := embstore.FromMatrix(emb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mustHNSW(t, s, DefaultHNSWConfig())
+	for id := 0; id < 300; id++ {
+		if !h.Remove(graph.NodeID(id)) {
+			t.Fatalf("Remove(%d) = false", id)
+		}
+	}
+	if h.Len() != 700 || s.Len() != 700 {
+		t.Fatalf("after churn: graph %d, store %d, want 700", h.Len(), s.Len())
+	}
+	var approx, truth [][]graph.NodeID
+	exact := NewExact(s, Cosine)
+	for qi := 300; qi < 350; qi++ {
+		q := emb.Row(qi)
+		hr, err := h.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hr) != 10 {
+			t.Fatalf("query %d: %d results, want 10", qi, len(hr))
+		}
+		for _, r := range hr {
+			if r.ID < 300 {
+				t.Fatalf("query %d returned removed id %d", qi, r.ID)
+			}
+		}
+		er, err := exact.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth = append(truth, ids(er))
+		approx = append(approx, ids(hr))
+	}
+	recall, err := eval.MeanRecallAtK(approx, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recall@10 after removing 300/1000 nodes: %.3f", recall)
+	if recall < 0.9 {
+		t.Fatalf("post-churn recall@10 = %.3f < 0.9", recall)
+	}
+}
+
+// TestHNSWEntryRemoval removes the entry point (and everything else,
+// one by one) and checks the fallback re-entry selection keeps the
+// index consistent down to the empty graph.
+func TestHNSWEntryRemoval(t *testing.T) {
+	s := randomStore(t, 60, 8, 16)
+	h := mustHNSW(t, s, DefaultHNSWConfig())
+	q := make([]float64, 8)
+	q[0] = 1
+	for n := 60; n > 0; n-- {
+		got, err := h.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 5
+		if n < want {
+			want = n
+		}
+		if len(got) != want {
+			t.Fatalf("with %d nodes: %d results, want %d", n, len(got), want)
+		}
+		// Remove the current best hit — frequently the entry point's
+		// neighborhood, and eventually the entry itself.
+		if !h.Remove(got[0].ID) {
+			t.Fatalf("Remove(%d) = false", got[0].ID)
+		}
+	}
+	got, err := h.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty graph returned %v", got)
+	}
+}
+
+func TestHNSWConcurrentQueryAndMutate(t *testing.T) {
+	s := randomStore(t, 300, 8, 17)
+	h := mustHNSW(t, s, DefaultHNSWConfig())
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			vec := make([]float64, 8)
+			for i := 0; i < 200; i++ {
+				for j := range vec {
+					vec[j] = rng.NormFloat64()
+				}
+				switch rng.Intn(3) {
+				case 0:
+					if err := h.Add(graph.NodeID(rng.Intn(400)), vec); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					h.Remove(graph.NodeID(rng.Intn(400)))
+				default:
+					if _, err := h.Search(vec, 5); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestHNSWSnapshotRoundTrip checks SaveGraph → LoadHNSWGraph restores a
+// graph that answers every query identically to the original — the
+// boot-without-rebuild path the daemon uses.
+func TestHNSWSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	emb := tensor.Randn(1200, 16, 1, rng)
+	s, err := embstore.FromMatrix(emb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mustHNSW(t, s, DefaultHNSWConfig())
+	// Mutate a little so the snapshot carries tombstones too.
+	for id := 0; id < 20; id++ {
+		h.Remove(graph.NodeID(id))
+	}
+	var buf bytes.Buffer
+	if err := h.SaveGraph(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadHNSWGraph(bytes.NewReader(buf.Bytes()), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != h.Len() {
+		t.Fatalf("loaded graph has %d live nodes, original %d", loaded.Len(), h.Len())
+	}
+	if loaded.Config() != h.Config() {
+		t.Fatalf("loaded config %+v != %+v", loaded.Config(), h.Config())
+	}
+	for qi := 0; qi < 30; qi++ {
+		q := emb.Row(100 + qi)
+		want, err := h.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResults(got, want) {
+			t.Fatalf("query %d: loaded %v != original %v", qi, got, want)
+		}
+	}
+
+	// A snapshot over the wrong store must be rejected, not served.
+	empty, err := embstore.New(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHNSWGraph(bytes.NewReader(buf.Bytes()), empty); err == nil {
+		t.Fatal("snapshot accepted over a store missing its nodes")
+	}
+}
+
+// TestHNSWSetEfSearch checks the recall/latency dial is applied (a tiny
+// beam must still return k results via the beam or the fallback).
+func TestHNSWSetEfSearch(t *testing.T) {
+	s := randomStore(t, 400, 8, 19)
+	h := mustHNSW(t, s, DefaultHNSWConfig())
+	h.SetEfSearch(1)
+	if got := h.Config().EfSearch; got != 1 {
+		t.Fatalf("EfSearch = %d after SetEfSearch(1)", got)
+	}
+	q := make([]float64, 8)
+	q[1] = 1
+	got, err := h.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("%d results with ef=1, want 10 (beam runs at max(ef,k))", len(got))
+	}
+	h.SetEfSearch(0) // ignored
+	if got := h.Config().EfSearch; got != 1 {
+		t.Fatalf("SetEfSearch(0) changed EfSearch to %d", got)
+	}
+}
+
+// TestHNSWLoadRejectsCorrupt locks in the structural validation: a
+// snapshot whose entry/levels/links are inconsistent must be rejected
+// at load, not crash the first query.
+func TestHNSWLoadRejectsCorrupt(t *testing.T) {
+	s := randomStore(t, 50, 8, 20)
+	base := func() hnswWire {
+		h := mustHNSW(t, s, DefaultHNSWConfig())
+		var buf bytes.Buffer
+		if err := h.SaveGraph(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var w hnswWire
+		if err := gob.NewDecoder(&buf).Decode(&w); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	cases := map[string]func(*hnswWire){
+		"version":              func(w *hnswWire) { w.Version = 99 },
+		"entry out of range":   func(w *hnswWire) { w.Entry = len(w.IDs) },
+		"entry below maxlevel": func(w *hnswWire) { w.MaxLevel = int(w.Layers[w.Entry]) + 3 },
+		"entry without level":  func(w *hnswWire) { w.Entry = -1 },
+		"live node no layers":  func(w *hnswWire) { w.Layers[w.Entry] = 0; w.MaxLevel = -1; w.Entry = -1 },
+		"link out of range":    func(w *hnswWire) { w.Links[0] = uint32(len(w.IDs)) },
+		"truncated links":      func(w *hnswWire) { w.Links = w.Links[:len(w.Links)-1] },
+	}
+	for name, corrupt := range cases {
+		w := base()
+		corrupt(&w)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadHNSWGraph(&buf, s); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", name)
+		}
+	}
+
+	// The unmutated snapshot must still load.
+	w := base()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHNSWGraph(&buf, s); err != nil {
+		t.Fatalf("clean snapshot rejected: %v", err)
+	}
+}
