@@ -1,0 +1,340 @@
+// The durability layer: what turns the daemon from a cache into a
+// system of record.
+//
+// Write path (the applier): every mutation takes d.mu, appends to the
+// WAL buffer, applies to the store+index through the Swapper, releases
+// d.mu, and only acknowledges after wal.Commit makes the records
+// durable per -fsync (concurrent requests group-commit behind one
+// fsync). Because append and apply happen under one lock, "everything
+// the log holds up to seq S has been applied" is true whenever the
+// lock is free — the invariant snapshot watermarking leans on.
+//
+// Snapshot rotation: under d.mu (writes stall, searches don't), Rotate
+// seals the WAL segment and yields the watermark W; the store snapshot
+// (stamped with W) and the HNSW graph snapshot are then written
+// tmp+rename as a consistent pair. After the lock drops, sealed WAL
+// segments ≤ W are deleted. A crash at any point leaves either the old
+// pair + full WAL or the new pair + WAL suffix — both recover exactly.
+//
+// Boot: load the snapshot pair (graph invalid/stale → rebuild), then
+// replay the WAL suffix (seq > W) through the index. Records that bled
+// into the snapshot past W replay harmlessly (last-writer-wins).
+//
+// Compaction: when the HNSW tombstone ratio passes -compact-at, the
+// maintenance loop rebuilds the graph from the store in the background
+// and atomically swaps it in (see ann.Swapper), then rotates a
+// snapshot so the on-disk graph is fresh too.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ehna/internal/ann"
+	"ehna/internal/embstore"
+	"ehna/internal/graph"
+	"ehna/internal/wal"
+)
+
+// compactCheckEvery is how often the maintenance loop samples the
+// tombstone ratio. Cheap (two ints under RLock), so frequent.
+const compactCheckEvery = 5 * time.Second
+
+type durable struct {
+	mu    sync.Mutex // the applier lock; see the package comment
+	log   *wal.Log
+	sw    *ann.Swapper
+	store *embstore.Store
+
+	snapPath  string
+	graphPath string // "" unless the index is hnsw
+	hnswCfg   ann.HNSWConfig
+	isHNSW    bool
+	compactAt float64
+	interval  time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+
+	replayed        int // records recovered at boot
+	replayTorn      bool
+	snapshots       atomic.Int64
+	lastSnapshot    atomic.Int64 // unix seconds
+	watermark       atomic.Uint64
+	compactRunning  atomic.Bool
+	compactions     atomic.Int64
+	lastCompaction  atomic.Int64 // unix seconds
+	snapshotErrs    atomic.Int64
+	lastSnapshotErr atomic.Value // string
+}
+
+// newDurable recovers state (WAL replay over the already-loaded
+// snapshot), opens the log for appending (repairing any torn tail),
+// and starts the maintenance loop.
+func newDurable(cfg serverConfig, store *embstore.Store, sw *ann.Swapper, watermark uint64) (*durable, error) {
+	d := &durable{
+		sw:        sw,
+		store:     store,
+		snapPath:  walSnapshotPath(cfg.walDir),
+		hnswCfg:   hnswConfigOf(cfg.index),
+		isHNSW:    cfg.index.kind == "hnsw",
+		compactAt: cfg.compactAt,
+		interval:  cfg.snapshotInterval,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if d.isHNSW {
+		d.graphPath = cfg.index.graphPath
+	}
+	d.watermark.Store(watermark)
+
+	// Recovery: replay the log suffix through the index (graph + store).
+	info, err := wal.Replay(cfg.walDir, watermark, func(r wal.Record) error {
+		switch r.Op {
+		case wal.OpUpsert:
+			return sw.Add(r.ID, r.Vec)
+		case wal.OpDelete:
+			sw.Remove(r.ID)
+			return nil
+		default:
+			return fmt.Errorf("wal record %d has unknown op %d", r.Seq, r.Op)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wal replay: %w", err)
+	}
+	d.replayed, d.replayTorn = info.Records, info.Torn
+	if info.Torn {
+		log.Printf("ehnad: wal %s has a torn tail at %s+%d (crash mid-append); truncating and continuing",
+			cfg.walDir, info.TornPath, info.TornOffset)
+	}
+	log.Printf("ehnad: wal recovery: %d records replayed past watermark %d (last seq %d)",
+		info.Records, watermark, info.LastSeq)
+
+	policy, ivl, err := wal.ParseSyncPolicy(cfg.fsync)
+	if err != nil {
+		return nil, err
+	}
+	if d.log, err = wal.Open(cfg.walDir, wal.Options{Sync: policy, Interval: ivl}); err != nil {
+		return nil, fmt.Errorf("wal open: %w", err)
+	}
+	go d.run()
+	return d, nil
+}
+
+// upsert logs then applies a batch of updates, acknowledging only
+// once the records are durable. The WAL write happening before the
+// apply is the whole point: a crash after the append replays the
+// mutation, a crash before it means the client never got an ack.
+// Append+apply run under d.mu (preserving the watermark invariant);
+// the durability wait happens after the lock drops, so concurrent
+// requests group-commit behind one fsync instead of each paying a
+// serialized sync.
+func (d *durable) upsert(updates []upsertUpdate) error {
+	recs := make([]wal.Record, len(updates))
+	for i, u := range updates {
+		recs[i] = wal.Record{Op: wal.OpUpsert, ID: *u.ID, Vec: u.Vector}
+	}
+	d.mu.Lock()
+	last, err := d.log.AppendBuffered(recs)
+	if err == nil {
+		for _, u := range updates {
+			if err = d.sw.Add(*u.ID, u.Vector); err != nil {
+				break
+			}
+		}
+	}
+	d.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	return d.log.Commit(last)
+}
+
+// delete logs then applies removals, reporting how many were present.
+// Same locking shape as upsert: append+apply inside d.mu, durability
+// wait (group-committed) outside it.
+func (d *durable) delete(ids []graph.NodeID) (int, error) {
+	recs := make([]wal.Record, len(ids))
+	for i, id := range ids {
+		recs[i] = wal.Record{Op: wal.OpDelete, ID: id}
+	}
+	d.mu.Lock()
+	last, err := d.log.AppendBuffered(recs)
+	n := 0
+	if err == nil {
+		for _, id := range ids {
+			if d.sw.Remove(id) {
+				n++
+			}
+		}
+	}
+	d.mu.Unlock()
+	if err != nil {
+		return 0, fmt.Errorf("wal append: %w", err)
+	}
+	return n, d.log.Commit(last)
+}
+
+// snapshot rotates the WAL and writes the store (+ graph) snapshot
+// pair, then truncates sealed segments the pair covers. Holding d.mu
+// across the writes stalls mutations — not searches — for the
+// duration; the price of an exactly-consistent pair.
+func (d *durable) snapshot() (uint64, error) {
+	wm, err := func() (uint64, error) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		wm, err := d.log.Rotate()
+		if err != nil {
+			return 0, fmt.Errorf("wal rotate: %w", err)
+		}
+		if err := writeFileAtomic(d.snapPath, func(f io.Writer) error {
+			return d.store.SaveSnapshot(f, wm)
+		}); err != nil {
+			return 0, fmt.Errorf("store snapshot: %w", err)
+		}
+		if d.graphPath != "" {
+			if h, ok := d.sw.Current().(*ann.HNSW); ok {
+				if err := writeFileAtomic(d.graphPath, func(f io.Writer) error {
+					return h.SaveGraph(f)
+				}); err != nil {
+					return 0, fmt.Errorf("graph snapshot: %w", err)
+				}
+			}
+		}
+		return wm, nil
+	}()
+	if err != nil {
+		d.snapshotErrs.Add(1)
+		d.lastSnapshotErr.Store(err.Error())
+		return 0, err
+	}
+	d.watermark.Store(wm)
+	d.snapshots.Add(1)
+	d.lastSnapshot.Store(time.Now().Unix())
+	if err := d.log.TruncateThrough(wm); err != nil {
+		// The snapshot is good; stale segments just linger until the
+		// next rotation. Worth a log line, not a failed snapshot.
+		log.Printf("ehnad: wal truncate through %d: %v", wm, err)
+	}
+	return wm, nil
+}
+
+// tombstoneRatio samples the live graph (0 when the index is not hnsw).
+func (d *durable) tombstoneRatio() float64 {
+	if h, ok := d.sw.Current().(*ann.HNSW); ok {
+		return h.TombstoneRatio()
+	}
+	return 0
+}
+
+// compact rebuilds the HNSW graph in the background of live traffic
+// and swaps it in, then rotates a snapshot so the on-disk graph
+// reflects the rebuilt one. force skips the -compact-at threshold.
+func (d *durable) compact(force bool) (bool, error) {
+	if !d.isHNSW {
+		return false, fmt.Errorf("compaction requires -index hnsw (running %T)", d.sw.Current())
+	}
+	if !force && (d.compactAt <= 0 || d.tombstoneRatio() < d.compactAt) {
+		return false, nil
+	}
+	if !d.compactRunning.CompareAndSwap(false, true) {
+		return false, ann.ErrRebuildInProgress
+	}
+	defer d.compactRunning.Store(false)
+	start := time.Now()
+	h, err := d.sw.CompactHNSW(d.store, d.hnswCfg)
+	if err != nil {
+		return false, err
+	}
+	alive, tombs, _ := h.Stats()
+	d.compactions.Add(1)
+	d.lastCompaction.Store(time.Now().Unix())
+	log.Printf("ehnad: hnsw compaction: %d nodes, %d tombstones after rebuild in %v",
+		alive, tombs, time.Since(start).Round(time.Millisecond))
+	if _, err := d.snapshot(); err != nil {
+		log.Printf("ehnad: post-compaction snapshot: %v", err)
+	}
+	return true, nil
+}
+
+// run is the maintenance loop: periodic snapshot rotation and
+// tombstone-triggered compaction.
+func (d *durable) run() {
+	defer close(d.done)
+	var snapC <-chan time.Time
+	if d.interval > 0 {
+		t := time.NewTicker(d.interval)
+		defer t.Stop()
+		snapC = t.C
+	}
+	var compactC <-chan time.Time
+	if d.isHNSW && d.compactAt > 0 {
+		t := time.NewTicker(compactCheckEvery)
+		defer t.Stop()
+		compactC = t.C
+	}
+	for {
+		select {
+		case <-snapC:
+			if _, err := d.snapshot(); err != nil {
+				log.Printf("ehnad: background snapshot: %v", err)
+			}
+		case <-compactC:
+			if _, err := d.compact(false); err != nil && err != ann.ErrRebuildInProgress {
+				log.Printf("ehnad: background compaction: %v", err)
+			}
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// close stops the maintenance loop and closes the log (flushing and
+// fsyncing whatever the policy had not yet synced).
+func (d *durable) close() {
+	close(d.stop)
+	<-d.done
+	if err := d.log.Close(); err != nil {
+		log.Printf("ehnad: wal close: %v", err)
+	}
+}
+
+// healthz returns the durability block of the health report.
+func (d *durable) healthz() map[string]any {
+	ws := d.log.Stats()
+	out := map[string]any{
+		"wal": map[string]any{
+			"last_seq":    ws.LastSeq,
+			"durable_seq": ws.DurableSeq,
+			"segments":    ws.Segments,
+			"size_bytes":  ws.SizeBytes,
+		},
+		"snapshot": map[string]any{
+			"watermark":  d.watermark.Load(),
+			"count":      d.snapshots.Load(),
+			"last_unix":  d.lastSnapshot.Load(),
+			"interval_s": d.interval.Seconds(),
+			"errors":     d.snapshotErrs.Load(),
+		},
+		"replayed_records": d.replayed,
+		"replay_torn_tail": d.replayTorn,
+	}
+	if d.isHNSW {
+		out["compaction"] = map[string]any{
+			"running":         d.compactRunning.Load(),
+			"count":           d.compactions.Load(),
+			"last_unix":       d.lastCompaction.Load(),
+			"compact_at":      d.compactAt,
+			"tombstone_ratio": d.tombstoneRatio(),
+		}
+	}
+	if msg, ok := d.lastSnapshotErr.Load().(string); ok {
+		out["last_snapshot_error"] = msg
+	}
+	return out
+}

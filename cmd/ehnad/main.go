@@ -4,35 +4,55 @@
 //
 // Endpoints:
 //
-//	POST /v1/neighbors  top-k similar nodes, by stored id or raw vector;
-//	                    single queries are micro-batched server-side,
-//	                    "queries":[...] batches explicitly
-//	POST /v1/score      pairwise link-prediction score under a Table II
-//	                    edge operator (hadamard sum = dot product)
-//	POST /v1/upsert     insert/replace vectors (store + index)
-//	GET  /healthz       liveness + store/index stats
-//	GET  /debug/pprof/  (with -pprof) live CPU/heap/mutex profiling
+//	POST /v1/neighbors       top-k similar nodes, by stored id or raw vector;
+//	                         single queries are micro-batched server-side,
+//	                         "queries":[...] batches explicitly
+//	POST /v1/score           pairwise link-prediction score under a Table II
+//	                         edge operator (hadamard sum = dot product)
+//	POST /v1/upsert          insert/replace vectors (WAL-logged, then store + index)
+//	POST /v1/delete          remove vectors (WAL-logged, then store + index)
+//	GET  /v1/export          stream an embstore snapshot of the live store
+//	POST /v1/admin/snapshot  (with -wal) rotate a snapshot now
+//	POST /v1/admin/compact   (with -wal) rebuild the HNSW graph now, swapping
+//	                         it in under live traffic
+//	GET  /healthz            liveness + store/index/durability stats
+//	GET  /debug/pprof/       (with -pprof) live CPU/heap/mutex profiling
 //
 // The embedding source is either -model (an ehna model snapshot written
 // by Model.Save — serves the raw embedding table) or -snapshot (an
 // embstore snapshot written by Store.Save — e.g. the attention-
 // aggregated InferAll embeddings exported by examples/serving).
 //
+// Durability: with -wal DIR the daemon is a system of record, not a
+// cache. Every mutation is appended to a write-ahead log (fsynced per
+// -fsync) before it touches the store, snapshots of store + HNSW graph
+// rotate in the background every -snapshot-interval (tmp+rename, WAL
+// truncated to the snapshot watermark), and the maintenance loop
+// rebuilds the HNSW graph in the background once its tombstone ratio
+// passes -compact-at, atomically swapping the fresh graph in while
+// searches keep answering. On boot the daemon loads the newest
+// snapshot pair and replays the WAL suffix; -model/-snapshot then only
+// seed the very first boot, and -dim allows starting empty. See
+// cmd/ehnad/durability.go for the recovery invariants.
+//
 // Index selection: -index exact (ground truth, linear scan), lsh
 // (multi-probe hashing) or hnsw (graph search — the sublinear choice at
 // 100k+ nodes). With -index hnsw, -hnsw-graph names a gob snapshot of
 // the graph structure: loaded when present so the daemon boots without
-// rebuilding, written after a fresh build otherwise.
+// rebuilding, written after a fresh build otherwise (with -wal it
+// defaults to DIR/graph.gob).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -45,6 +65,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		model     = flag.String("model", "", "path to an ehna model snapshot (Model.Save)")
 		snapshot  = flag.String("snapshot", "", "path to an embstore snapshot (Store.Save)")
+		dim       = flag.Int("dim", 0, "with -wal: boot an empty store of this dimensionality when no snapshot or seed exists yet")
 		shards    = flag.Int("shards", embstore.DefaultShards, "store shard count")
 		indexKind = flag.String("index", "lsh", "ann index: exact, lsh or hnsw")
 		tables    = flag.Int("tables", 16, "lsh: number of hash tables")
@@ -59,40 +80,50 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 64, "micro-batcher: max coalesced queries")
 		window    = flag.Duration("batch-window", 2*time.Millisecond, "micro-batcher: gather window (0 disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
+		walDir    = flag.String("wal", "", "write-ahead-log directory: makes writes durable and enables snapshot rotation + background compaction")
+		fsync     = flag.String("fsync", "always", "wal fsync policy: always (group commit, crash-safe), never, or a flush interval like 100ms")
+		snapEvery = flag.Duration("snapshot-interval", 5*time.Minute, "wal: background snapshot rotation period (0 disables; snapshots can still be forced via /v1/admin/snapshot)")
+		compactAt = flag.Float64("compact-at", 0.2, "hnsw+wal: tombstone ratio that triggers a background compaction rebuild (<=0 disables)")
 	)
 	flag.Parse()
 
-	store, err := loadStore(*model, *snapshot, *shards)
-	if err != nil {
-		log.Fatalf("ehnad: %v", err)
-	}
 	mt, err := ann.ParseMetric(*metric)
 	if err != nil {
 		log.Fatalf("ehnad: %v", err)
 	}
-	index, err := buildIndex(store, indexOptions{
-		kind:           *indexKind,
-		metric:         mt,
-		seed:           *seed,
-		tables:         *tables,
-		bits:           *bits,
-		probes:         *probes,
-		m:              *m,
-		efConstruction: *efCons,
-		efSearch:       *efSearch,
-		graphPath:      *hnswGraph,
+	srv, err := buildServer(serverConfig{
+		model:    *model,
+		snapshot: *snapshot,
+		dim:      *dim,
+		shards:   *shards,
+		index: indexOptions{
+			kind:           *indexKind,
+			metric:         mt,
+			seed:           *seed,
+			tables:         *tables,
+			bits:           *bits,
+			probes:         *probes,
+			m:              *m,
+			efConstruction: *efCons,
+			efSearch:       *efSearch,
+			graphPath:      *hnswGraph,
+		},
+		maxBatch:         *maxBatch,
+		window:           *window,
+		pprof:            *pprofOn,
+		walDir:           *walDir,
+		fsync:            *fsync,
+		snapshotInterval: *snapEvery,
+		compactAt:        *compactAt,
 	})
 	if err != nil {
 		log.Fatalf("ehnad: %v", err)
 	}
-	log.Printf("ehnad: store loaded: %d nodes × %d dims across %d shards, %s index (%s metric)",
-		store.Len(), store.Dim(), store.NumShards(), *indexKind, mt)
-
-	srv := newServer(store, index, *indexKind, *maxBatch, *window)
-	srv.pprof = *pprofOn
 	defer srv.close()
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	log.Printf("ehnad: store loaded: %d nodes × %d dims across %d shards, %s index (%s metric)",
+		srv.store.Len(), srv.store.Dim(), srv.store.NumShards(), *indexKind, mt)
 
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 	done := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -113,6 +144,102 @@ func main() {
 		log.Fatalf("ehnad: %v", err)
 	}
 	<-done
+}
+
+// serverConfig is everything buildServer needs: the flag set, parsed.
+// Factored out of main so the crash-recovery tests can boot the exact
+// daemon stack in-process and as a helper process.
+type serverConfig struct {
+	model    string
+	snapshot string
+	dim      int
+	shards   int
+	index    indexOptions
+	maxBatch int
+	window   time.Duration
+	pprof    bool
+
+	walDir           string
+	fsync            string
+	snapshotInterval time.Duration
+	compactAt        float64
+}
+
+// buildServer assembles store, index and (with a WAL dir) the
+// durability layer: snapshot + WAL-replay recovery on the way up, the
+// write-ahead applier and the maintenance loop once running.
+func buildServer(cfg serverConfig) (*server, error) {
+	var (
+		store     *embstore.Store
+		watermark uint64
+		err       error
+	)
+	if cfg.walDir != "" {
+		// The snapshot pair and the graph land in the log directory,
+		// possibly before wal.Open creates it — make it exist first.
+		if err := os.MkdirAll(cfg.walDir, 0o755); err != nil {
+			return nil, err
+		}
+		// In WAL mode the rotating snapshot pair lives in the log
+		// directory and takes precedence over any seed artifact.
+		if cfg.index.kind == "hnsw" && cfg.index.graphPath == "" {
+			cfg.index.graphPath = filepath.Join(cfg.walDir, "graph.gob")
+		}
+		cfg.index.rebuildOnLoadError = true // a stale graph is survivable, not fatal
+		snapPath := walSnapshotPath(cfg.walDir)
+		if f, ferr := os.Open(snapPath); ferr == nil {
+			store, watermark, err = embstore.LoadSnapshot(f, cfg.shards)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("load wal snapshot %s: %w", snapPath, err)
+			}
+			log.Printf("ehnad: wal snapshot %s loaded: %d nodes, watermark %d", snapPath, store.Len(), watermark)
+		} else if !os.IsNotExist(ferr) {
+			return nil, ferr
+		} else {
+			store, err = seedStore(cfg)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		store, err = loadStore(cfg.model, cfg.snapshot, cfg.shards)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	index, err := buildIndex(store, cfg.index)
+	if err != nil {
+		return nil, err
+	}
+	sw := ann.NewSwapper(index)
+	srv := newServer(store, sw, cfg.index.kind, cfg.maxBatch, cfg.window)
+	srv.pprof = cfg.pprof
+	if cfg.walDir != "" {
+		srv.dur, err = newDurable(cfg, store, sw, watermark)
+		if err != nil {
+			srv.close()
+			return nil, err
+		}
+	}
+	return srv, nil
+}
+
+// walSnapshotPath is where the rotating store snapshot lives in WAL mode.
+func walSnapshotPath(walDir string) string { return filepath.Join(walDir, "store.gob") }
+
+// seedStore builds the initial store for a WAL directory that has no
+// snapshot yet: a seed artifact if one was given, an empty store under
+// -dim otherwise.
+func seedStore(cfg serverConfig) (*embstore.Store, error) {
+	if cfg.model != "" || cfg.snapshot != "" {
+		return loadStore(cfg.model, cfg.snapshot, cfg.shards)
+	}
+	if cfg.dim < 1 {
+		return nil, fmt.Errorf("wal dir %s has no snapshot: pass -model, -snapshot, or -dim to boot empty", cfg.walDir)
+	}
+	return embstore.New(cfg.dim, cfg.shards)
 }
 
 // loadStore builds the store from exactly one of the two sources.
@@ -150,6 +277,10 @@ type indexOptions struct {
 	// hnsw
 	m, efConstruction, efSearch int
 	graphPath                   string
+	// rebuildOnLoadError downgrades a corrupt/stale graph snapshot from
+	// fatal to a logged rebuild. Set in WAL mode, where a crash between
+	// the store and graph renames legitimately leaves the pair skewed.
+	rebuildOnLoadError bool
 }
 
 func buildIndex(store *embstore.Store, o indexOptions) (ann.Index, error) {
@@ -166,31 +297,27 @@ func buildIndex(store *embstore.Store, o indexOptions) (ann.Index, error) {
 	}
 }
 
+// hnswConfigOf maps the hnsw flag subset onto an ann.HNSWConfig — also
+// the parameter set background compaction rebuilds with.
+func hnswConfigOf(o indexOptions) ann.HNSWConfig {
+	return ann.HNSWConfig{M: o.m, EfConstruction: o.efConstruction, EfSearch: o.efSearch, Seed: o.seed, Metric: o.metric}
+}
+
 // buildHNSW loads the graph snapshot when one exists (boot without
 // rebuild) and builds+saves it otherwise.
 func buildHNSW(store *embstore.Store, o indexOptions) (ann.Index, error) {
-	cfg := ann.HNSWConfig{M: o.m, EfConstruction: o.efConstruction, EfSearch: o.efSearch, Seed: o.seed, Metric: o.metric}
+	cfg := hnswConfigOf(o)
 	if o.graphPath != "" {
 		if f, err := os.Open(o.graphPath); err == nil {
-			defer f.Close()
-			h, err := ann.LoadHNSWGraph(f, store)
-			if err != nil {
-				return nil, fmt.Errorf("load hnsw graph %s: %w", o.graphPath, err)
+			h, err := loadHNSWGraph(f, store, o)
+			f.Close()
+			if err == nil {
+				return h, nil
 			}
-			// The snapshot fixes the build-time parameters (metric, M,
-			// ef-construction); only -ef-search applies at load. A metric
-			// mismatch would silently rank by the wrong similarity, so
-			// refuse it rather than ignore the flag.
-			loaded := h.Config()
-			if loaded.Metric != o.metric {
-				return nil, fmt.Errorf("hnsw graph %s was built with metric %s, conflicting with -metric %s (rebuild, or match the flag)",
-					o.graphPath, loaded.Metric, o.metric)
+			if !o.rebuildOnLoadError {
+				return nil, err
 			}
-			h.SetEfSearch(o.efSearch)
-			alive, tombs, maxLevel := h.Stats()
-			log.Printf("ehnad: hnsw graph loaded from %s: %d nodes (%d tombstones), %d layers, m=%d ef-construction=%d (snapshot values)",
-				o.graphPath, alive, tombs, maxLevel+1, loaded.M, loaded.EfConstruction)
-			return h, nil
+			log.Printf("ehnad: %v; rebuilding graph from the store", err)
 		} else if !os.IsNotExist(err) {
 			return nil, err
 		}
@@ -205,25 +332,72 @@ func buildHNSW(store *embstore.Store, o indexOptions) (ann.Index, error) {
 	if o.graphPath != "" {
 		// Write-then-rename so a crash mid-save cannot leave a truncated
 		// snapshot that bricks every subsequent boot.
-		tmp := o.graphPath + ".tmp"
-		f, err := os.Create(tmp)
-		if err != nil {
-			return nil, err
-		}
-		if err := h.SaveGraph(f); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return nil, err
-		}
-		if err := f.Close(); err != nil {
-			os.Remove(tmp)
-			return nil, err
-		}
-		if err := os.Rename(tmp, o.graphPath); err != nil {
-			os.Remove(tmp)
+		if err := writeFileAtomic(o.graphPath, h.SaveGraph); err != nil {
 			return nil, err
 		}
 		log.Printf("ehnad: hnsw graph saved to %s", o.graphPath)
 	}
 	return h, nil
+}
+
+// loadHNSWGraph loads and validates a graph snapshot against the store.
+func loadHNSWGraph(f *os.File, store *embstore.Store, o indexOptions) (*ann.HNSW, error) {
+	h, err := ann.LoadHNSWGraph(f, store)
+	if err != nil {
+		return nil, fmt.Errorf("load hnsw graph %s: %w", f.Name(), err)
+	}
+	// The snapshot fixes the build-time parameters (metric, M,
+	// ef-construction); only -ef-search applies at load. A metric
+	// mismatch would silently rank by the wrong similarity, so
+	// refuse it rather than ignore the flag.
+	loaded := h.Config()
+	if loaded.Metric != o.metric {
+		return nil, fmt.Errorf("hnsw graph %s was built with metric %s, conflicting with -metric %s (rebuild, or match the flag)",
+			f.Name(), loaded.Metric, o.metric)
+	}
+	h.SetEfSearch(o.efSearch)
+	alive, tombs, maxLevel := h.Stats()
+	log.Printf("ehnad: hnsw graph loaded from %s: %d nodes (%d tombstones), %d layers, m=%d ef-construction=%d (snapshot values)",
+		f.Name(), alive, tombs, maxLevel+1, loaded.M, loaded.EfConstruction)
+	return h, nil
+}
+
+// writeFileAtomic writes via a sibling temp file and renames it into
+// place, so readers only ever see a complete file.
+func writeFileAtomic(path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Fsync the directory: until the rename itself is durable, nothing
+	// may rely on the new file surviving power loss (the snapshot loop
+	// deletes WAL segments on the strength of this rename).
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -468,3 +468,132 @@ func TestHNSWGraphSnapshotBoot(t *testing.T) {
 		}
 	}
 }
+
+// TestDeleteEndpoint covers /v1/delete in the cache (no WAL) mode for
+// every index kind.
+func TestDeleteEndpoint(t *testing.T) {
+	store, _ := trainedStore(t)
+	for _, kind := range []string{"exact", "lsh", "hnsw"} {
+		_, ts := newTestServer(t, store, kind)
+		id := uint32(300000)
+		vec := make([]float64, store.Dim())
+		vec[0] = 7
+		if status, raw := postJSON(t, ts.URL+"/v1/upsert", map[string]any{"id": id, "vector": vec}, nil); status != http.StatusOK {
+			t.Fatalf("%s: upsert: %d %s", kind, status, raw)
+		}
+		var out struct {
+			Deleted int `json:"deleted"`
+			Nodes   int `json:"nodes"`
+		}
+		status, raw := postJSON(t, ts.URL+"/v1/delete", map[string]any{"id": id}, &out)
+		if status != http.StatusOK || out.Deleted != 1 {
+			t.Fatalf("%s: delete: %d %s", kind, status, raw)
+		}
+		if _, ok := store.Get(graph.NodeID(id)); ok {
+			t.Fatalf("%s: vector survived delete", kind)
+		}
+		// Deleting it again is a clean no-op.
+		status, _ = postJSON(t, ts.URL+"/v1/delete", map[string]any{"ids": []uint32{id}}, &out)
+		if status != http.StatusOK || out.Deleted != 0 {
+			t.Fatalf("%s: double delete reported %d", kind, out.Deleted)
+		}
+		// Missing id/ids is a 400.
+		if status, _ := postJSON(t, ts.URL+"/v1/delete", map[string]any{}, nil); status != http.StatusBadRequest {
+			t.Fatalf("%s: empty delete accepted (%d)", kind, status)
+		}
+	}
+}
+
+// TestExportEndpoint: the exported stream is a loadable embstore
+// snapshot equal to the live store.
+func TestExportEndpoint(t *testing.T) {
+	store, _ := trainedStore(t)
+	_, ts := newTestServer(t, store, "exact")
+	resp, err := http.Get(ts.URL + "/v1/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	loaded, err := embstore.Load(resp.Body, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Equal(store) {
+		t.Fatal("export stream differs from live store")
+	}
+}
+
+// TestAdminEndpointsRequireWAL: snapshot/compact are durability
+// operations; without -wal they must refuse, not pretend.
+func TestAdminEndpointsRequireWAL(t *testing.T) {
+	store, _ := trainedStore(t)
+	_, ts := newTestServer(t, store, "hnsw")
+	for _, ep := range []string{"/v1/admin/snapshot", "/v1/admin/compact"} {
+		if status, _ := postJSON(t, ts.URL+ep, map[string]any{}, nil); status != http.StatusBadRequest {
+			t.Fatalf("%s without -wal: status %d, want 400", ep, status)
+		}
+	}
+}
+
+// TestWALModeBootFromSeedSnapshot: first boot of a WAL directory seeds
+// from -snapshot, writes are WAL-logged, and a reboot replays them on
+// top of the seed.
+func TestWALModeBootFromSeedSnapshot(t *testing.T) {
+	store, _ := trainedStore(t)
+	dir := t.TempDir()
+	seedPath := filepath.Join(dir, "seed.gob")
+	f, err := os.Create(seedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	walDir := t.TempDir()
+	cfg := serverConfig{
+		snapshot: seedPath,
+		shards:   4,
+		index:    testIndexOptions("lsh"),
+		maxBatch: 16,
+		window:   time.Millisecond,
+		walDir:   walDir,
+		fsync:    "never", // this test is about replay, not fsync
+	}
+	srv, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.store.Len() != store.Len() {
+		t.Fatalf("seeded %d nodes, want %d", srv.store.Len(), store.Len())
+	}
+	vec := make([]float64, store.Dim())
+	vec[0] = 9
+	id := graph.NodeID(777777)
+	if err := srv.dur.upsert([]upsertUpdate{{ID: &id, Vector: vec}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.dur.delete([]graph.NodeID{0}); err != nil {
+		t.Fatal(err)
+	}
+	srv.close()
+
+	srv2, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.close()
+	if srv2.dur.replayed != 2 {
+		t.Fatalf("replayed %d records, want 2", srv2.dur.replayed)
+	}
+	if !srv2.store.Equal(srv.store) {
+		t.Fatal("rebooted store differs from pre-shutdown store")
+	}
+	if _, ok := srv2.store.Get(0); ok {
+		t.Fatal("deleted seed node resurrected")
+	}
+	if got, ok := srv2.store.Get(id); !ok || got[0] != 9 {
+		t.Fatalf("wal-logged upsert lost across reboot: %v %v", got, ok)
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -22,7 +23,8 @@ type server struct {
 	batch     *batcher
 	indexName string
 	started   time.Time
-	pprof     bool // mount net/http/pprof on the mux (-pprof)
+	pprof     bool     // mount net/http/pprof on the mux (-pprof)
+	dur       *durable // nil without -wal; owns the write path when set
 }
 
 func newServer(store *embstore.Store, index ann.Index, indexName string, maxBatch int, window time.Duration) *server {
@@ -35,7 +37,21 @@ func newServer(store *embstore.Store, index ann.Index, indexName string, maxBatc
 	}
 }
 
-func (s *server) close() { s.batch.close() }
+func (s *server) close() {
+	s.batch.close()
+	if s.dur != nil {
+		s.dur.close()
+	}
+}
+
+// liveIndex unwraps the Swapper (the index is always wrapped in one,
+// so a background compaction can replace it under live traffic).
+func (s *server) liveIndex() ann.Index {
+	if sw, ok := s.index.(*ann.Swapper); ok {
+		return sw.Current()
+	}
+	return s.index
+}
 
 // handler builds the route table. With -pprof the net/http/pprof
 // handlers ride the same admin mux, so a live daemon can be profiled
@@ -45,6 +61,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/neighbors", s.handleNeighbors)
 	mux.HandleFunc("/v1/score", s.handleScore)
 	mux.HandleFunc("/v1/upsert", s.handleUpsert)
+	mux.HandleFunc("/v1/delete", s.handleDelete)
+	mux.HandleFunc("/v1/export", s.handleExport)
+	mux.HandleFunc("/v1/admin/snapshot", s.handleAdminSnapshot)
+	mux.HandleFunc("/v1/admin/compact", s.handleAdminCompact)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -309,14 +329,120 @@ func (s *server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	for i, u := range updates {
-		if err := s.index.Add(*u.ID, u.Vector); err != nil {
-			// Dimension errors were pre-validated; anything here is ours.
-			writeError(w, http.StatusInternalServerError, "update %d: %v", i, err)
+	// With -wal the durability layer logs the batch before applying it;
+	// otherwise apply straight to the index. Dimension errors were
+	// pre-validated, so any error past this point is ours (a 500).
+	if s.dur != nil {
+		if err := s.dur.upsert(updates); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
+		}
+	} else {
+		for i, u := range updates {
+			if err := s.index.Add(*u.ID, u.Vector); err != nil {
+				writeError(w, http.StatusInternalServerError, "update %d: %v", i, err)
+				return
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"upserted": len(updates), "nodes": s.store.Len()})
+}
+
+// deleteRequest removes vectors: one id inline, or many under "ids".
+type deleteRequest struct {
+	ID  *graph.NodeID  `json:"id,omitempty"`
+	IDs []graph.NodeID `json:"ids,omitempty"`
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req deleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ids := req.IDs
+	if req.ID != nil {
+		ids = append(ids, *req.ID)
+	}
+	if len(ids) == 0 {
+		writeError(w, http.StatusBadRequest, "delete needs id or ids")
+		return
+	}
+	var deleted int
+	if s.dur != nil {
+		var err error
+		if deleted, err = s.dur.delete(ids); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	} else {
+		for _, id := range ids {
+			if s.index.Remove(id) {
+				deleted++
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted, "nodes": s.store.Len()})
+}
+
+// handleExport streams an embstore snapshot of the live store — the
+// same format -snapshot accepts, so an export can seed another daemon
+// (or a test comparing recovered state against a reference).
+func (s *server) handleExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.store.Save(w); err != nil {
+		// Headers are gone; all we can do is cut the stream short and
+		// leave the evidence in the daemon log.
+		log.Printf("ehnad: export: %v", err)
+	}
+}
+
+func (s *server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.dur == nil {
+		writeError(w, http.StatusBadRequest, "snapshot rotation requires -wal")
+		return
+	}
+	wm, err := s.dur.snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"watermark": wm, "nodes": s.store.Len()})
+}
+
+func (s *server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.dur == nil {
+		writeError(w, http.StatusBadRequest, "compaction requires -wal")
+		return
+	}
+	before := s.dur.tombstoneRatio()
+	ran, err := s.dur.compact(true)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"compacted":              ran,
+		"tombstone_ratio_before": before,
+		"tombstone_ratio_after":  s.dur.tombstoneRatio(),
+		"rebuilds":               s.dur.compactions.Load(),
+	})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -329,16 +455,21 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"metric":   s.index.Metric().String(),
 		"uptime_s": time.Since(s.started).Seconds(),
 	}
-	if h, ok := s.index.(*ann.HNSW); ok {
-		// Tombstones accumulate under delete/replace churn and are only
-		// reclaimed by a rebuild — the number to watch before restarting
-		// with a fresh graph.
+	if h, ok := s.liveIndex().(*ann.HNSW); ok {
+		// Tombstones accumulate under delete/replace churn and are
+		// reclaimed by a compaction rebuild (automatic with -wal once
+		// the ratio passes -compact-at, or forced via
+		// /v1/admin/compact).
 		alive, tombstones, maxLevel := h.Stats()
 		out["graph"] = map[string]any{
-			"nodes":      alive,
-			"tombstones": tombstones,
-			"layers":     maxLevel + 1,
+			"nodes":           alive,
+			"tombstones":      tombstones,
+			"layers":          maxLevel + 1,
+			"tombstone_ratio": h.TombstoneRatio(),
 		}
+	}
+	if s.dur != nil {
+		out["durability"] = s.dur.healthz()
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -148,13 +148,20 @@ func main() {
 	}
 
 	// 5. Serve it. Either embedding artifact boots the daemon; pick the
-	//    index with -index (hnsw reuses the saved graph snapshot).
+	//    index with -index (hnsw reuses the saved graph snapshot), and
+	//    add -wal to make the write path durable.
+	walDir := filepath.Join(outDir, "wal")
 	fmt.Printf(`
 serve the aggregated embeddings (recommended):
   go run ./cmd/ehnad -snapshot %s
 
 with the sublinear HNSW index, booting from the saved graph:
   go run ./cmd/ehnad -snapshot %s -index hnsw -hnsw-graph %s
+
+durably — writes WAL-logged before apply, snapshots rotated, HNSW
+tombstones compacted in the background (the -snapshot seed is only
+read on the first boot; afterwards %s recovers everything):
+  go run ./cmd/ehnad -snapshot %s -index hnsw -wal %s
 
 or the raw table straight from the model snapshot:
   go run ./cmd/ehnad -model %s
@@ -164,7 +171,9 @@ then query:
   curl -s -X POST localhost:8080/v1/neighbors -d '{"id":%d,"k":%d}'
   curl -s -X POST localhost:8080/v1/score -d '{"u":0,"v":1,"op":"hadamard"}'
   curl -s -X POST localhost:8080/v1/upsert -d '{"id":900000,"vector":[...]}'
-`, storePath, storePath, graphPath, modelPath, target, k)
+  curl -s -X POST localhost:8080/v1/delete -d '{"id":900000}'
+  curl -s localhost:8080/v1/export > backup.gob
+`, storePath, storePath, graphPath, walDir, storePath, walDir, modelPath, target, k)
 }
 
 func resultIDs(rs []ann.Result) []graph.NodeID {

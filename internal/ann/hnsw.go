@@ -190,6 +190,19 @@ func (h *HNSW) Stats() (alive, tombstones, maxLevel int) {
 	return h.alive, len(h.nodes) - h.alive, h.maxLevel
 }
 
+// TombstoneRatio reports the fraction of graph slots occupied by
+// tombstones — the number the daemon's maintenance loop compares
+// against -compact-at to decide when a rebuild pays for itself. 0 on
+// an empty graph.
+func (h *HNSW) TombstoneRatio() float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if len(h.nodes) == 0 {
+		return 0
+	}
+	return float64(len(h.nodes)-h.alive) / float64(len(h.nodes))
+}
+
 // maxConn is the per-layer degree cap: 2M on the dense base layer, M
 // above it.
 func (h *HNSW) maxConn(layer int) int {
@@ -730,6 +743,34 @@ func (h *HNSW) pickEntryLocked() {
 			h.entry, h.maxLevel = i, len(h.nodes[i].links)-1
 		}
 	}
+}
+
+// AddToGraph indexes a vector without writing it to the store: the
+// catch-up path of a background rebuild, where the live index owns the
+// store and the rebuilding graph only mirrors link structure. The
+// vector may be gone from the store again by the time discovery runs
+// (a racing delete); the node then links poorly, and the delete's own
+// catch-up replay removes it.
+func (h *HNSW) AddToGraph(id graph.NodeID, vec []float64) error {
+	sc := hnswScratchPool.Get().(*hnswScratch)
+	err := h.insert(id, vec, sc, false)
+	hnswScratchPool.Put(sc)
+	return err
+}
+
+// RemoveFromGraph tombstones id in the graph (repairing its
+// neighborhood) without deleting the store vector, which the live
+// index owns during a rebuild. Reports whether the node was indexed.
+func (h *HNSW) RemoveFromGraph(id graph.NodeID) bool {
+	sc := hnswScratchPool.Get().(*hnswScratch)
+	h.mu.Lock()
+	slot, ok := h.slotOf[id]
+	if ok {
+		h.detachLocked(slot, sc)
+	}
+	h.mu.Unlock()
+	hnswScratchPool.Put(sc)
+	return ok
 }
 
 // Remove tombstones the node in the graph (repairing its neighborhood)

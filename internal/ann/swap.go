@@ -1,0 +1,191 @@
+// Index swapping: the mechanism behind online HNSW tombstone
+// compaction. Remove only tombstones graph slots, so a long-lived
+// daemon under delete/replace churn accumulates dead slots that slow
+// every beam search and bloat snapshots; the only reclamation is a
+// rebuild. Swapper makes that rebuild safe to run behind live traffic:
+// a fresh graph is built from the store while the old index keeps
+// serving, mutations that land during the build are buffered and
+// replayed into the new graph (graph-only, so the store is written
+// exactly once per mutation), and the new index is promoted with one
+// atomic pointer store — searches never block and never miss.
+package ann
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ehna/internal/embstore"
+	"ehna/internal/graph"
+)
+
+// ErrRebuildInProgress is returned by CompactHNSW when a rebuild is
+// already running; at most one compaction can be in flight.
+var ErrRebuildInProgress = errors.New("ann: index rebuild already in progress")
+
+// swapMutation is one buffered write awaiting replay into a rebuilding
+// index. Replay order equals apply order (mutations are serialized
+// under the Swapper lock), so the last replayed op per ID matches the
+// store's final state.
+type swapMutation struct {
+	del bool
+	id  graph.NodeID
+	vec []float64
+}
+
+// Swapper wraps an Index, serializing mutations so a background
+// rebuild can catch up and atomically replace the index while searches
+// keep answering from the old one. The query path is untouched: reads
+// go through one atomic pointer load, no lock.
+type Swapper struct {
+	cur atomic.Pointer[indexBox]
+
+	// mu serializes mutations against each other and against the final
+	// catch-up + promote step of a rebuild. Queries never take it.
+	mu         sync.Mutex
+	rebuilding bool
+	pending    []swapMutation
+
+	rebuilds atomic.Int64
+}
+
+// indexBox exists because atomic.Pointer needs a concrete pointee type
+// to wrap the Index interface value.
+type indexBox struct{ idx Index }
+
+// NewSwapper wraps idx.
+func NewSwapper(idx Index) *Swapper {
+	s := &Swapper{}
+	s.cur.Store(&indexBox{idx})
+	return s
+}
+
+// Current returns the index serving right now. Callers may search it
+// directly; mutations must go through the Swapper to stay coherent
+// with a concurrent rebuild.
+func (s *Swapper) Current() Index { return s.cur.Load().idx }
+
+// Rebuilds reports how many compaction swaps have completed.
+func (s *Swapper) Rebuilds() int64 { return s.rebuilds.Load() }
+
+// Metric reports the current index's similarity metric.
+func (s *Swapper) Metric() Metric { return s.Current().Metric() }
+
+// Add inserts or replaces a vector through the current index,
+// mirroring the mutation into the rebuild buffer when one is running.
+func (s *Swapper) Add(id graph.NodeID, vec []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.Current().Add(id, vec); err != nil {
+		return err
+	}
+	if s.rebuilding {
+		s.pending = append(s.pending, swapMutation{id: id, vec: append([]float64(nil), vec...)})
+	}
+	return nil
+}
+
+// Remove deletes a vector through the current index, mirroring into
+// the rebuild buffer when one is running.
+func (s *Swapper) Remove(id graph.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ok := s.Current().Remove(id)
+	if s.rebuilding {
+		s.pending = append(s.pending, swapMutation{del: true, id: id})
+	}
+	return ok
+}
+
+// Search delegates to the current index.
+func (s *Swapper) Search(q []float64, k int) ([]Result, error) {
+	return s.Current().Search(q, k)
+}
+
+// SearchInto delegates to the current index: one atomic load on top of
+// the underlying zero-allocation path.
+func (s *Swapper) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
+	return s.Current().SearchInto(dst, q, k)
+}
+
+// SearchBatch delegates to the current index.
+func (s *Swapper) SearchBatch(qs [][]float64, k int) ([][]Result, error) {
+	return s.Current().SearchBatch(qs, k)
+}
+
+// catchupBatchMax bounds how much of the mutation buffer is drained
+// outside the lock per round; when the residue is at or below this,
+// the final drain runs under the lock and the swap happens.
+const catchupBatchMax = 64
+
+// CompactHNSW rebuilds a fresh HNSW graph over store — reclaiming
+// every tombstone — and promotes it. The sequence: buffer mutations
+// from now on, bulk-build the new graph from the live store, replay
+// buffered mutations into it (graph-only: the live index already wrote
+// the store) in rounds until the backlog is small, then briefly block
+// mutations for the final replay and the atomic pointer swap. Searches
+// are served continuously, by the old graph until the swap and the new
+// one after. Returns the promoted graph.
+func (s *Swapper) CompactHNSW(store *embstore.Store, cfg HNSWConfig) (*HNSW, error) {
+	s.mu.Lock()
+	if s.rebuilding {
+		s.mu.Unlock()
+		return nil, ErrRebuildInProgress
+	}
+	s.rebuilding = true
+	s.pending = s.pending[:0]
+	s.mu.Unlock()
+
+	fail := func(err error) (*HNSW, error) {
+		s.mu.Lock()
+		s.rebuilding = false
+		s.pending = nil
+		s.mu.Unlock()
+		return nil, err
+	}
+	next, err := NewHNSW(store, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	if err := next.Build(); err != nil {
+		return fail(fmt.Errorf("ann: compaction rebuild: %w", err))
+	}
+
+	// Bound the chase: if mutations arrive faster than replay drains
+	// for this many rounds, give up on convergence and do one final
+	// (larger) drain under the lock — briefly stalling writers — rather
+	// than looping forever behind a writer that never slows down.
+	const maxCatchupRounds = 8
+	var batch []swapMutation
+	for round := 0; ; round++ {
+		s.mu.Lock()
+		if len(s.pending) <= catchupBatchMax || round >= maxCatchupRounds {
+			// Final drain + promote under the lock: after this no mutation
+			// can land in the old index only.
+			replayInto(next, s.pending)
+			s.pending = nil
+			s.rebuilding = false
+			s.cur.Store(&indexBox{next})
+			s.mu.Unlock()
+			s.rebuilds.Add(1)
+			return next, nil
+		}
+		batch = append(batch[:0], s.pending...)
+		s.pending = s.pending[:0]
+		s.mu.Unlock()
+		replayInto(next, batch)
+	}
+}
+
+// replayInto applies buffered mutations to a rebuilding graph without
+// touching the store (the live index already did).
+func replayInto(next *HNSW, ms []swapMutation) {
+	for _, m := range ms {
+		if m.del {
+			next.RemoveFromGraph(m.id)
+		} else {
+			_ = next.AddToGraph(m.id, m.vec) // graph-only insert never errors
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"ehna/internal/graph"
 	"ehna/internal/tensor"
 	"ehna/internal/vecmath"
+	"ehna/internal/wal"
 )
 
 // shard is one lock domain of the store: a dense slab of vectors with
@@ -299,14 +300,63 @@ func (s *Store) IDs() []graph.NodeID {
 	return out
 }
 
+// ApplyWAL applies one write-ahead-log record to the store: the replay
+// hook crash recovery and reference-state tests drive. Replaying a log
+// suffix in sequence order over any state at-or-before that suffix
+// reconverges, because upsert/delete are last-writer-wins.
+func (s *Store) ApplyWAL(r wal.Record) error {
+	switch r.Op {
+	case wal.OpUpsert:
+		return s.Upsert(r.ID, r.Vec)
+	case wal.OpDelete:
+		s.Delete(r.ID)
+		return nil
+	default:
+		return fmt.Errorf("embstore: apply of unknown wal op %d", r.Op)
+	}
+}
+
+// Equal reports whether two stores hold identical contents (same IDs,
+// bit-identical vectors), regardless of shard count. It takes read
+// locks shard by shard; quiesce writers for a meaningful answer.
+func (s *Store) Equal(o *Store) bool {
+	if s.dim != o.dim || s.Len() != o.Len() {
+		return false
+	}
+	equal := true
+	for i := range s.shards {
+		s.RangeShard(i, func(id graph.NodeID, vec []float64, _ float64) bool {
+			ok := o.With(id, func(ovec []float64, _ float64) {
+				for j := range vec {
+					if vec[j] != ovec[j] {
+						equal = false
+						return
+					}
+				}
+			})
+			if !ok {
+				equal = false
+			}
+			return equal
+		})
+		if !equal {
+			return false
+		}
+	}
+	return true
+}
+
 // storeWire is the gob wire format of a snapshot: IDs ascending, vectors
 // concatenated in the same order, so identical contents always produce
-// identical bytes.
+// identical bytes. Watermark carries the WAL sequence number the
+// snapshot covers (0 for snapshots taken outside a WAL pipeline; gob
+// omits zero fields, so pre-watermark snapshots load unchanged).
 type storeWire struct {
-	Version int
-	Dim     int
-	IDs     []graph.NodeID
-	Data    []float64
+	Version   int
+	Dim       int
+	Watermark uint64
+	IDs       []graph.NodeID
+	Data      []float64
 }
 
 // storeSnapshotVersion guards the wire format; bump on incompatible changes.
@@ -316,13 +366,23 @@ const storeSnapshotVersion = 1
 // Save are each either fully included or fully absent (per-vector
 // atomicity via the shard locks); for a point-in-time image, quiesce
 // writers first.
-func (s *Store) Save(w io.Writer) error {
+func (s *Store) Save(w io.Writer) error { return s.SaveSnapshot(w, 0) }
+
+// SaveSnapshot is Save stamping the snapshot with a WAL watermark: the
+// sequence number through which the image is known complete. On boot,
+// LoadSnapshot hands the watermark back so replay can skip everything
+// the snapshot already contains. The caller must guarantee all records
+// ≤ watermark were applied before SaveSnapshot starts; records applied
+// concurrently (seq > watermark) may bleed into the image, which
+// replay-idempotence makes harmless.
+func (s *Store) SaveSnapshot(w io.Writer, watermark uint64) error {
 	ids := s.IDs()
 	wire := storeWire{
-		Version: storeSnapshotVersion,
-		Dim:     s.dim,
-		IDs:     make([]graph.NodeID, 0, len(ids)),
-		Data:    make([]float64, 0, len(ids)*s.dim),
+		Version:   storeSnapshotVersion,
+		Dim:       s.dim,
+		Watermark: watermark,
+		IDs:       make([]graph.NodeID, 0, len(ids)),
+		Data:      make([]float64, 0, len(ids)*s.dim),
 	}
 	for _, id := range ids {
 		// IDs and Data are appended together under the same read lock, so
@@ -341,25 +401,33 @@ func (s *Store) Save(w io.Writer) error {
 
 // Load reconstructs a store from a snapshot written by Save.
 func Load(r io.Reader, shards int) (*Store, error) {
+	s, _, err := LoadSnapshot(r, shards)
+	return s, err
+}
+
+// LoadSnapshot reconstructs a store and returns the WAL watermark it
+// was stamped with (0 for pre-WAL snapshots): replay resumes from the
+// record after the watermark.
+func LoadSnapshot(r io.Reader, shards int) (*Store, uint64, error) {
 	var wire storeWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("embstore: load: %v", err)
+		return nil, 0, fmt.Errorf("embstore: load: %v", err)
 	}
 	if wire.Version != storeSnapshotVersion {
-		return nil, fmt.Errorf("embstore: load: snapshot version %d, want %d", wire.Version, storeSnapshotVersion)
+		return nil, 0, fmt.Errorf("embstore: load: snapshot version %d, want %d", wire.Version, storeSnapshotVersion)
 	}
 	if len(wire.Data) != len(wire.IDs)*wire.Dim {
-		return nil, fmt.Errorf("embstore: load: corrupt snapshot: %d values for %d vectors of dim %d",
+		return nil, 0, fmt.Errorf("embstore: load: corrupt snapshot: %d values for %d vectors of dim %d",
 			len(wire.Data), len(wire.IDs), wire.Dim)
 	}
 	s, err := New(wire.Dim, shards)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for i, id := range wire.IDs {
 		if err := s.Upsert(id, wire.Data[i*wire.Dim:(i+1)*wire.Dim]); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
-	return s, nil
+	return s, wire.Watermark, nil
 }
