@@ -21,6 +21,7 @@ import (
 	"ehna/internal/experiments"
 	"ehna/internal/graph"
 	"ehna/internal/tensor"
+	"ehna/internal/wal"
 )
 
 func quick() experiments.Settings { return experiments.Quick() }
@@ -208,13 +209,14 @@ func BenchmarkEmbstoreBulkLoad(b *testing.B) {
 	}
 }
 
-// benchANN measures per-query latency of an index at the given scale and
-// reports its recall@10 against exact search.
-func benchANN(b *testing.B, n int, mk func(*embstore.Store) (ann.Index, error)) {
+// benchANN measures per-query latency of an index over a store of the
+// given slab precision and reports recall@10 against full-precision
+// exact search plus the per-vector slab footprint.
+func benchANN(b *testing.B, n int, prec embstore.Precision, mk func(*embstore.Store) (ann.Index, error)) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(2))
 	emb := tensor.Randn(n, servingDim, 1, rng)
-	s, err := embstore.FromMatrix(emb, embstore.DefaultShards)
+	s, err := embstore.FromMatrixPrecision(emb, embstore.DefaultShards, prec)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -223,8 +225,16 @@ func benchANN(b *testing.B, n int, mk func(*embstore.Store) (ann.Index, error)) 
 		b.Fatal(err)
 	}
 	const k = 10
-	// Recall vs exact over a fixed query sample (once, outside the loop).
-	exact := ann.NewExact(s, ann.Cosine)
+	// Recall vs full-precision exact over a fixed query sample (once,
+	// outside the loop) — the ground truth is always f64, so compressed
+	// planes are charged for their quantization error.
+	truthStore := s
+	if prec != embstore.F64 {
+		if truthStore, err = embstore.FromMatrix(emb, embstore.DefaultShards); err != nil {
+			b.Fatal(err)
+		}
+	}
+	exact := ann.NewExact(truthStore, ann.Cosine)
 	var approx, truth [][]graph.NodeID
 	for qi := 0; qi < 20; qi++ {
 		er, err := exact.Search(emb.Row(qi), k)
@@ -250,6 +260,7 @@ func benchANN(b *testing.B, n int, mk func(*embstore.Store) (ann.Index, error)) 
 	}
 	// After the loop: ResetTimer discards metrics reported before it.
 	b.ReportMetric(recall, "recall@10")
+	b.ReportMetric(float64(prec.BytesPerVector(servingDim)), "bytes_per_vector")
 }
 
 func resultIDs(rs []ann.Result) []graph.NodeID {
@@ -260,33 +271,87 @@ func resultIDs(rs []ann.Result) []graph.NodeID {
 	return out
 }
 
+// benchPrecisions is the slab matrix BenchmarkANNTopK sweeps.
+var benchPrecisions = []embstore.Precision{embstore.F64, embstore.F32, embstore.SQ8}
+
 // BenchmarkANNTopK compares exact scan, LSH probing and HNSW graph
-// search at serving scales. LSH bits grow with n to keep buckets small;
-// HNSW runs at its defaults (the config whose 100k recall is gated at
-// ≥ 0.95 by TestHNSWRecall100k).
+// search at serving scales, each across the three slab precisions
+// (recall@10 is always measured against full-precision exact search,
+// and bytes_per_vector records the memory side of the trade). LSH bits
+// grow with n to keep buckets small; HNSW runs at its defaults (the
+// config whose 100k recall is gated at ≥ 0.95 by TestHNSWRecall100k;
+// TestSQ8Recall gates the quantized plane).
 func BenchmarkANNTopK(b *testing.B) {
 	for _, n := range []int{10_000, 100_000} {
 		n := n
-		b.Run(fmt.Sprintf("exact/n=%d", n), func(b *testing.B) {
-			benchANN(b, n, func(s *embstore.Store) (ann.Index, error) {
-				return ann.NewExact(s, ann.Cosine), nil
+		for _, prec := range benchPrecisions {
+			prec := prec
+			b.Run(fmt.Sprintf("exact/n=%d/p=%s", n, prec), func(b *testing.B) {
+				benchANN(b, n, prec, func(s *embstore.Store) (ann.Index, error) {
+					return ann.NewExact(s, ann.Cosine), nil
+				})
 			})
-		})
-		b.Run(fmt.Sprintf("lsh/n=%d", n), func(b *testing.B) {
-			benchANN(b, n, func(s *embstore.Store) (ann.Index, error) {
-				cfg := ann.DefaultLSHConfig()
-				if n >= 100_000 {
-					cfg.Bits = 11
-				}
-				return ann.NewLSH(s, cfg)
+			b.Run(fmt.Sprintf("lsh/n=%d/p=%s", n, prec), func(b *testing.B) {
+				benchANN(b, n, prec, func(s *embstore.Store) (ann.Index, error) {
+					cfg := ann.DefaultLSHConfig()
+					if n >= 100_000 {
+						cfg.Bits = 11
+					}
+					return ann.NewLSH(s, cfg)
+				})
 			})
-		})
-		b.Run(fmt.Sprintf("hnsw/n=%d", n), func(b *testing.B) {
-			benchANN(b, n, func(s *embstore.Store) (ann.Index, error) {
-				return ann.BuildHNSW(s, ann.DefaultHNSWConfig())
+			b.Run(fmt.Sprintf("hnsw/n=%d/p=%s", n, prec), func(b *testing.B) {
+				benchANN(b, n, prec, func(s *embstore.Store) (ann.Index, error) {
+					return ann.BuildHNSW(s, ann.DefaultHNSWConfig())
+				})
 			})
-		})
+		}
 	}
+}
+
+// BenchmarkWALAppend measures the ingest path's logging cost: one
+// record per Append (each paying its own buffer write) versus a
+// 64-record AppendBatch (one durability wait for the whole batch).
+// fsync=never isolates the encode+buffer cost from disk sync latency —
+// the group-commit benefit under fsync=always is larger still.
+func BenchmarkWALAppend(b *testing.B) {
+	vec := make([]float64, servingDim)
+	for i := range vec {
+		vec[i] = float64(i) * 0.25
+	}
+	open := func(b *testing.B) *wal.Log {
+		b.Helper()
+		l, err := wal.Open(b.TempDir(), wal.Options{Sync: wal.SyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { l.Close() })
+		return l
+	}
+	b.Run("single", func(b *testing.B) {
+		l := open(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Append(wal.OpUpsert, graph.NodeID(i), vec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch64", func(b *testing.B) {
+		l := open(b)
+		recs := make([]wal.Record, 64)
+		for i := range recs {
+			recs[i] = wal.Record{Op: wal.OpUpsert, ID: graph.NodeID(i), Vec: vec}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.AppendBatch(recs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// ns/op is per 64-record batch; records/op makes that explicit.
+		b.ReportMetric(64, "records/op")
+	})
 }
 
 // BenchmarkHNSWBuild measures graph construction from a loaded store —

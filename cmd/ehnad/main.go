@@ -41,6 +41,17 @@
 // the graph structure: loaded when present so the daemon boots without
 // rebuilding, written after a fresh build otherwise (with -wal it
 // defaults to DIR/graph.gob).
+//
+// Precision: -precision f64|f32|sq8 selects the vector slab layout —
+// full float64, float32 (half the memory), or int8 scalar quantization
+// (~8x less vector memory; searches score quantized rows against the
+// full-precision query with a widened beam, recall@10 ≥ 0.95 gated in
+// CI). The precision applies per boot: snapshots of any precision
+// convert to the requested layout on load, so pass the same value on
+// every restart to keep the layout. WAL records always carry
+// full-precision vectors, so durability semantics are unchanged.
+// /healthz reports precision and bytes_per_vector (and, with -index
+// hnsw, the graph slab's mirror cost under graph.slab_bytes_per_vector).
 package main
 
 import (
@@ -66,6 +77,7 @@ func main() {
 		model     = flag.String("model", "", "path to an ehna model snapshot (Model.Save)")
 		snapshot  = flag.String("snapshot", "", "path to an embstore snapshot (Store.Save)")
 		dim       = flag.Int("dim", 0, "with -wal: boot an empty store of this dimensionality when no snapshot or seed exists yet")
+		precision = flag.String("precision", "f64", "vector slab precision: f64 (full), f32 (half the memory), or sq8 (int8 scalar quantization, ~8x less memory; recall gated >= 0.95). Applies per boot: snapshots of any precision convert to this layout on load, so pass the same value on every restart to keep the layout. WAL records stay full-precision")
 		shards    = flag.Int("shards", embstore.DefaultShards, "store shard count")
 		indexKind = flag.String("index", "lsh", "ann index: exact, lsh or hnsw")
 		tables    = flag.Int("tables", 16, "lsh: number of hash tables")
@@ -91,11 +103,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("ehnad: %v", err)
 	}
+	prec, err := embstore.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatalf("ehnad: %v", err)
+	}
 	srv, err := buildServer(serverConfig{
-		model:    *model,
-		snapshot: *snapshot,
-		dim:      *dim,
-		shards:   *shards,
+		model:     *model,
+		snapshot:  *snapshot,
+		dim:       *dim,
+		precision: prec,
+		shards:    *shards,
 		index: indexOptions{
 			kind:           *indexKind,
 			metric:         mt,
@@ -120,8 +137,9 @@ func main() {
 		log.Fatalf("ehnad: %v", err)
 	}
 	defer srv.close()
-	log.Printf("ehnad: store loaded: %d nodes × %d dims across %d shards, %s index (%s metric)",
-		srv.store.Len(), srv.store.Dim(), srv.store.NumShards(), *indexKind, mt)
+	log.Printf("ehnad: store loaded: %d nodes × %d dims across %d shards at %s (%d bytes/vector), %s index (%s metric)",
+		srv.store.Len(), srv.store.Dim(), srv.store.NumShards(),
+		srv.store.Precision(), srv.store.Precision().BytesPerVector(srv.store.Dim()), *indexKind, mt)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 	done := make(chan struct{})
@@ -150,14 +168,15 @@ func main() {
 // Factored out of main so the crash-recovery tests can boot the exact
 // daemon stack in-process and as a helper process.
 type serverConfig struct {
-	model    string
-	snapshot string
-	dim      int
-	shards   int
-	index    indexOptions
-	maxBatch int
-	window   time.Duration
-	pprof    bool
+	model     string
+	snapshot  string
+	dim       int
+	precision embstore.Precision
+	shards    int
+	index     indexOptions
+	maxBatch  int
+	window    time.Duration
+	pprof     bool
 
 	walDir           string
 	fsync            string
@@ -188,12 +207,17 @@ func buildServer(cfg serverConfig) (*server, error) {
 		cfg.index.rebuildOnLoadError = true // a stale graph is survivable, not fatal
 		snapPath := walSnapshotPath(cfg.walDir)
 		if f, ferr := os.Open(snapPath); ferr == nil {
-			store, watermark, err = embstore.LoadSnapshot(f, cfg.shards)
+			// Load at the requested precision whatever precision the
+			// snapshot was written in: a daemon switching to -precision sq8
+			// upconverts its old f64 image on this boot and writes sq8
+			// images from the next rotation on.
+			store, watermark, err = embstore.LoadSnapshotAt(f, cfg.shards, cfg.precision)
 			f.Close()
 			if err != nil {
 				return nil, fmt.Errorf("load wal snapshot %s: %w", snapPath, err)
 			}
-			log.Printf("ehnad: wal snapshot %s loaded: %d nodes, watermark %d", snapPath, store.Len(), watermark)
+			log.Printf("ehnad: wal snapshot %s loaded: %d nodes at %s, watermark %d",
+				snapPath, store.Len(), store.Precision(), watermark)
 		} else if !os.IsNotExist(ferr) {
 			return nil, ferr
 		} else {
@@ -203,7 +227,7 @@ func buildServer(cfg serverConfig) (*server, error) {
 			}
 		}
 	} else {
-		store, err = loadStore(cfg.model, cfg.snapshot, cfg.shards)
+		store, err = loadStore(cfg.model, cfg.snapshot, cfg.shards, cfg.precision)
 		if err != nil {
 			return nil, err
 		}
@@ -234,16 +258,18 @@ func walSnapshotPath(walDir string) string { return filepath.Join(walDir, "store
 // -dim otherwise.
 func seedStore(cfg serverConfig) (*embstore.Store, error) {
 	if cfg.model != "" || cfg.snapshot != "" {
-		return loadStore(cfg.model, cfg.snapshot, cfg.shards)
+		return loadStore(cfg.model, cfg.snapshot, cfg.shards, cfg.precision)
 	}
 	if cfg.dim < 1 {
 		return nil, fmt.Errorf("wal dir %s has no snapshot: pass -model, -snapshot, or -dim to boot empty", cfg.walDir)
 	}
-	return embstore.New(cfg.dim, cfg.shards)
+	return embstore.NewPrecision(cfg.dim, cfg.shards, cfg.precision)
 }
 
-// loadStore builds the store from exactly one of the two sources.
-func loadStore(model, snapshot string, shards int) (*embstore.Store, error) {
+// loadStore builds the store from exactly one of the two sources, at
+// the requested slab precision (seed artifacts are full-precision;
+// embstore snapshots convert from whatever they were written in).
+func loadStore(model, snapshot string, shards int, prec embstore.Precision) (*embstore.Store, error) {
 	switch {
 	case model != "" && snapshot != "":
 		return nil, fmt.Errorf("pass -model or -snapshot, not both")
@@ -255,14 +281,15 @@ func loadStore(model, snapshot string, shards int) (*embstore.Store, error) {
 			return nil, err
 		}
 		defer f.Close()
-		return embstore.FromModelSnapshot(f, shards)
+		return embstore.FromModelSnapshotPrecision(f, shards, prec)
 	default:
 		f, err := os.Open(snapshot)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return embstore.Load(f, shards)
+		s, _, err := embstore.LoadSnapshotAt(f, shards, prec)
+		return s, err
 	}
 }
 

@@ -385,17 +385,17 @@ func TestLoadStoreFromModelSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	store, err := loadStore(path, "", 4)
+	store, err := loadStore(path, "", 4, embstore.F64)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if store.Len() != g.NumNodes() || store.Dim() != cfg.Dim {
 		t.Fatalf("store %d×%d from model snapshot", store.Len(), store.Dim())
 	}
-	if _, err := loadStore("", "", 4); err == nil {
+	if _, err := loadStore("", "", 4, embstore.F64); err == nil {
 		t.Fatal("no source accepted")
 	}
-	if _, err := loadStore(path, path, 4); err == nil {
+	if _, err := loadStore(path, path, 4, embstore.F64); err == nil {
 		t.Fatal("two sources accepted")
 	}
 }

@@ -447,13 +447,19 @@ func (s *server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	out := map[string]any{
-		"status":   "ok",
-		"nodes":    s.store.Len(),
-		"dim":      s.store.Dim(),
-		"shards":   s.store.NumShards(),
-		"index":    s.indexName,
-		"metric":   s.index.Metric().String(),
-		"uptime_s": time.Since(s.started).Seconds(),
+		"status": "ok",
+		"nodes":  s.store.Len(),
+		"dim":    s.store.Dim(),
+		"shards": s.store.NumShards(),
+		// The compressed-plane dials: slab precision and the resulting
+		// per-vector store footprint (payload + sidecars). With -index
+		// hnsw the graph mirrors the slab, adding the
+		// graph.slab_bytes_per_vector reported below per indexed vector.
+		"precision":        s.store.Precision().String(),
+		"bytes_per_vector": s.store.Precision().BytesPerVector(s.store.Dim()),
+		"index":            s.indexName,
+		"metric":           s.index.Metric().String(),
+		"uptime_s":         time.Since(s.started).Seconds(),
 	}
 	if h, ok := s.liveIndex().(*ann.HNSW); ok {
 		// Tombstones accumulate under delete/replace churn and are
@@ -466,6 +472,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"tombstones":      tombstones,
 			"layers":          maxLevel + 1,
 			"tombstone_ratio": h.TombstoneRatio(),
+			// The graph keeps its own slot-indexed vector slab (the price
+			// of lock-free beam scoring), so total vector memory is
+			// nodes×bytes_per_vector + (nodes+tombstones)×this.
+			"slab_bytes_per_vector": s.store.Precision().BytesPerVector(s.store.Dim()),
 		}
 	}
 	if s.dur != nil {

@@ -10,23 +10,31 @@ import (
 	"ehna/internal/tensor"
 )
 
-// buildStore loads n random dim-dimensional vectors into a store.
+// buildStore loads n random dim-dimensional vectors into an F64 store.
 func buildStore(t testing.TB, n, dim int) *embstore.Store {
 	t.Helper()
+	return buildStoreAt(t, n, dim, embstore.F64)
+}
+
+// buildStoreAt loads n random dim-dimensional vectors into a store of
+// the given slab precision.
+func buildStoreAt(t testing.TB, n, dim int, prec embstore.Precision) *embstore.Store {
+	t.Helper()
 	emb := tensor.Randn(n, dim, 1, rand.New(rand.NewSource(7)))
-	s, err := embstore.FromMatrix(emb, embstore.DefaultShards)
+	s, err := embstore.FromMatrixPrecision(emb, embstore.DefaultShards, prec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return s
 }
 
-// TestSearchIntoZeroAlloc asserts the single-query path of both index
-// types is allocation-free in steady state: scratch comes from the
-// pool, results land in the caller's buffer. GOMAXPROCS is pinned to 1
-// so Exact takes its sequential path (the parallel fan-out necessarily
-// allocates goroutine closures), and GC is paused so the scratch pool
-// cannot be emptied mid-measurement.
+// TestSearchIntoZeroAlloc asserts the single-query path of every index
+// type is allocation-free in steady state at every slab precision:
+// scratch (including the narrowed/quantized query context) comes from
+// the pool, results land in the caller's buffer. GOMAXPROCS is pinned
+// to 1 so Exact takes its sequential path (the parallel fan-out
+// necessarily allocates goroutine closures), and GC is paused so the
+// scratch pool cannot be emptied mid-measurement.
 func TestSearchIntoZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector instrumentation allocates")
@@ -34,83 +42,88 @@ func TestSearchIntoZeroAlloc(t *testing.T) {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 
-	store := buildStore(t, 2000, 32)
 	q := make([]float64, 32)
 	for i := range q {
 		q[i] = float64(i%5) - 2
 	}
 	const k = 10
 
-	exact := NewExact(store, Cosine)
-	lsh, err := NewLSH(store, DefaultLSHConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	hnsw, err := BuildHNSW(store, DefaultHNSWConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for name, idx := range map[string]Index{"exact": exact, "lsh": lsh, "hnsw": hnsw} {
-		dst := make([]Result, 0, k)
-		// Warm the scratch pool and result buffers.
-		for i := 0; i < 3; i++ {
-			if dst, err = idx.SearchInto(dst, q, k); err != nil {
-				t.Fatal(err)
-			}
+	for _, prec := range []embstore.Precision{embstore.F64, embstore.F32, embstore.SQ8} {
+		store := buildStoreAt(t, 2000, 32, prec)
+		exact := NewExact(store, Cosine)
+		lsh, err := NewLSH(store, DefaultLSHConfig())
+		if err != nil {
+			t.Fatal(err)
 		}
-		allocs := testing.AllocsPerRun(100, func() {
-			var err error
-			dst, err = idx.SearchInto(dst, q, k)
-			if err != nil {
-				t.Fatal(err)
-			}
-		})
-		if allocs != 0 {
-			t.Errorf("%s SearchInto allocated %v times per query", name, allocs)
+		hnsw, err := BuildHNSW(store, DefaultHNSWConfig())
+		if err != nil {
+			t.Fatal(err)
 		}
-		if len(dst) != k {
-			t.Errorf("%s SearchInto returned %d results, want %d", name, len(dst), k)
+		for name, idx := range map[string]Index{"exact": exact, "lsh": lsh, "hnsw": hnsw} {
+			dst := make([]Result, 0, k)
+			// Warm the scratch pool and result buffers.
+			for i := 0; i < 3; i++ {
+				if dst, err = idx.SearchInto(dst, q, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				var err error
+				dst, err = idx.SearchInto(dst, q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s/%s SearchInto allocated %v times per query", name, prec, allocs)
+			}
+			if len(dst) != k {
+				t.Errorf("%s/%s SearchInto returned %d results, want %d", name, prec, len(dst), k)
+			}
 		}
 	}
 }
 
 // TestSearchIntoMatchesSearch checks the buffered path returns exactly
-// what the allocating path returns, for every index type.
+// what the allocating path returns, for every index type at every slab
+// precision.
 func TestSearchIntoMatchesSearch(t *testing.T) {
-	store := buildStore(t, 500, 16)
-	lsh, err := NewLSH(store, DefaultLSHConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	hnsw, err := BuildHNSW(store, DefaultHNSWConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for name, idx := range map[string]Index{
-		"exact": NewExact(store, Cosine),
-		"lsh":   lsh,
-		"hnsw":  hnsw,
-	} {
-		for qi := 0; qi < 10; qi++ {
-			q := make([]float64, 16)
-			rng := rand.New(rand.NewSource(int64(qi)))
-			for i := range q {
-				q[i] = rng.NormFloat64()
-			}
-			want, err := idx.Search(q, 7)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got, err := idx.SearchInto(make([]Result, 3), q, 7)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(got) != len(want) {
-				t.Fatalf("%s q%d: %d results vs %d", name, qi, len(got), len(want))
-			}
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("%s q%d result %d: %+v vs %+v", name, qi, i, got[i], want[i])
+	for _, prec := range []embstore.Precision{embstore.F64, embstore.F32, embstore.SQ8} {
+		store := buildStoreAt(t, 500, 16, prec)
+		lsh, err := NewLSH(store, DefaultLSHConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hnsw, err := BuildHNSW(store, DefaultHNSWConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, idx := range map[string]Index{
+			"exact": NewExact(store, Cosine),
+			"lsh":   lsh,
+			"hnsw":  hnsw,
+		} {
+			for qi := 0; qi < 10; qi++ {
+				q := make([]float64, 16)
+				rng := rand.New(rand.NewSource(int64(qi)))
+				for i := range q {
+					q[i] = rng.NormFloat64()
+				}
+				want, err := idx.Search(q, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := idx.SearchInto(make([]Result, 3), q, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s q%d: %d results vs %d", name, prec, qi, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%s q%d result %d: %+v vs %+v", name, prec, qi, i, got[i], want[i])
+					}
 				}
 			}
 		}

@@ -8,12 +8,16 @@
 // sublinear query path for 100k+ node stores.
 //
 // The search hot path holds the PR 2 bar: all per-query state (the
-// epoch-stamped visited array, candidate/result heaps, shard-grouping
-// buffers) lives in a pooled scratch, the query norm is computed once
-// per query, and candidate vectors are read straight out of the
-// embstore SoA slabs in shard-grouped batches (one WithShard lock
-// acquisition per shard per expansion), so SearchInto is allocation-
-// free in steady state.
+// epoch-stamped visited array, candidate/result heaps, the
+// narrowed/quantized query context) lives in a pooled scratch, the
+// query norm is computed once per query, and candidate vectors are
+// read straight out of the graph-resident slot-indexed slab — at the
+// store's precision (f64/f32/sq8), with no id→slot map lookups or
+// shard locks per expansion — so SearchInto is allocation-free in
+// steady state. Over sq8 slabs the beam widens to at least rerank·k
+// and every candidate is scored with the asymmetric LUT kernel
+// (full-precision query against int8 codes — see Metric.quickScoreView
+// for why no separate re-rank stage exists).
 //
 // Mutability: Add inserts online (discovery under the read lock, link
 // mutation under the write lock, so concurrent searches keep running
@@ -99,19 +103,30 @@ type hnswNode struct {
 }
 
 // HNSW is the graph index over an embstore. The store remains the
-// source of truth for vectors; the graph only holds link structure.
+// source of truth for vectors (Get/export/fallback read it); the graph
+// holds the link structure plus a slot-indexed mirror of every
+// vector's scan representation — the graph-resident slab. Beam
+// expansions score straight out of that slab by graph slot, under the
+// graph lock they already hold: no id→slot map lookup, no shard lock,
+// no shard-grouping pass per expansion (profiling showed those three
+// costing more than the distance kernels themselves). The slab lives
+// at the store's precision, so an sq8 graph scans 1-byte lanes with a
+// 32-byte sidecar per row; the memory price of the mirror is one extra
+// BytesPerVector per indexed vector, reclaimed for tombstones only at
+// rebuild.
+//
 // Safe for concurrent use: searches share the read lock, mutations
 // take the write lock, and Add holds the write lock only for its cheap
 // bookkeeping and link-wiring phases — neighbor discovery (the
-// expensive part) runs under the read lock alongside queries.
-//
-// Invariant: store writes for indexed IDs happen under h.mu, so while
-// the read lock is held every alive slot's vector is present in the
-// store (lock order is always h.mu → shard lock, matching LSH).
+// expensive part) runs under the read lock alongside queries. Slab
+// rows are written in Add's bookkeeping phase (write lock), so under
+// the read lock every slot ≤ len(nodes) has a stable row.
 type HNSW struct {
 	store    *embstore.Store
 	levelMul float64 // 1/ln(M): geometric level distribution parameter
 	fallback *Exact
+	prec     embstore.Precision
+	dim      int
 
 	mu       sync.RWMutex
 	cfg      HNSWConfig // EfSearch mutable via SetEfSearch
@@ -121,6 +136,23 @@ type HNSW struct {
 	maxLevel int                     // level of entry; -1 when empty
 	alive    int
 	rng      *rand.Rand // level draws; guarded by mu
+
+	// The slot-indexed vector slab: row s is the scan representation of
+	// nodes[s]. Exactly one family is populated, per precision.
+	// Tombstoned slots keep their (dead) rows for index stability.
+	vecs   []float64 // F64
+	vecs32 []float32 // F32
+	norms  []float64 // F64/F32 per-row norms
+	codes  []int8    // SQ8
+	side   []sq8Side // SQ8 per-row sidecar (norm included)
+}
+
+// sq8Side is the graph slab's per-row SQ8 sidecar (decode parameters,
+// code sum for vecmath.DotSQ8Sym, original norm), one struct array
+// so a candidate's metadata is a single cache line away from its codes.
+type sq8Side struct {
+	scale, offset, norm float64
+	codeSum             int32
 }
 
 // NewHNSW returns an empty graph over store. Call Build to index the
@@ -134,6 +166,8 @@ func NewHNSW(store *embstore.Store, cfg HNSWConfig) (*HNSW, error) {
 		cfg:      cfg,
 		levelMul: 1 / math.Log(float64(cfg.M)),
 		fallback: NewExact(store, cfg.Metric),
+		prec:     store.Precision(),
+		dim:      store.Dim(),
 		slotOf:   make(map[graph.NodeID]uint32, store.Len()),
 		entry:    -1,
 		maxLevel: -1,
@@ -313,6 +347,10 @@ func (hp *nodeHeap) pop() scoredNode {
 // state. Everything is capacity-reused, so the steady-state search
 // path performs no allocations.
 type hnswScratch struct {
+	// ctx is the precision-dispatched query state the beam's
+	// precision-dispatched scoring kernels consume.
+	ctx queryCtx
+
 	// visited is the epoch-stamp array over graph slots: visited[s] ==
 	// epoch marks s as seen this beam search. Sized to the node count,
 	// grown (amortized) as the graph grows.
@@ -321,17 +359,11 @@ type hnswScratch struct {
 
 	cand    nodeHeap // expansion frontier (max-heap)
 	res     nodeHeap // beam results (min-heap, capped at ef)
-	pending []uint32 // slots awaiting batch scoring this expansion
-
-	// Shard-grouping buffers: pending slots and their IDs bucketed by
-	// store shard so each expansion takes one read lock per shard.
-	shardSlots [][]uint32
-	shardIDs   [][]graph.NodeID
+	pending []uint32 // slots awaiting scoring this expansion
 
 	// Neighbor-selection state: beam survivors sorted by score with
-	// their vectors cached out of the store, so the diversity heuristic
-	// scores candidate pairs without further locking. candNorms < 0
-	// flags a candidate whose vector was missing.
+	// their vectors dequantized out of the graph slab, so the diversity
+	// heuristic scores candidate pairs in full precision.
 	work      []scoredNode
 	candVecs  []float64
 	candNorms []float64
@@ -361,62 +393,82 @@ func (sc *hnswScratch) bumpEpoch(n int) {
 	}
 }
 
-// scoreSlot scores a single slot against q through the store, reporting
-// whether the vector was present. Used for entry points and prune
-// subjects; bulk scoring goes through scorePending.
-func (h *HNSW) scoreSlot(slot uint32, q []float64, qNorm float64) (float64, bool) {
-	var s float64
-	ok := h.store.With(h.nodes[slot].id, func(vec []float64, norm float64) {
-		s = h.cfg.Metric.score(q, vec, qNorm, norm)
-	})
-	return s, ok
+// appendSlabRowLocked appends vec's scan representation as the next
+// slab row (the row for the node about to occupy slot len(nodes)).
+// Caller holds h.mu for writing.
+func (h *HNSW) appendSlabRowLocked(vec []float64, norm float64) {
+	switch h.prec {
+	case embstore.F32:
+		h.vecs32 = extendSlab(h.vecs32, h.dim)
+		vecmath.F64To32(h.vecs32[len(h.vecs32)-h.dim:], vec)
+	case embstore.SQ8:
+		h.codes = extendSlab(h.codes, h.dim)
+		scale, offset, codeSum := vecmath.EncodeSQ8(vec, h.codes[len(h.codes)-h.dim:])
+		h.side = append(h.side, sq8Side{scale: scale, offset: offset, norm: norm, codeSum: codeSum})
+	default:
+		h.vecs = append(h.vecs, vec...)
+	}
+	if h.prec != embstore.SQ8 {
+		h.norms = append(h.norms, norm)
+	}
 }
 
-// scorePending scores every slot queued in sc.pending against q,
-// reading vectors from the store's SoA slabs in shard-grouped batches —
-// one WithShard lock acquisition per shard touched, not one per vector
-// — and invokes visit for each vector found. Slots whose vector has
-// vanished (a remove racing a stale link) are silently skipped.
-func (h *HNSW) scorePending(sc *hnswScratch, q []float64, qNorm float64, visit func(slot uint32, score float64)) {
-	nShards := h.store.NumShards()
-	for len(sc.shardSlots) < nShards {
-		sc.shardSlots = append(sc.shardSlots, nil)
-		sc.shardIDs = append(sc.shardIDs, nil)
+// extendSlab grows s by n zero elements (embstore keeps its own copy
+// of this helper next to its slabs). The reused-capacity path must
+// clear explicitly: spare capacity may hold stale row bytes.
+func extendSlab[T any](s []T, n int) []T {
+	if cap(s)-len(s) >= n {
+		s = s[: len(s)+n : cap(s)]
+		clear(s[len(s)-n:])
+		return s
 	}
-	for i := 0; i < nShards; i++ {
-		sc.shardSlots[i] = sc.shardSlots[i][:0]
-		sc.shardIDs[i] = sc.shardIDs[i][:0]
+	return append(s, make([]T, n)...)
+}
+
+// slabView points v at slot's slab row. Caller holds h.mu (read or
+// write); rows exist for every allocated slot by construction.
+func (h *HNSW) slabView(slot uint32, v *embstore.VecView) {
+	lo := int(slot) * h.dim
+	switch h.prec {
+	case embstore.F32:
+		v.F32 = h.vecs32[lo : lo+h.dim]
+		v.Norm = h.norms[slot]
+	case embstore.SQ8:
+		s := &h.side[slot]
+		v.Code = h.codes[lo : lo+h.dim]
+		v.Scale, v.Offset, v.CodeSum, v.Norm = s.scale, s.offset, s.codeSum, s.norm
+	default:
+		v.F64 = h.vecs[lo : lo+h.dim]
+		v.Norm = h.norms[slot]
 	}
+}
+
+// scoreSlot scores a single slot against the scratch's query from the
+// graph slab. Used for entry points; bulk scoring goes through
+// scorePending. Caller holds h.mu.
+func (h *HNSW) scoreSlot(slot uint32, qc *queryCtx) float64 {
+	var v embstore.VecView
+	h.slabView(slot, &v)
+	return h.cfg.Metric.quickScoreView(qc, &v)
+}
+
+// scorePending scores every slot queued in sc.pending against the
+// scratch's query (sc.ctx) straight out of the graph slab — a tight
+// slot-indexed loop with no store access — and invokes visit for each.
+// Caller holds h.mu.
+func (h *HNSW) scorePending(sc *hnswScratch, visit func(slot uint32, score float64)) {
+	var v embstore.VecView
 	for _, slot := range sc.pending {
-		id := h.nodes[slot].id
-		si := h.store.ShardOf(id)
-		sc.shardSlots[si] = append(sc.shardSlots[si], slot)
-		sc.shardIDs[si] = append(sc.shardIDs[si], id)
-	}
-	for si := 0; si < nShards; si++ {
-		if len(sc.shardIDs[si]) == 0 {
-			continue
-		}
-		ids, slots := sc.shardIDs[si], sc.shardSlots[si]
-		cur := 0
-		h.store.WithShard(si, ids, func(id graph.NodeID, vec []float64, norm float64) {
-			// WithShard preserves request order but skips missing IDs;
-			// advance the cursor to re-align (alive slots have unique IDs,
-			// so the match is unambiguous).
-			for ids[cur] != id {
-				cur++
-			}
-			visit(slots[cur], h.cfg.Metric.score(q, vec, qNorm, norm))
-			cur++
-		})
+		h.slabView(slot, &v)
+		visit(slot, h.cfg.Metric.quickScoreView(&sc.ctx, &v))
 	}
 }
 
 // searchLayer runs a beam search of width ef across one layer from the
 // (already scored, alive) entry ep, leaving the ≤ ef best alive nodes
 // in sc.res. ef=1 degrades to the greedy descent used on upper layers.
-// Caller holds h.mu (read or write).
-func (h *HNSW) searchLayer(sc *hnswScratch, q []float64, qNorm float64, ep scoredNode, ef, layer int) {
+// The query is sc.ctx. Caller holds h.mu (read or write).
+func (h *HNSW) searchLayer(sc *hnswScratch, ep scoredNode, ef, layer int) {
 	sc.bumpEpoch(len(h.nodes))
 	sc.visited[ep.slot] = sc.epoch
 	sc.cand.reset(false)
@@ -439,7 +491,7 @@ func (h *HNSW) searchLayer(sc *hnswScratch, q []float64, qNorm float64, ep score
 			}
 			sc.pending = append(sc.pending, nb)
 		}
-		h.scorePending(sc, q, qNorm, func(slot uint32, score float64) {
+		h.scorePending(sc, func(slot uint32, score float64) {
 			if sc.res.len() < ef {
 				sc.cand.push(scoredNode{slot, score})
 				sc.res.push(scoredNode{slot, score})
@@ -465,10 +517,9 @@ func (sc *hnswScratch) bestOfRes() scoredNode {
 }
 
 // gatherWork sorts sc.res into sc.work (descending score) and caches
-// each survivor's vector and norm from the store in shard-grouped
-// batches, so the selection heuristic can score candidate pairs without
-// touching the store again. Missing vectors are flagged with a negative
-// norm. Caller holds h.mu.
+// each survivor's vector and norm from the graph slab, so the
+// selection heuristic can score candidate pairs in full precision
+// (compressed rows are dequantized into the cache). Caller holds h.mu.
 func (h *HNSW) gatherWork(sc *hnswScratch, dim int) {
 	sc.work = append(sc.work[:0], sc.res.a...)
 	slices.SortFunc(sc.work, scoredCmp)
@@ -481,41 +532,11 @@ func (h *HNSW) gatherWork(sc *hnswScratch, dim int) {
 		sc.candNorms = make([]float64, len(sc.work))
 	}
 	sc.candNorms = sc.candNorms[:len(sc.work)]
-	for i := range sc.candNorms {
-		sc.candNorms[i] = -1
-	}
-
-	nShards := h.store.NumShards()
-	for len(sc.shardSlots) < nShards {
-		sc.shardSlots = append(sc.shardSlots, nil)
-		sc.shardIDs = append(sc.shardIDs, nil)
-	}
-	for i := 0; i < nShards; i++ {
-		// shardSlots carries work indices here, not graph slots.
-		sc.shardSlots[i] = sc.shardSlots[i][:0]
-		sc.shardIDs[i] = sc.shardIDs[i][:0]
-	}
+	var v embstore.VecView
 	for i, w := range sc.work {
-		id := h.nodes[w.slot].id
-		si := h.store.ShardOf(id)
-		sc.shardSlots[si] = append(sc.shardSlots[si], uint32(i))
-		sc.shardIDs[si] = append(sc.shardIDs[si], id)
-	}
-	for si := 0; si < nShards; si++ {
-		if len(sc.shardIDs[si]) == 0 {
-			continue
-		}
-		ids, idxs := sc.shardIDs[si], sc.shardSlots[si]
-		cur := 0
-		h.store.WithShard(si, ids, func(id graph.NodeID, vec []float64, norm float64) {
-			for ids[cur] != id {
-				cur++
-			}
-			w := int(idxs[cur])
-			copy(sc.candVecs[w*dim:(w+1)*dim], vec)
-			sc.candNorms[w] = norm
-			cur++
-		})
+		h.slabView(w.slot, &v)
+		v.DequantizeInto(sc.candVecs[i*dim : (i+1)*dim])
+		sc.candNorms[i] = v.Norm
 	}
 }
 
@@ -531,9 +552,6 @@ func (h *HNSW) selectNeighbors(sc *hnswScratch, dst []uint32, m, dim int) []uint
 	for i := range sc.work {
 		if len(sc.chosen) >= m {
 			break
-		}
-		if sc.candNorms[i] < 0 {
-			continue
 		}
 		ci := sc.candVecs[i*dim : (i+1)*dim]
 		keep := true
@@ -566,19 +584,19 @@ func (h *HNSW) selectNeighbors(sc *hnswScratch, dst []uint32, m, dim int) []uint
 // cap, scoring from u's own vector and dropping dead links along the
 // way. Caller holds h.mu for writing.
 func (h *HNSW) pruneLocked(u uint32, layer int, sc *hnswScratch) {
-	dim := h.store.Dim()
+	dim := h.dim
 	if cap(sc.qbuf) < dim {
 		sc.qbuf = make([]float64, dim)
 	}
 	q := sc.qbuf[:dim]
-	var qNorm float64
-	ok := h.store.With(h.nodes[u].id, func(vec []float64, norm float64) {
-		copy(q, vec)
-		qNorm = norm
-	})
-	if !ok {
-		return
-	}
+	var uv embstore.VecView
+	h.slabView(u, &uv)
+	uv.DequantizeInto(q)
+	// Re-point the scratch context at the prune subject. Safe to
+	// clobber mid-insert: every use of the inserted vector's context
+	// (discovery, selection) completes before the wiring phase that
+	// prunes.
+	sc.ctx.init(h.store, q)
 	sc.pending = sc.pending[:0]
 	for _, nb := range h.nodes[u].links[layer] {
 		if nb != u && h.nodes[nb].alive {
@@ -586,7 +604,7 @@ func (h *HNSW) pruneLocked(u uint32, layer int, sc *hnswScratch) {
 		}
 	}
 	sc.res.reset(true)
-	h.scorePending(sc, q, qNorm, func(slot uint32, score float64) {
+	h.scorePending(sc, func(slot uint32, score float64) {
 		sc.res.push(scoredNode{slot, score})
 	})
 	h.gatherWork(sc, dim)
@@ -618,6 +636,7 @@ func (h *HNSW) insert(id graph.NodeID, vec []float64, sc *hnswScratch, upsert bo
 	}
 	level := h.randomLevelLocked()
 	slot := uint32(len(h.nodes))
+	h.appendSlabRowLocked(vec, vecmath.Norm(vec))
 	h.nodes = append(h.nodes, hnswNode{id: id, alive: true, links: make([][]uint32, level+1)})
 	h.slotOf[id] = slot
 	h.alive++
@@ -631,29 +650,29 @@ func (h *HNSW) insert(id graph.NodeID, vec []float64, sc *hnswScratch, upsert bo
 	// Phase 2 (read lock): neighbor discovery — greedy descent through
 	// the upper layers, then an efConstruction-wide beam plus the
 	// diversity heuristic on every layer the new node occupies. Runs
-	// concurrently with searches and other inserts' discovery.
-	qNorm := vecmath.Norm(vec)
-	dim := h.store.Dim()
+	// concurrently with searches and other inserts' discovery. The
+	// context must be built after phase 1: a detach there may have
+	// pruned through this scratch and clobbered it.
+	sc.ctx.init(h.store, vec)
+	dim := h.dim
 	h.mu.RLock()
 	entry, entryLevel := h.entry, h.maxLevel
 	top := -1
 	if entry >= 0 && uint32(entry) != slot {
-		if epScore, ok := h.scoreSlot(uint32(entry), vec, qNorm); ok {
-			cur := scoredNode{uint32(entry), epScore}
-			top = min(level, entryLevel)
-			for layer := entryLevel; layer > top; layer-- {
-				h.searchLayer(sc, vec, qNorm, cur, 1, layer)
-				cur = sc.res.peek()
-			}
-			for len(sc.selected) <= top {
-				sc.selected = append(sc.selected, nil)
-			}
-			for layer := top; layer >= 0; layer-- {
-				h.searchLayer(sc, vec, qNorm, cur, h.cfg.EfConstruction, layer)
-				cur = sc.bestOfRes()
-				h.gatherWork(sc, dim)
-				sc.selected[layer] = h.selectNeighbors(sc, sc.selected[layer][:0], h.cfg.M, dim)
-			}
+		cur := scoredNode{uint32(entry), h.scoreSlot(uint32(entry), &sc.ctx)}
+		top = min(level, entryLevel)
+		for layer := entryLevel; layer > top; layer-- {
+			h.searchLayer(sc, cur, 1, layer)
+			cur = sc.res.peek()
+		}
+		for len(sc.selected) <= top {
+			sc.selected = append(sc.selected, nil)
+		}
+		for layer := top; layer >= 0; layer-- {
+			h.searchLayer(sc, cur, h.cfg.EfConstruction, layer)
+			cur = sc.bestOfRes()
+			h.gatherWork(sc, dim)
+			sc.selected[layer] = h.selectNeighbors(sc, sc.selected[layer][:0], h.cfg.M, dim)
 		}
 	}
 	h.mu.RUnlock()
@@ -802,7 +821,7 @@ func (h *HNSW) Build() error {
 			sc.vbuf = make([]float64, dim)
 		}
 		vbuf := sc.vbuf[:dim]
-		if h.store.With(ids[i], func(vec []float64, _ float64) { copy(vbuf, vec) }) {
+		if h.store.With(ids[i], func(v *embstore.VecView) { v.DequantizeInto(vbuf) }) {
 			_ = h.insert(ids[i], vbuf, sc, false) // upsert=false never errors
 		}
 		hnswScratchPool.Put(sc)
@@ -816,16 +835,21 @@ func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
 }
 
 // SearchInto is Search writing into dst: the zero-allocation query
-// path. Greedy descent from the entry point to layer 1, then a beam of
-// width max(EfSearch, k) across layer 0; if the beam surfaces fewer
-// than min(k, live) results (possible only on a heavily-churned graph),
+// path. Greedy descent from the entry point to layer 1, then a beam
+// across layer 0 of width max(EfSearch, k) — widened to at least
+// rerank·k over sq8 slabs, so the candidate pool absorbs quantization
+// noise (the beam already scores every candidate with the asymmetric
+// full-precision-query kernel; a separate re-rank pass would
+// reproduce identical scores). If the beam surfaces fewer than
+// min(k, live) results (possible only on a heavily-churned graph),
 // the exact fallback takes over so results never silently degrade.
 func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(h.store, q, k); err != nil {
 		return nil, err
 	}
-	qNorm := vecmath.Norm(q)
 	sc := hnswScratchPool.Get().(*hnswScratch)
+	sc.ctx.init(h.store, q)
+	kk := candidateK(sc.ctx.prec, k)
 
 	h.mu.RLock()
 	if h.entry < 0 {
@@ -835,21 +859,15 @@ func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 		return h.fallback.SearchInto(dst, q, k)
 	}
 	ef := h.cfg.EfSearch
-	if ef < k {
-		ef = k
+	if ef < kk {
+		ef = kk
 	}
-	epScore, ok := h.scoreSlot(uint32(h.entry), q, qNorm)
-	if !ok {
-		h.mu.RUnlock()
-		hnswScratchPool.Put(sc)
-		return h.fallback.SearchInto(dst, q, k)
-	}
-	cur := scoredNode{uint32(h.entry), epScore}
+	cur := scoredNode{uint32(h.entry), h.scoreSlot(uint32(h.entry), &sc.ctx)}
 	for layer := h.maxLevel; layer > 0; layer-- {
-		h.searchLayer(sc, q, qNorm, cur, 1, layer)
+		h.searchLayer(sc, cur, 1, layer)
 		cur = sc.res.peek()
 	}
-	h.searchLayer(sc, q, qNorm, cur, ef, 0)
+	h.searchLayer(sc, cur, ef, 0)
 	sc.top.reset(k)
 	for _, n := range sc.res.a {
 		sc.top.push(Result{ID: h.nodes[n.slot].id, Score: n.score})
@@ -1003,8 +1021,36 @@ func LoadHNSWGraph(r io.Reader, store *embstore.Store) (*HNSW, error) {
 			}
 			h.slotOf[n.id] = uint32(i)
 			h.alive++
-			if !store.With(n.id, func([]float64, float64) {}) {
+			// Mirror the store row into the graph slab (same precision, so
+			// the representation copies bit for bit).
+			ok := store.With(n.id, func(v *embstore.VecView) {
+				switch h.prec {
+				case embstore.F32:
+					h.vecs32 = append(h.vecs32, v.F32...)
+					h.norms = append(h.norms, v.Norm)
+				case embstore.SQ8:
+					h.codes = append(h.codes, v.Code...)
+					h.side = append(h.side, sq8Side{scale: v.Scale, offset: v.Offset, norm: v.Norm, codeSum: v.CodeSum})
+				default:
+					h.vecs = append(h.vecs, v.F64...)
+					h.norms = append(h.norms, v.Norm)
+				}
+			})
+			if !ok {
 				return nil, fmt.Errorf("ann: hnsw load: node %d in graph but not in store (snapshot mismatch)", n.id)
+			}
+		} else {
+			// Tombstoned slot: a dead zero row keeps slab indexing aligned.
+			switch h.prec {
+			case embstore.F32:
+				h.vecs32 = extendSlab(h.vecs32, h.dim)
+				h.norms = append(h.norms, 0)
+			case embstore.SQ8:
+				h.codes = extendSlab(h.codes, h.dim)
+				h.side = append(h.side, sq8Side{})
+			default:
+				h.vecs = extendSlab(h.vecs, h.dim)
+				h.norms = append(h.norms, 0)
 			}
 		}
 	}

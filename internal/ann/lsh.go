@@ -113,9 +113,14 @@ func NewLSH(store *embstore.Store, cfg LSHConfig) (*LSH, error) {
 	for t := range l.tables {
 		l.tables[t] = make(map[uint32][]graph.NodeID)
 	}
+	// Hash whatever the store holds, dequantized: signatures are sign
+	// bits of hyperplane dots, far coarser than any slab precision, so
+	// bucketing is insensitive to the reconstruction error.
+	buf := make([]float64, store.Dim())
 	for _, id := range store.IDs() {
-		store.With(id, func(vec []float64, _ float64) {
-			l.insertLocked(id, l.signatures(vec, nil))
+		store.With(id, func(v *embstore.VecView) {
+			v.DequantizeInto(buf)
+			l.insertLocked(id, l.signatures(buf, nil))
 		})
 	}
 	return l, nil
@@ -271,7 +276,9 @@ func (l *LSH) Search(q []float64, k int) ([]Result, error) {
 }
 
 // SearchInto is Search writing the results into dst: the
-// zero-allocation query path.
+// zero-allocation query path. Candidates are ranked by the precision-
+// dispatched kernels (asymmetric full-precision-query scoring on sq8
+// slabs).
 func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(l.store, q, k); err != nil {
 		return nil, err
@@ -298,15 +305,16 @@ func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 		byShard[si] = append(byShard[si], id)
 	}
 
-	qNorm := vecmath.Norm(q) // once per query, not per candidate
+	sc.ctx.init(l.store, q) // query norm (and narrowed forms) once per query
+	qc := &sc.ctx
 	sc.top.reset(k)
 	t := &sc.top
 	for si, ids := range byShard {
 		if len(ids) == 0 {
 			continue
 		}
-		l.store.WithShard(si, ids, func(id graph.NodeID, vec []float64, norm float64) {
-			t.push(Result{ID: id, Score: l.cfg.Metric.score(q, vec, qNorm, norm)})
+		l.store.WithShard(si, ids, func(id graph.NodeID, v *embstore.VecView) {
+			t.push(Result{ID: id, Score: l.cfg.Metric.quickScoreView(qc, v)})
 		})
 	}
 	return appendResults(dst, t.sorted()), nil

@@ -8,10 +8,20 @@
 // without retraining.
 //
 // Each shard stores its vectors in one dense structure-of-arrays slab
-// (ids, contiguous vector rows, norms) plus an id→slot map. Scans walk
-// the slab linearly — cache-friendly and allocation-free — instead of
-// iterating a map of per-vector heap allocations, and bulk loads
-// allocate one slab per shard rather than one slice per vector.
+// plus an id→slot map. Scans walk the slab linearly — cache-friendly
+// and allocation-free — instead of iterating a map of per-vector heap
+// allocations, and bulk loads allocate one slab per shard rather than
+// one slice per vector.
+//
+// The slab layout is precision-parametric (the compressed vector
+// plane): F64 keeps the full float64 rows, F32 halves them to float32
+// lanes, and SQ8 scalar-quantizes each vector to one int8 code per
+// lane plus a per-vector {scale, offset, norm} sidecar (see
+// vecmath.EncodeSQ8) — an ~8× cut in bytes moved per distance
+// computation. Writes always enter as full-precision []float64 (the
+// WAL keeps full-precision records; quantization happens at apply
+// time), and reads hand out precision-tagged VecViews that the ann
+// scoring kernels dispatch on.
 package embstore
 
 import (
@@ -28,21 +38,140 @@ import (
 	"ehna/internal/wal"
 )
 
+// Precision selects the slab layout vectors are stored (and scanned)
+// in. It is fixed at store construction; all write paths accept
+// float64 and narrow on the way in.
+type Precision int
+
+const (
+	// F64 stores full float64 rows: bit-exact, 8 bytes/lane.
+	F64 Precision = iota
+	// F32 stores float32 rows: ~1e-7 relative lane error, 4 bytes/lane.
+	F32
+	// SQ8 stores per-vector scalar-quantized int8 codes with a
+	// {scale, offset, norm} sidecar: lane error ≤ scale/2, 1 byte/lane.
+	SQ8
+)
+
+// String returns the precision's flag spelling.
+func (p Precision) String() string {
+	switch p {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	case SQ8:
+		return "sq8"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// ParsePrecision converts a config string to a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "float64", "":
+		return F64, nil
+	case "f32", "float32":
+		return F32, nil
+	case "sq8", "int8":
+		return SQ8, nil
+	default:
+		return 0, fmt.Errorf("embstore: unknown precision %q (want f64, f32 or sq8)", s)
+	}
+}
+
+// BytesPerVector reports the slab bytes one dim-dimensional vector
+// occupies at this precision — payload plus per-vector sidecars (norm,
+// and for SQ8 the decode parameters), excluding the id→slot map entry
+// shared by all layouts.
+func (p Precision) BytesPerVector(dim int) int {
+	switch p {
+	case F32:
+		return 4*dim + 8 // float32 row + float64 norm
+	case SQ8:
+		return dim + 32 // int8 codes + {scale, offset, norm float64; codeSum int32} sidecar
+	default:
+		return 8*dim + 8 // float64 row + float64 norm
+	}
+}
+
+// VecView is a precision-tagged, read-only view of one stored vector:
+// exactly one of F64, F32 or Code is set (matching the store's
+// precision). Views alias slab memory — valid only inside the
+// With/RangeShard/WithShard callback that produced them, which receive
+// a pointer to a stack-reused view (per-candidate struct copies would
+// otherwise dwarf a compressed row's payload on the scan hot path).
+type VecView struct {
+	F64  []float64 // F64 stores
+	F32  []float32 // F32 stores
+	Code []int8    // SQ8 stores: decode is Offset + Scale·Code[i]
+
+	// Scale and Offset are the SQ8 per-vector decode parameters;
+	// CodeSum is Σ Code[i], the precomputed operand of the symmetric
+	// dot kernel (vecmath.DotSQ8Sym — no serving-path caller today;
+	// retained for SIMD-capable backends).
+	Scale, Offset float64
+	CodeSum       int32
+
+	// Norm is the L2 norm of the original full-precision vector,
+	// maintained on write for all layouts.
+	Norm float64
+}
+
+// Dim returns the vector's dimensionality.
+func (v *VecView) Dim() int {
+	switch {
+	case v.F64 != nil:
+		return len(v.F64)
+	case v.F32 != nil:
+		return len(v.F32)
+	default:
+		return len(v.Code)
+	}
+}
+
+// DequantizeInto reconstructs the vector into dst (len must equal
+// Dim): a copy for F64, a widening for F32, an SQ8 decode otherwise.
+func (v *VecView) DequantizeInto(dst []float64) {
+	switch {
+	case v.F64 != nil:
+		copy(dst, v.F64)
+	case v.F32 != nil:
+		vecmath.F32To64(dst, v.F32)
+	default:
+		vecmath.DecodeSQ8(dst, v.Code, v.Scale, v.Offset)
+	}
+}
+
+// sq8Meta is the per-vector SQ8 sidecar, kept as one struct array so a
+// candidate's decode parameters and norm land on a single cache line
+// next to each other instead of four separate slab misses.
+type sq8Meta struct {
+	scale, offset, norm float64
+	codeSum             int32
+}
+
 // shard is one lock domain of the store: a dense slab of vectors with
 // an id→slot index. Deletes swap-remove so the slab stays dense.
+// Exactly one of vecs/vecs32/codes is populated, per store precision.
 type shard struct {
-	mu    sync.RWMutex
-	slot  map[graph.NodeID]int
-	ids   []graph.NodeID
-	vecs  []float64 // len(ids)*dim; row i is vecs[i*dim:(i+1)*dim]
-	norms []float64 // L2 norms, maintained on write
+	mu     sync.RWMutex
+	slot   map[graph.NodeID]int
+	ids    []graph.NodeID
+	norms  []float64 // F64/F32: L2 norms, maintained on write
+	vecs   []float64 // F64: row i is vecs[i*dim:(i+1)*dim]
+	vecs32 []float32 // F32
+	codes  []int8    // SQ8
+	meta   []sq8Meta // SQ8
 }
 
 // Store is a sharded in-memory map from node ID to embedding vector.
-// All vectors share one dimensionality, fixed at construction. Methods
-// are safe for concurrent use.
+// All vectors share one dimensionality and precision, fixed at
+// construction. Methods are safe for concurrent use.
 type Store struct {
 	dim    int
+	prec   Precision
 	shards []shard
 }
 
@@ -51,26 +180,57 @@ type Store struct {
 // at single-digit shard occupancy.
 const DefaultShards = 16
 
-// New returns an empty store for dim-dimensional vectors with the given
-// shard count (DefaultShards when shards <= 0).
+// viewPool recycles the VecViews the accessors hand to callbacks.
+// Passing &view to an arbitrary callback defeats escape analysis, so a
+// stack view would be re-heap-allocated per call; the pool keeps the
+// zero-alloc guarantee of the scan paths (one Get/Put per accessor
+// call, amortized over every row it visits).
+var viewPool = sync.Pool{New: func() any { return new(VecView) }}
+
+// getView checks a view out of the pool with its payload fields
+// cleared: pooled views travel between stores of different precisions,
+// and fillView only writes its own precision's fields.
+func getView() *VecView {
+	v := viewPool.Get().(*VecView)
+	v.F64, v.F32, v.Code = nil, nil, nil
+	return v
+}
+
+// New returns an empty full-precision (F64) store for dim-dimensional
+// vectors with the given shard count (DefaultShards when shards <= 0).
 func New(dim, shards int) (*Store, error) {
+	return NewPrecision(dim, shards, F64)
+}
+
+// NewPrecision is New with an explicit slab precision.
+func NewPrecision(dim, shards int, prec Precision) (*Store, error) {
 	if dim < 1 {
 		return nil, fmt.Errorf("embstore: dimension %d < 1", dim)
+	}
+	if prec != F64 && prec != F32 && prec != SQ8 {
+		return nil, fmt.Errorf("embstore: unknown precision %d", prec)
 	}
 	if shards <= 0 {
 		shards = DefaultShards
 	}
-	s := &Store{dim: dim, shards: make([]shard, shards)}
+	s := &Store{dim: dim, prec: prec, shards: make([]shard, shards)}
 	for i := range s.shards {
 		s.shards[i].slot = make(map[graph.NodeID]int)
 	}
 	return s, nil
 }
 
-// FromMatrix builds a store from an embedding matrix, assigning row i to
-// node ID i — the layout produced by Model.InferAll and every baseline.
+// FromMatrix builds an F64 store from an embedding matrix, assigning
+// row i to node ID i — the layout produced by Model.InferAll and every
+// baseline.
 func FromMatrix(emb *tensor.Matrix, shards int) (*Store, error) {
-	s, err := New(emb.Cols, shards)
+	return FromMatrixPrecision(emb, shards, F64)
+}
+
+// FromMatrixPrecision is FromMatrix at an explicit precision; rows are
+// narrowed/quantized as they load.
+func FromMatrixPrecision(emb *tensor.Matrix, shards int, prec Precision) (*Store, error) {
+	s, err := NewPrecision(emb.Cols, shards, prec)
 	if err != nil {
 		return nil, err
 	}
@@ -78,18 +238,27 @@ func FromMatrix(emb *tensor.Matrix, shards int) (*Store, error) {
 	return s, nil
 }
 
-// FromModelSnapshot builds a store holding the raw embedding table of an
-// ehna model snapshot (see ehna.LoadEmbeddingTable).
+// FromModelSnapshot builds an F64 store holding the raw embedding table
+// of an ehna model snapshot (see ehna.LoadEmbeddingTable).
 func FromModelSnapshot(r io.Reader, shards int) (*Store, error) {
+	return FromModelSnapshotPrecision(r, shards, F64)
+}
+
+// FromModelSnapshotPrecision is FromModelSnapshot at an explicit
+// precision.
+func FromModelSnapshotPrecision(r io.Reader, shards int, prec Precision) (*Store, error) {
 	emb, err := ehna.LoadEmbeddingTable(r)
 	if err != nil {
 		return nil, err
 	}
-	return FromMatrix(emb, shards)
+	return FromMatrixPrecision(emb, shards, prec)
 }
 
 // Dim returns the vector dimensionality.
 func (s *Store) Dim() int { return s.dim }
+
+// Precision returns the slab precision vectors are stored in.
+func (s *Store) Precision() Precision { return s.prec }
 
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
@@ -128,22 +297,80 @@ func (s *Store) Len() int {
 	return n
 }
 
-// row returns the slot'th vector of the shard. Caller holds the lock.
-func (sh *shard) row(slot, dim int) []float64 {
-	return sh.vecs[slot*dim : (slot+1)*dim]
+// fillView points v at the slot'th vector of the shard. Caller holds
+// the shard lock. Only the fields the store's precision uses are
+// written, so a stack view can be refilled per candidate without
+// re-zeroing the whole struct.
+func (s *Store) fillView(sh *shard, slot int, v *VecView) {
+	dim := s.dim
+	switch s.prec {
+	case F32:
+		v.F32 = sh.vecs32[slot*dim : (slot+1)*dim]
+		v.Norm = sh.norms[slot]
+	case SQ8:
+		m := &sh.meta[slot]
+		v.Code = sh.codes[slot*dim : (slot+1)*dim]
+		v.Scale, v.Offset, v.CodeSum, v.Norm = m.scale, m.offset, m.codeSum, m.norm
+	default:
+		v.F64 = sh.vecs[slot*dim : (slot+1)*dim]
+		v.Norm = sh.norms[slot]
+	}
 }
 
-// upsertLocked inserts or replaces id's vector. Caller holds sh.mu.
-func (sh *shard) upsertLocked(id graph.NodeID, vec []float64, dim int) {
-	if slot, ok := sh.slot[id]; ok {
-		copy(sh.row(slot, dim), vec)
-		sh.norms[slot] = vecmath.Norm(vec)
-		return
+// extend grows s by n zero elements. The reused-capacity path must
+// clear explicitly: after a swap-remove shrink the spare capacity
+// still holds the deleted row's bytes.
+func extend[T any](s []T, n int) []T {
+	if cap(s)-len(s) >= n {
+		s = s[: len(s)+n : cap(s)]
+		clear(s[len(s)-n:])
+		return s
 	}
-	sh.slot[id] = len(sh.ids)
+	return append(s, make([]T, n)...)
+}
+
+// ensureSlot returns id's slot, appending a fresh zero row when the id
+// is new. Caller holds sh.mu.
+func (sh *shard) ensureSlot(s *Store, id graph.NodeID) int {
+	slot, ok := sh.slot[id]
+	if ok {
+		return slot
+	}
+	slot = len(sh.ids)
+	sh.slot[id] = slot
 	sh.ids = append(sh.ids, id)
-	sh.vecs = append(sh.vecs, vec...)
-	sh.norms = append(sh.norms, vecmath.Norm(vec))
+	switch s.prec {
+	case F64:
+		sh.vecs = extend(sh.vecs, s.dim)
+		sh.norms = append(sh.norms, 0)
+	case F32:
+		sh.vecs32 = extend(sh.vecs32, s.dim)
+		sh.norms = append(sh.norms, 0)
+	case SQ8:
+		sh.codes = extend(sh.codes, s.dim)
+		sh.meta = append(sh.meta, sq8Meta{})
+	}
+	return slot
+}
+
+// upsertLocked inserts or replaces id's vector, narrowing/quantizing
+// per the store precision. norm is the caller's L2 norm of vec (the
+// original full-precision value the cosine path divides by). Caller
+// holds sh.mu.
+func (sh *shard) upsertLocked(s *Store, id graph.NodeID, vec []float64, norm float64) {
+	slot := sh.ensureSlot(s, id)
+	dim := s.dim
+	switch s.prec {
+	case F64:
+		copy(sh.vecs[slot*dim:(slot+1)*dim], vec)
+		sh.norms[slot] = norm
+	case F32:
+		vecmath.F64To32(sh.vecs32[slot*dim:(slot+1)*dim], vec)
+		sh.norms[slot] = norm
+	case SQ8:
+		scale, offset, codeSum := vecmath.EncodeSQ8(vec, sh.codes[slot*dim:(slot+1)*dim])
+		sh.meta[slot] = sq8Meta{scale: scale, offset: offset, norm: norm, codeSum: codeSum}
+	}
 }
 
 // BulkLoad upserts row i of emb as node ID i for every row. It panics on
@@ -171,13 +398,10 @@ func (s *Store) BulkLoad(emb *tensor.Matrix) {
 		go func(sh *shard, ids []graph.NodeID) {
 			defer wg.Done()
 			sh.mu.Lock()
-			if extra := len(ids); cap(sh.vecs)-len(sh.vecs) < extra*s.dim {
-				sh.vecs = append(make([]float64, 0, (len(sh.ids)+extra)*s.dim), sh.vecs...)
-				sh.ids = append(make([]graph.NodeID, 0, len(sh.ids)+extra), sh.ids...)
-				sh.norms = append(make([]float64, 0, len(sh.norms)+extra), sh.norms...)
-			}
+			sh.reserveLocked(s, len(ids))
 			for _, id := range ids {
-				sh.upsertLocked(id, emb.Row(int(id)), s.dim)
+				row := emb.Row(int(id))
+				sh.upsertLocked(s, id, row, vecmath.Norm(row))
 			}
 			sh.mu.Unlock()
 		}(&s.shards[idx], groups[idx])
@@ -185,14 +409,51 @@ func (s *Store) BulkLoad(emb *tensor.Matrix) {
 	wg.Wait()
 }
 
-// Upsert inserts or replaces the vector for id. The vector is copied.
+// reserveLocked pre-grows the shard's slabs for extra more vectors.
+// Caller holds sh.mu.
+func (sh *shard) reserveLocked(s *Store, extra int) {
+	n := len(sh.ids) + extra
+	if cap(sh.ids) < n {
+		sh.ids = append(make([]graph.NodeID, 0, n), sh.ids...)
+	}
+	switch s.prec {
+	case F64:
+		if cap(sh.vecs) < n*s.dim {
+			sh.vecs = append(make([]float64, 0, n*s.dim), sh.vecs...)
+		}
+	case F32:
+		if cap(sh.vecs32) < n*s.dim {
+			sh.vecs32 = append(make([]float32, 0, n*s.dim), sh.vecs32...)
+		}
+	case SQ8:
+		if cap(sh.codes) < n*s.dim {
+			sh.codes = append(make([]int8, 0, n*s.dim), sh.codes...)
+		}
+		if cap(sh.meta) < n {
+			sh.meta = append(make([]sq8Meta, 0, n), sh.meta...)
+		}
+	}
+	if s.prec != SQ8 && cap(sh.norms) < n {
+		sh.norms = append(make([]float64, 0, n), sh.norms...)
+	}
+}
+
+// Upsert inserts or replaces the vector for id. The vector is copied
+// (and narrowed/quantized per the store precision).
 func (s *Store) Upsert(id graph.NodeID, vec []float64) error {
+	return s.upsertNorm(id, vec, vecmath.Norm(vec))
+}
+
+// upsertNorm is Upsert with a caller-supplied norm: the snapshot
+// conversion path threads the original-vector norm through so a
+// narrowed store still divides by the exact denominator.
+func (s *Store) upsertNorm(id graph.NodeID, vec []float64, norm float64) error {
 	if len(vec) != s.dim {
 		return fmt.Errorf("embstore: upsert of %d-dim vector into %d-dim store", len(vec), s.dim)
 	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	sh.upsertLocked(id, vec, s.dim)
+	sh.upsertLocked(s, id, vec, norm)
 	sh.mu.Unlock()
 	return nil
 }
@@ -208,22 +469,42 @@ func (s *Store) Delete(id graph.NodeID) bool {
 	if !ok {
 		return false
 	}
+	dim := s.dim
 	last := len(sh.ids) - 1
 	if slot != last {
 		movedID := sh.ids[last]
 		sh.ids[slot] = movedID
-		copy(sh.row(slot, s.dim), sh.row(last, s.dim))
-		sh.norms[slot] = sh.norms[last]
+		switch s.prec {
+		case F64:
+			copy(sh.vecs[slot*dim:(slot+1)*dim], sh.vecs[last*dim:(last+1)*dim])
+			sh.norms[slot] = sh.norms[last]
+		case F32:
+			copy(sh.vecs32[slot*dim:(slot+1)*dim], sh.vecs32[last*dim:(last+1)*dim])
+			sh.norms[slot] = sh.norms[last]
+		case SQ8:
+			copy(sh.codes[slot*dim:(slot+1)*dim], sh.codes[last*dim:(last+1)*dim])
+			sh.meta[slot] = sh.meta[last]
+		}
 		sh.slot[movedID] = slot
 	}
 	sh.ids = sh.ids[:last]
-	sh.vecs = sh.vecs[:last*s.dim]
-	sh.norms = sh.norms[:last]
+	switch s.prec {
+	case F64:
+		sh.vecs = sh.vecs[:last*dim]
+		sh.norms = sh.norms[:last]
+	case F32:
+		sh.vecs32 = sh.vecs32[:last*dim]
+		sh.norms = sh.norms[:last]
+	case SQ8:
+		sh.codes = sh.codes[:last*dim]
+		sh.meta = sh.meta[:last]
+	}
 	delete(sh.slot, id)
 	return true
 }
 
-// Get returns a copy of the vector for id.
+// Get returns a full-precision copy of the vector for id, dequantized
+// from whatever the slab stores.
 func (s *Store) Get(id graph.NodeID) ([]float64, bool) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
@@ -233,41 +514,72 @@ func (s *Store) Get(id graph.NodeID) ([]float64, bool) {
 		return nil, false
 	}
 	out := make([]float64, s.dim)
-	copy(out, sh.row(slot, s.dim))
+	v := getView()
+	s.fillView(sh, slot, v)
+	v.DequantizeInto(out)
+	viewPool.Put(v)
 	sh.mu.RUnlock()
 	return out, true
 }
 
 // With runs fn on the stored vector for id under the shard read lock,
-// avoiding the copy Get makes. norm is the vector's L2 norm, maintained
-// on write. fn must not retain the slice or call any mutating Store
-// method (the shard lock is held). Reports presence.
-func (s *Store) With(id graph.NodeID, fn func(vec []float64, norm float64)) bool {
+// avoiding the copy Get makes. The view aliases slab memory: fn must
+// not retain it (or the pointer) or call any mutating Store method
+// (the shard lock is held). Reports presence.
+func (s *Store) With(id graph.NodeID, fn func(v *VecView)) bool {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
 	slot, ok := sh.slot[id]
 	if ok {
-		fn(sh.row(slot, s.dim), sh.norms[slot])
+		v := getView()
+		s.fillView(sh, slot, v)
+		fn(v)
+		viewPool.Put(v)
 	}
 	sh.mu.RUnlock()
 	return ok
 }
 
 // RangeShard iterates shard i under its read lock, stopping when fn
-// returns false. norm is each vector's L2 norm, maintained on write.
-// The vector passed to fn is a view: fn must not retain it or call any
+// returns false. The view passed to fn aliases slab memory and is
+// reused across iterations: fn must not retain it or call any
 // mutating Store method. Iterating shards from separate goroutines is
-// how ann parallelizes exact search. Iteration order is the dense slab
-// order (insertion order, perturbed by swap-remove deletes).
-func (s *Store) RangeShard(i int, fn func(id graph.NodeID, vec []float64, norm float64) bool) {
+// how ann parallelizes exact search. Iteration order is the dense
+// slab order (insertion order, perturbed by swap-remove deletes). The
+// per-precision loops keep the scan tight: one slice header and one
+// sidecar load per row, no precision switch per candidate.
+func (s *Store) RangeShard(i int, fn func(id graph.NodeID, v *VecView) bool) {
 	sh := &s.shards[i]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	dim := s.dim
-	vecs := sh.vecs
-	for slot, id := range sh.ids {
-		if !fn(id, vecs[slot*dim:(slot+1)*dim], sh.norms[slot]) {
-			return
+	v := getView()
+	defer viewPool.Put(v)
+	switch s.prec {
+	case F32:
+		for slot, id := range sh.ids {
+			v.F32 = sh.vecs32[slot*dim : (slot+1)*dim]
+			v.Norm = sh.norms[slot]
+			if !fn(id, v) {
+				return
+			}
+		}
+	case SQ8:
+		for slot, id := range sh.ids {
+			m := &sh.meta[slot]
+			v.Code = sh.codes[slot*dim : (slot+1)*dim]
+			v.Scale, v.Offset, v.CodeSum, v.Norm = m.scale, m.offset, m.codeSum, m.norm
+			if !fn(id, v) {
+				return
+			}
+		}
+	default:
+		for slot, id := range sh.ids {
+			v.F64 = sh.vecs[slot*dim : (slot+1)*dim]
+			v.Norm = sh.norms[slot]
+			if !fn(id, v) {
+				return
+			}
 		}
 	}
 }
@@ -275,14 +587,18 @@ func (s *Store) RangeShard(i int, fn func(id graph.NodeID, vec []float64, norm f
 // WithShard looks up each of ids (all of which must hash to shard i —
 // see ShardOf) under a single acquisition of the shard's read lock,
 // invoking fn for every ID that is present. The batch analogue of
-// With for consumers that score many candidates per query.
-func (s *Store) WithShard(i int, ids []graph.NodeID, fn func(id graph.NodeID, vec []float64, norm float64)) {
+// With for consumers that score many candidates per query; the view is
+// reused across invocations like RangeShard's.
+func (s *Store) WithShard(i int, ids []graph.NodeID, fn func(id graph.NodeID, v *VecView)) {
 	sh := &s.shards[i]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	v := getView()
+	defer viewPool.Put(v)
 	for _, id := range ids {
 		if slot, ok := sh.slot[id]; ok {
-			fn(id, sh.row(slot, s.dim), sh.norms[slot])
+			s.fillView(sh, slot, v)
+			fn(id, v)
 		}
 	}
 }
@@ -301,9 +617,11 @@ func (s *Store) IDs() []graph.NodeID {
 }
 
 // ApplyWAL applies one write-ahead-log record to the store: the replay
-// hook crash recovery and reference-state tests drive. Replaying a log
-// suffix in sequence order over any state at-or-before that suffix
-// reconverges, because upsert/delete are last-writer-wins.
+// hook crash recovery and reference-state tests drive. WAL records
+// carry full-precision vectors; narrowing/quantization happens here,
+// at apply time, so durability semantics are precision-independent.
+// Replaying a log suffix in sequence order over any state at-or-before
+// that suffix reconverges, because upsert/delete are last-writer-wins.
 func (s *Store) ApplyWAL(r wal.Record) error {
 	switch r.Op {
 	case wal.OpUpsert:
@@ -316,22 +634,55 @@ func (s *Store) ApplyWAL(r wal.Record) error {
 	}
 }
 
+// viewEqual compares two same-precision views representation-for-
+// representation (bit-identical lanes/codes and sidecars).
+func viewEqual(a, b *VecView) bool {
+	switch {
+	case a.F64 != nil:
+		if b.F64 == nil {
+			return false
+		}
+		for i := range a.F64 {
+			if a.F64[i] != b.F64[i] {
+				return false
+			}
+		}
+	case a.F32 != nil:
+		if b.F32 == nil {
+			return false
+		}
+		for i := range a.F32 {
+			if a.F32[i] != b.F32[i] {
+				return false
+			}
+		}
+	default:
+		if b.Code == nil || a.Scale != b.Scale || a.Offset != b.Offset {
+			return false
+		}
+		for i := range a.Code {
+			if a.Code[i] != b.Code[i] {
+				return false
+			}
+		}
+	}
+	return a.Norm == b.Norm
+}
+
 // Equal reports whether two stores hold identical contents (same IDs,
-// bit-identical vectors), regardless of shard count. It takes read
-// locks shard by shard; quiesce writers for a meaningful answer.
+// same precision, bit-identical slab representations), regardless of
+// shard count. It takes read locks shard by shard; quiesce writers for
+// a meaningful answer.
 func (s *Store) Equal(o *Store) bool {
-	if s.dim != o.dim || s.Len() != o.Len() {
+	if s.dim != o.dim || s.prec != o.prec || s.Len() != o.Len() {
 		return false
 	}
 	equal := true
 	for i := range s.shards {
-		s.RangeShard(i, func(id graph.NodeID, vec []float64, _ float64) bool {
-			ok := o.With(id, func(ovec []float64, _ float64) {
-				for j := range vec {
-					if vec[j] != ovec[j] {
-						equal = false
-						return
-					}
+		s.RangeShard(i, func(id graph.NodeID, v *VecView) bool {
+			ok := o.With(id, func(ov *VecView) {
+				if !viewEqual(v, ov) {
+					equal = false
 				}
 			})
 			if !ok {
@@ -346,26 +697,42 @@ func (s *Store) Equal(o *Store) bool {
 	return true
 }
 
-// storeWire is the gob wire format of a snapshot: IDs ascending, vectors
-// concatenated in the same order, so identical contents always produce
-// identical bytes. Watermark carries the WAL sequence number the
-// snapshot covers (0 for snapshots taken outside a WAL pipeline; gob
-// omits zero fields, so pre-watermark snapshots load unchanged).
+// storeWire is the gob wire format of a snapshot: IDs ascending,
+// payload concatenated in the same order, so identical contents always
+// produce identical bytes.
+//
+// Version history:
+//
+//	1 — float64 only: {Dim, Watermark, IDs, Data}. Still loadable;
+//	    LoadSnapshotAt upconverts (requantizes) into any precision.
+//	2 — adds Precision and the F32/SQ8 payload fields (Data32, Codes,
+//	    Scales/Offsets sidecars, Norms). Exactly one payload family is
+//	    populated, per the writing store's precision.
+//
+// Watermark carries the WAL sequence number the snapshot covers (0 for
+// snapshots taken outside a WAL pipeline).
 type storeWire struct {
 	Version   int
 	Dim       int
 	Watermark uint64
 	IDs       []graph.NodeID
-	Data      []float64
+	Data      []float64 // v1, and v2 at precision f64
+	Precision int       // v2 (zero value f64 matches v1's implicit precision)
+	Data32    []float32 // v2 f32 rows
+	Codes     []int8    // v2 sq8 codes
+	Scales    []float64 // v2 sq8 per-vector decode scale
+	Offsets   []float64 // v2 sq8 per-vector decode offset
+	Norms     []float64 // v2 f32/sq8: original-vector L2 norms
 }
 
-// storeSnapshotVersion guards the wire format; bump on incompatible changes.
-const storeSnapshotVersion = 1
+// storeSnapshotVersion is the version written by Save; loaders accept
+// every version at or below it.
+const storeSnapshotVersion = 2
 
-// Save writes a snapshot of the store to w. Concurrent upserts during
-// Save are each either fully included or fully absent (per-vector
-// atomicity via the shard locks); for a point-in-time image, quiesce
-// writers first.
+// Save writes a snapshot of the store to w in its native precision.
+// Concurrent upserts during Save are each either fully included or
+// fully absent (per-vector atomicity via the shard locks); for a
+// point-in-time image, quiesce writers first.
 func (s *Store) Save(w io.Writer) error { return s.SaveSnapshot(w, 0) }
 
 // SaveSnapshot is Save stamping the snapshot with a WAL watermark: the
@@ -381,16 +748,39 @@ func (s *Store) SaveSnapshot(w io.Writer, watermark uint64) error {
 		Version:   storeSnapshotVersion,
 		Dim:       s.dim,
 		Watermark: watermark,
+		Precision: int(s.prec),
 		IDs:       make([]graph.NodeID, 0, len(ids)),
-		Data:      make([]float64, 0, len(ids)*s.dim),
+	}
+	switch s.prec {
+	case F64:
+		wire.Data = make([]float64, 0, len(ids)*s.dim)
+	case F32:
+		wire.Data32 = make([]float32, 0, len(ids)*s.dim)
+		wire.Norms = make([]float64, 0, len(ids))
+	case SQ8:
+		wire.Codes = make([]int8, 0, len(ids)*s.dim)
+		wire.Scales = make([]float64, 0, len(ids))
+		wire.Offsets = make([]float64, 0, len(ids))
+		wire.Norms = make([]float64, 0, len(ids))
 	}
 	for _, id := range ids {
-		// IDs and Data are appended together under the same read lock, so
-		// an ID deleted between IDs() and here is omitted entirely rather
-		// than resurrected as a zero row.
-		s.With(id, func(vec []float64, _ float64) {
+		// IDs and payload are appended together under the same read lock,
+		// so an ID deleted between IDs() and here is omitted entirely
+		// rather than resurrected as a zero row.
+		s.With(id, func(v *VecView) {
 			wire.IDs = append(wire.IDs, id)
-			wire.Data = append(wire.Data, vec...)
+			switch s.prec {
+			case F64:
+				wire.Data = append(wire.Data, v.F64...)
+			case F32:
+				wire.Data32 = append(wire.Data32, v.F32...)
+				wire.Norms = append(wire.Norms, v.Norm)
+			case SQ8:
+				wire.Codes = append(wire.Codes, v.Code...)
+				wire.Scales = append(wire.Scales, v.Scale)
+				wire.Offsets = append(wire.Offsets, v.Offset)
+				wire.Norms = append(wire.Norms, v.Norm)
+			}
 		})
 	}
 	if err := gob.NewEncoder(w).Encode(wire); err != nil {
@@ -399,33 +789,136 @@ func (s *Store) SaveSnapshot(w io.Writer, watermark uint64) error {
 	return nil
 }
 
-// Load reconstructs a store from a snapshot written by Save.
+// validate rejects structurally corrupt wire images: unknown versions
+// or precisions, and payloads or sidecars whose lengths disagree with
+// the ID count (a truncated or hand-damaged sidecar must fail loudly,
+// not load as garbage vectors).
+func (wire *storeWire) validate() error {
+	if wire.Version < 1 || wire.Version > storeSnapshotVersion {
+		return fmt.Errorf("embstore: load: snapshot version %d, want 1..%d", wire.Version, storeSnapshotVersion)
+	}
+	if wire.Dim < 1 {
+		return fmt.Errorf("embstore: load: corrupt snapshot: dim %d", wire.Dim)
+	}
+	n := len(wire.IDs)
+	switch Precision(wire.Precision) {
+	case F64:
+		if len(wire.Data) != n*wire.Dim {
+			return fmt.Errorf("embstore: load: corrupt snapshot: %d values for %d vectors of dim %d",
+				len(wire.Data), n, wire.Dim)
+		}
+	case F32:
+		if len(wire.Data32) != n*wire.Dim {
+			return fmt.Errorf("embstore: load: corrupt snapshot: %d f32 values for %d vectors of dim %d",
+				len(wire.Data32), n, wire.Dim)
+		}
+		if len(wire.Norms) != n {
+			return fmt.Errorf("embstore: load: corrupt snapshot: %d norms for %d vectors", len(wire.Norms), n)
+		}
+	case SQ8:
+		if len(wire.Codes) != n*wire.Dim {
+			return fmt.Errorf("embstore: load: corrupt snapshot: %d codes for %d vectors of dim %d",
+				len(wire.Codes), n, wire.Dim)
+		}
+		if len(wire.Scales) != n || len(wire.Offsets) != n || len(wire.Norms) != n {
+			return fmt.Errorf("embstore: load: corrupt snapshot: sq8 sidecars %d/%d/%d for %d vectors",
+				len(wire.Scales), len(wire.Offsets), len(wire.Norms), n)
+		}
+	default:
+		return fmt.Errorf("embstore: load: unknown snapshot precision %d", wire.Precision)
+	}
+	return nil
+}
+
+// Load reconstructs a store from a snapshot written by Save, at the
+// snapshot's native precision.
 func Load(r io.Reader, shards int) (*Store, error) {
 	s, _, err := LoadSnapshot(r, shards)
 	return s, err
 }
 
-// LoadSnapshot reconstructs a store and returns the WAL watermark it
-// was stamped with (0 for pre-WAL snapshots): replay resumes from the
-// record after the watermark.
+// LoadSnapshot reconstructs a store at the snapshot's native precision
+// and returns the WAL watermark it was stamped with (0 for pre-WAL
+// snapshots): replay resumes from the record after the watermark.
 func LoadSnapshot(r io.Reader, shards int) (*Store, uint64, error) {
+	return loadSnapshot(r, shards, nil)
+}
+
+// LoadSnapshotAt is LoadSnapshot at an explicit target precision,
+// regardless of the precision the snapshot was written in. Same-
+// precision loads are lossless (bit-identical slabs); cross-precision
+// loads dequantize each row and re-encode it on the way in — the
+// upconvert-on-boot path that lets an old f64 snapshot seed an sq8
+// daemon (and vice versa).
+func LoadSnapshotAt(r io.Reader, shards int, prec Precision) (*Store, uint64, error) {
+	return loadSnapshot(r, shards, &prec)
+}
+
+func loadSnapshot(r io.Reader, shards int, prec *Precision) (*Store, uint64, error) {
 	var wire storeWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, 0, fmt.Errorf("embstore: load: %v", err)
 	}
-	if wire.Version != storeSnapshotVersion {
-		return nil, 0, fmt.Errorf("embstore: load: snapshot version %d, want %d", wire.Version, storeSnapshotVersion)
+	if err := wire.validate(); err != nil {
+		return nil, 0, err
 	}
-	if len(wire.Data) != len(wire.IDs)*wire.Dim {
-		return nil, 0, fmt.Errorf("embstore: load: corrupt snapshot: %d values for %d vectors of dim %d",
-			len(wire.Data), len(wire.IDs), wire.Dim)
+	native := Precision(wire.Precision)
+	target := native
+	if prec != nil {
+		target = *prec
 	}
-	s, err := New(wire.Dim, shards)
+	s, err := NewPrecision(wire.Dim, shards, target)
 	if err != nil {
 		return nil, 0, err
 	}
+	dim := wire.Dim
+	if target == native {
+		// Lossless path: move the wire representation straight into the
+		// slabs, preserving codes and sidecars bit for bit.
+		for i, id := range wire.IDs {
+			sh := s.shardFor(id)
+			sh.mu.Lock()
+			slot := sh.ensureSlot(s, id)
+			switch native {
+			case F64:
+				row := wire.Data[i*dim : (i+1)*dim]
+				copy(sh.vecs[slot*dim:(slot+1)*dim], row)
+				sh.norms[slot] = vecmath.Norm(row)
+			case F32:
+				copy(sh.vecs32[slot*dim:(slot+1)*dim], wire.Data32[i*dim:(i+1)*dim])
+				sh.norms[slot] = wire.Norms[i]
+			case SQ8:
+				row := wire.Codes[i*dim : (i+1)*dim]
+				copy(sh.codes[slot*dim:(slot+1)*dim], row)
+				var codeSum int32
+				for _, c := range row {
+					codeSum += int32(c)
+				}
+				sh.meta[slot] = sq8Meta{scale: wire.Scales[i], offset: wire.Offsets[i], norm: wire.Norms[i], codeSum: codeSum}
+			}
+			sh.mu.Unlock()
+		}
+		return s, wire.Watermark, nil
+	}
+	// Conversion path: dequantize each wire row to full precision, then
+	// upsert (which narrows to the target layout). The original norm
+	// rides along where the wire carries one, so a narrowed store still
+	// scores with the exact denominator.
+	buf := make([]float64, dim)
 	for i, id := range wire.IDs {
-		if err := s.Upsert(id, wire.Data[i*wire.Dim:(i+1)*wire.Dim]); err != nil {
+		var norm float64
+		switch native {
+		case F64:
+			copy(buf, wire.Data[i*dim:(i+1)*dim])
+			norm = vecmath.Norm(buf)
+		case F32:
+			vecmath.F32To64(buf, wire.Data32[i*dim:(i+1)*dim])
+			norm = wire.Norms[i]
+		case SQ8:
+			vecmath.DecodeSQ8(buf, wire.Codes[i*dim:(i+1)*dim], wire.Scales[i], wire.Offsets[i])
+			norm = wire.Norms[i]
+		}
+		if err := s.upsertNorm(id, buf, norm); err != nil {
 			return nil, 0, err
 		}
 	}

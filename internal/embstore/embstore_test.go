@@ -90,7 +90,7 @@ func TestBulkLoadCoversAllRowsAndShards(t *testing.T) {
 	// the hash is badly broken.
 	for sh := 0; sh < s.NumShards(); sh++ {
 		n := 0
-		s.RangeShard(sh, func(graph.NodeID, []float64, float64) bool { n++; return true })
+		s.RangeShard(sh, func(graph.NodeID, *VecView) bool { n++; return true })
 		if n == 0 {
 			t.Fatalf("shard %d empty after bulk load of 257 ids", sh)
 		}
@@ -101,14 +101,14 @@ func TestWithReportsMaintainedNorm(t *testing.T) {
 	s, _ := New(3, 2)
 	_ = s.Upsert(4, []float64{3, 4, 0})
 	var norm float64
-	if !s.With(4, func(_ []float64, n float64) { norm = n }) {
+	if !s.With(4, func(v *VecView) { norm = v.Norm }) {
 		t.Fatal("With(4) = false")
 	}
 	if norm != 5 {
 		t.Fatalf("norm = %g, want 5", norm)
 	}
 	_ = s.Upsert(4, []float64{0, 0, 2})
-	s.With(4, func(_ []float64, n float64) { norm = n })
+	s.With(4, func(v *VecView) { norm = v.Norm })
 	if norm != 2 {
 		t.Fatalf("norm after re-upsert = %g, want 2", norm)
 	}
@@ -231,7 +231,7 @@ func TestConcurrentMixedAccess(t *testing.T) {
 				case 2:
 					_ = s.Delete(id)
 				default:
-					s.RangeShard(rng.Intn(8), func(graph.NodeID, []float64, float64) bool { return true })
+					s.RangeShard(rng.Intn(8), func(graph.NodeID, *VecView) bool { return true })
 				}
 			}
 		}(w)
@@ -258,10 +258,10 @@ func TestWithShardBatchLookup(t *testing.T) {
 	seen := make(map[graph.NodeID]float64)
 	for si, ids := range groups {
 		// Include a missing ID: it must be skipped, not panic.
-		s.WithShard(si, append(ids, graph.NodeID(10_000+si)), func(id graph.NodeID, vec []float64, norm float64) {
-			seen[id] = vec[0]
-			if norm != vec[0] {
-				t.Errorf("id %d: norm %g want %g", id, norm, vec[0])
+		s.WithShard(si, append(ids, graph.NodeID(10_000+si)), func(id graph.NodeID, v *VecView) {
+			seen[id] = v.F64[0]
+			if v.Norm != v.F64[0] {
+				t.Errorf("id %d: norm %g want %g", id, v.Norm, v.F64[0])
 			}
 		})
 	}

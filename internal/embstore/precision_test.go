@@ -1,0 +1,360 @@
+package embstore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ehna/internal/graph"
+	"ehna/internal/tensor"
+	"ehna/internal/vecmath"
+)
+
+var allPrecisions = []Precision{F64, F32, SQ8}
+
+// maxLaneErr is the acceptable |stored − original| per lane for a
+// precision, given the vector it encodes.
+func maxLaneErr(p Precision, v *VecView, orig []float64) float64 {
+	switch p {
+	case F64:
+		return 0
+	case F32:
+		m := 0.0
+		for _, x := range orig {
+			m = math.Max(m, math.Abs(x))
+		}
+		return m * 1e-6
+	default:
+		return v.Scale/2 + 1e-9*(math.Abs(v.Offset)+256*v.Scale+1)
+	}
+}
+
+// TestPrecisionRoundTrip: upsert → Get reconstructs within the
+// precision's lane bound, norms carry the original value, deletes
+// swap-remove correctly, for every layout.
+func TestPrecisionRoundTrip(t *testing.T) {
+	for _, p := range allPrecisions {
+		t.Run(p.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(21))
+			const dim, n = 9, 137
+			s, err := NewPrecision(dim, 4, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Precision() != p {
+				t.Fatalf("Precision() = %v", s.Precision())
+			}
+			orig := make(map[graph.NodeID][]float64)
+			for i := 0; i < n; i++ {
+				vec := make([]float64, dim)
+				for j := range vec {
+					vec[j] = rng.NormFloat64() * 3
+				}
+				id := graph.NodeID(i)
+				orig[id] = vec
+				if err := s.Upsert(id, vec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for id, vec := range orig {
+				got, ok := s.Get(id)
+				if !ok {
+					t.Fatalf("id %d missing", id)
+				}
+				var bound float64
+				s.With(id, func(v *VecView) {
+					bound = maxLaneErr(p, v, vec)
+					if want := vecmath.Norm(vec); v.Norm != want {
+						t.Fatalf("id %d: norm %g want %g", id, v.Norm, want)
+					}
+					if v.Dim() != dim {
+						t.Fatalf("id %d: view dim %d", id, v.Dim())
+					}
+				})
+				for j := range vec {
+					if d := math.Abs(got[j] - vec[j]); d > bound {
+						t.Fatalf("%s id %d lane %d: |%g − %g| = %g > %g", p, id, j, got[j], vec[j], d, bound)
+					}
+				}
+			}
+			// Delete half; the rest must survive intact.
+			for i := 0; i < n; i += 2 {
+				if !s.Delete(graph.NodeID(i)) {
+					t.Fatalf("delete %d = false", i)
+				}
+			}
+			if s.Len() != n/2 {
+				t.Fatalf("len %d after deletes", s.Len())
+			}
+			for i := 1; i < n; i += 2 {
+				got, ok := s.Get(graph.NodeID(i))
+				if !ok {
+					t.Fatalf("id %d gone after unrelated deletes", i)
+				}
+				vec := orig[graph.NodeID(i)]
+				var bound float64
+				s.With(graph.NodeID(i), func(v *VecView) { bound = maxLaneErr(p, v, vec) })
+				for j := range vec {
+					if d := math.Abs(got[j] - vec[j]); d > bound {
+						t.Fatalf("%s id %d lane %d after deletes: err %g > %g", p, i, j, d, bound)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPrecisionSnapshotRoundTrip: Save → Load at the same precision is
+// lossless (Equal: bit-identical slab representations), for every
+// layout — and survives a second cycle without drift.
+func TestPrecisionSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	emb := tensor.Randn(100, 8, 1, rng)
+	for _, p := range allPrecisions {
+		t.Run(p.String(), func(t *testing.T) {
+			s, err := FromMatrixPrecision(emb, 4, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := s.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := Load(bytes.NewReader(buf.Bytes()), 7) // different shard count on purpose
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Precision() != p {
+				t.Fatalf("native load precision %v, want %v", loaded.Precision(), p)
+			}
+			if !s.Equal(loaded) {
+				t.Fatal("loaded store differs from saved store")
+			}
+			// Second cycle: quantized representations must not drift.
+			var buf2 bytes.Buffer
+			if err := loaded.Save(&buf2); err != nil {
+				t.Fatal(err)
+			}
+			again, err := Load(bytes.NewReader(buf2.Bytes()), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.Equal(again) {
+				t.Fatal("second save/load cycle drifted")
+			}
+		})
+	}
+}
+
+// TestCrossPrecisionLoad: a snapshot written at any precision loads
+// into a store of any other precision, reconstructing within the
+// coarser precision's bound and preserving original norms.
+func TestCrossPrecisionLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	emb := tensor.Randn(60, 6, 1, rng)
+	for _, from := range allPrecisions {
+		for _, to := range allPrecisions {
+			t.Run(from.String()+"->"+to.String(), func(t *testing.T) {
+				src, err := FromMatrixPrecision(emb, 4, from)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := src.SaveSnapshot(&buf, 99); err != nil {
+					t.Fatal(err)
+				}
+				dst, wm, err := LoadSnapshotAt(bytes.NewReader(buf.Bytes()), 4, to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wm != 99 {
+					t.Fatalf("watermark %d", wm)
+				}
+				if dst.Precision() != to {
+					t.Fatalf("precision %v want %v", dst.Precision(), to)
+				}
+				if dst.Len() != src.Len() {
+					t.Fatalf("len %d want %d", dst.Len(), src.Len())
+				}
+				// Each vector must reconstruct within the sum of both
+				// precisions' lane bounds, and norms must survive the trip
+				// bit-exact (they ride the wire, not the codes).
+				for i := 0; i < emb.Rows; i++ {
+					id := graph.NodeID(i)
+					orig := emb.Row(i)
+					got, ok := dst.Get(id)
+					if !ok {
+						t.Fatalf("id %d missing", id)
+					}
+					var bound float64
+					src.With(id, func(v *VecView) { bound += maxLaneErr(from, v, orig) })
+					dst.With(id, func(v *VecView) {
+						bound += maxLaneErr(to, v, orig)
+						var srcNorm float64
+						src.With(id, func(sv *VecView) { srcNorm = sv.Norm })
+						if v.Norm != srcNorm {
+							t.Fatalf("id %d: norm %g want %g", id, v.Norm, srcNorm)
+						}
+					})
+					for j := range orig {
+						if d := math.Abs(got[j] - orig[j]); d > bound {
+							t.Fatalf("id %d lane %d: err %g > %g", id, j, d, bound)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// wireMirror mirrors storeWire field-for-field so tests can synthesize
+// legacy and corrupt snapshots through gob (gob matches struct fields
+// by name, not type identity).
+type wireMirror struct {
+	Version   int
+	Dim       int
+	Watermark uint64
+	IDs       []graph.NodeID
+	Data      []float64
+	Precision int
+	Data32    []float32
+	Codes     []int8
+	Scales    []float64
+	Offsets   []float64
+	Norms     []float64
+}
+
+// TestLegacyV1SnapshotLoads: a version-1 snapshot (float64 only, no
+// precision/sidecar fields — the pre-compression wire format) loads
+// natively as f64 and upconverts into sq8 on request.
+func TestLegacyV1SnapshotLoads(t *testing.T) {
+	type wireV1 struct {
+		Version   int
+		Dim       int
+		Watermark uint64
+		IDs       []graph.NodeID
+		Data      []float64
+	}
+	w := wireV1{
+		Version:   1,
+		Dim:       3,
+		Watermark: 7,
+		IDs:       []graph.NodeID{1, 2, 5},
+		Data:      []float64{1, 2, 3, 4, 5, 6, 7, 8, 9},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatal(err)
+	}
+	s, wm, err := LoadSnapshot(bytes.NewReader(buf.Bytes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 7 || s.Precision() != F64 || s.Len() != 3 {
+		t.Fatalf("v1 load: wm %d prec %v len %d", wm, s.Precision(), s.Len())
+	}
+	if v, _ := s.Get(5); v[2] != 9 {
+		t.Fatalf("v1 load: Get(5) = %v", v)
+	}
+	// Upconvert on boot: same bytes, sq8 target.
+	q, _, err := LoadSnapshotAt(bytes.NewReader(buf.Bytes()), 2, SQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Precision() != SQ8 || q.Len() != 3 {
+		t.Fatalf("v1→sq8: prec %v len %d", q.Precision(), q.Len())
+	}
+	got, _ := q.Get(2)
+	var bound float64
+	q.With(2, func(v *VecView) { bound = maxLaneErr(SQ8, v, []float64{4, 5, 6}) })
+	for j, want := range []float64{4, 5, 6} {
+		if d := math.Abs(got[j] - want); d > bound {
+			t.Fatalf("v1→sq8 lane %d: err %g > %g", j, d, bound)
+		}
+	}
+}
+
+// TestCorruptSnapshotRejected: truncated or inconsistent payloads and
+// sidecars must fail loudly, never load as garbage.
+func TestCorruptSnapshotRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	emb := tensor.Randn(20, 4, 1, rng)
+	src, err := FromMatrixPrecision(emb, 2, SQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var w wireMirror
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mut func(*wireMirror), wantSub string) {
+		t.Helper()
+		c := w
+		mut(&c)
+		var cb bytes.Buffer
+		if err := gob.NewEncoder(&cb).Encode(c); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := LoadSnapshot(bytes.NewReader(cb.Bytes()), 2)
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: err = %v, want substring %q", name, err, wantSub)
+		}
+	}
+	corrupt("truncated scales sidecar", func(c *wireMirror) { c.Scales = c.Scales[:len(c.Scales)-1] }, "sidecars")
+	corrupt("truncated norms sidecar", func(c *wireMirror) { c.Norms = nil }, "sidecars")
+	corrupt("truncated codes", func(c *wireMirror) { c.Codes = c.Codes[:len(c.Codes)-3] }, "codes")
+	corrupt("future version", func(c *wireMirror) { c.Version = 99 }, "version")
+	corrupt("unknown precision", func(c *wireMirror) { c.Precision = 7 }, "precision")
+	corrupt("bad dim", func(c *wireMirror) { c.Dim = 0 }, "dim")
+
+	// Truncated byte stream (mid-gob): must surface a load error.
+	if _, _, err := LoadSnapshot(bytes.NewReader(buf.Bytes()[:buf.Len()/2]), 2); err == nil {
+		t.Fatal("truncated stream loaded cleanly")
+	}
+}
+
+// TestBytesPerVector documents the footprint the compressed plane is
+// buying at the README's reference dimension.
+func TestBytesPerVector(t *testing.T) {
+	if got := F64.BytesPerVector(128); got != 1032 {
+		t.Fatalf("f64: %d", got)
+	}
+	if got := F32.BytesPerVector(128); got != 520 {
+		t.Fatalf("f32: %d", got)
+	}
+	if got := SQ8.BytesPerVector(128); got != 160 {
+		t.Fatalf("sq8: %d", got)
+	}
+}
+
+// TestParsePrecision covers the flag spellings.
+func TestParsePrecision(t *testing.T) {
+	for in, want := range map[string]Precision{"f64": F64, "f32": F32, "sq8": SQ8, "float32": F32, "int8": SQ8, "": F64} {
+		got, err := ParsePrecision(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePrecision(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePrecision("f16"); err == nil {
+		t.Fatal("ParsePrecision(f16) succeeded")
+	}
+}
+
+// TestEqualAcrossPrecisions: stores of different precisions are never
+// Equal, even with identical contents.
+func TestEqualAcrossPrecisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	emb := tensor.Randn(10, 4, 1, rng)
+	a, _ := FromMatrixPrecision(emb, 2, F64)
+	b, _ := FromMatrixPrecision(emb, 2, F32)
+	if a.Equal(b) {
+		t.Fatal("f64 store Equal f32 store")
+	}
+}

@@ -75,3 +75,59 @@ func FuzzKernelsMatchReference(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSQ8RoundTrip fuzzes the scalar-quantization plane: encode→decode
+// must never panic, every lane must reconstruct within the per-vector
+// scale bound, and the asymmetric DotSQ8 must stay inside its
+// documented error envelope against the exact Dot. Run with:
+// go test -fuzz=FuzzSQ8RoundTrip ./internal/vecmath
+func FuzzSQ8RoundTrip(f *testing.F) {
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 9, 64, 65} {
+		seed := make([]byte, 1+16*n)
+		seed[0] = byte(n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(seed[1+16*i:], math.Float64bits(float64(i)*0.75-1.5))
+			binary.LittleEndian.PutUint64(seed[1+16*i+8:], math.Float64bits(2.5-float64(i)))
+		}
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, q, ok := decodeVecs(data) // sanitized: finite, |x| ≤ 1e100
+		if !ok {
+			return
+		}
+		n := len(v)
+		code := make([]int8, n)
+		scale, offset, codeSum := EncodeSQ8(v, code)
+		if math.IsNaN(scale) || math.IsInf(scale, 0) {
+			t.Fatalf("EncodeSQ8 n=%d: non-finite scale %g", n, scale)
+		}
+		var wantSum int32
+		for _, c := range code {
+			wantSum += int32(c)
+		}
+		if codeSum != wantSum {
+			t.Fatalf("EncodeSQ8 n=%d: codeSum %d want %d", n, codeSum, wantSum)
+		}
+
+		dec := make([]float64, n)
+		DecodeSQ8(dec, code, scale, offset)
+		laneBound := scale/2 + 1e-9*(math.Abs(offset)+256*scale+1)
+		for i := range v {
+			if d := math.Abs(dec[i] - v[i]); d > laneBound {
+				t.Fatalf("n=%d lane %d: reconstruction err %g > %g (scale %g)", n, i, d, laneBound, scale)
+			}
+		}
+
+		var l1q float64
+		for _, x := range q {
+			l1q += math.Abs(x)
+		}
+		got := DotSQ8(q, code, scale, offset, Sum(q))
+		want := refDot(q, v)
+		envelope := scale/2*l1q + 1e-9*(l1q*(math.Abs(offset)+128*scale)+math.Abs(want)+1)
+		if d := math.Abs(got - want); d > envelope {
+			t.Fatalf("DotSQ8 n=%d: |%g − %g| = %g > envelope %g", n, got, want, d, envelope)
+		}
+	})
+}

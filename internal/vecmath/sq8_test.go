@@ -1,0 +1,224 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func refL1(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// closeF32 checks a float32-accumulated kernel against its float64
+// reference: tolerance scales with the magnitude of the terms summed
+// (not the result, which cancellation can drive toward zero).
+func closeF32(got, want, termMag float64) bool {
+	return math.Abs(got-want) <= 1e-4*(termMag+1)
+}
+
+func toF32(v []float64) []float32 {
+	out := make([]float32, len(v))
+	F64To32(out, v)
+	return out
+}
+
+// TestFloat32KernelsMatchReference checks the f32 family against the
+// float64 references over lengths 0–257 (every unroll remainder). The
+// references run on the narrowed-then-widened values, so the only
+// divergence measured is the kernels' float32 accumulation.
+func TestFloat32KernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 0; n <= 257; n++ {
+		a := randVec(rng, n)
+		b := randVec(rng, n)
+		a32, b32 := toF32(a), toF32(b)
+		// Widen back so the reference sees exactly the f32 lane values.
+		aw := make([]float64, n)
+		bw := make([]float64, n)
+		F32To64(aw, a32)
+		F32To64(bw, b32)
+		for i := range aw {
+			if aw[i] != float64(float32(a[i])) {
+				t.Fatalf("F64To32/F32To64 n=%d lane %d: %g", n, i, aw[i])
+			}
+		}
+
+		var termMag float64
+		for i := range aw {
+			termMag += math.Abs(aw[i] * bw[i])
+		}
+		if got, want := Dot32(a32, b32), refDot(aw, bw); !closeF32(got, want, termMag) {
+			t.Fatalf("Dot32 n=%d: got %g want %g", n, got, want)
+		}
+		if got, want := SqDist32(a32, b32), refSqDist(aw, bw); !closeF32(got, want, want) {
+			t.Fatalf("SqDist32 n=%d: got %g want %g", n, got, want)
+		}
+
+		na, nb := Norm(aw), Norm(bw)
+		got := CosineWithNorms32(a32, b32, na, nb)
+		var want float64
+		if na != 0 && nb != 0 {
+			want = refDot(aw, bw) / (na * nb)
+		}
+		if !closeF32(got, want, termMag/math.Max(na*nb, 1e-300)) {
+			t.Fatalf("CosineWithNorms32 n=%d: got %g want %g", n, got, want)
+		}
+	}
+}
+
+// sq8Slop is the float-rounding allowance on top of the exact-math
+// quantization bounds.
+func sq8Slop(scale, offset float64) float64 {
+	return 1e-9 * (math.Abs(offset) + 256*scale + 1)
+}
+
+// TestSQ8KernelsMatchReference checks encode/decode reconstruction
+// bounds and both distance kernels against scalar references over
+// lengths 0–257.
+func TestSQ8KernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for n := 0; n <= 257; n++ {
+		v := randVec(rng, n)
+		q := randVec(rng, n)
+		code := make([]int8, n)
+		scale, offset, codeSum := EncodeSQ8(v, code)
+
+		// Σ code matches.
+		var wantSum int32
+		for _, c := range code {
+			wantSum += int32(c)
+		}
+		if codeSum != wantSum {
+			t.Fatalf("EncodeSQ8 n=%d: codeSum %d want %d", n, codeSum, wantSum)
+		}
+
+		// Reconstruction error ≤ scale/2 per lane.
+		dec := make([]float64, n)
+		DecodeSQ8(dec, code, scale, offset)
+		bound := scale/2 + sq8Slop(scale, offset)
+		for i := range v {
+			if d := math.Abs(dec[i] - v[i]); d > bound {
+				t.Fatalf("DecodeSQ8 n=%d lane %d: |%g − %g| = %g > %g", n, i, dec[i], v[i], d, bound)
+			}
+		}
+
+		// DotSQ8 is algebraically Dot(q, dec): tight agreement.
+		qSum := Sum(q)
+		got := DotSQ8(q, code, scale, offset, qSum)
+		want := refDot(q, dec)
+		tight := 1e-9 * (refL1(q)*(math.Abs(offset)+128*scale) + 1)
+		if math.Abs(got-want) > tight {
+			t.Fatalf("DotSQ8 n=%d vs Dot(q,dec): got %g want %g", n, got, want)
+		}
+		// ...and within the documented envelope of the true dot.
+		env := scale/2*refL1(q) + tight
+		if d := math.Abs(got - refDot(q, v)); d > env {
+			t.Fatalf("DotSQ8 n=%d envelope: |%g − %g| = %g > %g", n, got, refDot(q, v), d, env)
+		}
+
+		// SqDistSQ8 is algebraically SqDist(q, dec).
+		gotSq := SqDistSQ8(q, code, scale, offset)
+		wantSq := refSqDist(q, dec)
+		if math.Abs(gotSq-wantSq) > 1e-9*(wantSq+1) {
+			t.Fatalf("SqDistSQ8 n=%d: got %g want %g", n, gotSq, wantSq)
+		}
+
+		// DotSQ8Sym is algebraically Dot(decA, decB).
+		code2 := make([]int8, n)
+		scale2, offset2, codeSum2 := EncodeSQ8(q, code2)
+		dec2 := make([]float64, n)
+		DecodeSQ8(dec2, code2, scale2, offset2)
+		gotSym := DotSQ8Sym(code, code2, scale, offset, scale2, offset2, codeSum, codeSum2)
+		wantSym := refDot(dec, dec2)
+		symSlop := 1e-9 * (refL1(dec)*math.Max(math.Abs(offset2)+128*scale2, 1) + refL1(dec2) + math.Abs(wantSym) + 1)
+		if math.Abs(gotSym-wantSym) > symSlop {
+			t.Fatalf("DotSQ8Sym n=%d: got %g want %g", n, gotSym, wantSym)
+		}
+
+		// Sum matches its reference.
+		var wantQSum float64
+		for _, x := range q {
+			wantQSum += x
+		}
+		if !close12(qSum, wantQSum) {
+			t.Fatalf("Sum n=%d: got %g want %g", n, qSum, wantQSum)
+		}
+	}
+}
+
+// TestSQ8ConstantVector: scale-0 encodes reconstruct exactly.
+func TestSQ8ConstantVector(t *testing.T) {
+	v := []float64{3.25, 3.25, 3.25, 3.25, 3.25}
+	code := make([]int8, len(v))
+	scale, offset, codeSum := EncodeSQ8(v, code)
+	if scale != 0 || offset != 3.25 || codeSum != 0 {
+		t.Fatalf("constant encode: scale %g offset %g sum %d", scale, offset, codeSum)
+	}
+	dec := make([]float64, len(v))
+	DecodeSQ8(dec, code, scale, offset)
+	for i, x := range dec {
+		if x != 3.25 {
+			t.Fatalf("constant decode lane %d: %g", i, x)
+		}
+	}
+}
+
+// TestSQ8ExtremeLanesClamp: codes stay in int8 for adversarial ranges.
+func TestSQ8ExtremeLanesClamp(t *testing.T) {
+	v := []float64{-1e9, 1e9, 0, 1e-9, -1e-9, 5}
+	code := make([]int8, len(v))
+	scale, offset, _ := EncodeSQ8(v, code)
+	dec := make([]float64, len(v))
+	DecodeSQ8(dec, code, scale, offset)
+	bound := scale/2 + sq8Slop(scale, offset)
+	for i := range v {
+		if d := math.Abs(dec[i] - v[i]); d > bound {
+			t.Fatalf("extreme lane %d: err %g > %g", i, d, bound)
+		}
+	}
+}
+
+// TestCompressedKernelsZeroAlloc asserts the new kernel families are
+// allocation-free, matching the float64 bar.
+func TestCompressedKernelsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randVec(rng, 131)
+	b := randVec(rng, 131)
+	a32, b32 := toF32(a), toF32(b)
+	code := make([]int8, 131)
+	code2 := make([]int8, 131)
+	dec := make([]float64, 131)
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() {
+		sink += Dot32(a32, b32)
+		sink += SqDist32(a32, b32)
+		sink += CosineWithNorms32(a32, b32, 1, 1)
+		F64To32(a32, a)
+		F32To64(dec, b32)
+		sink += Sum(a)
+		s, o, cs := EncodeSQ8(a, code)
+		s2, o2, cs2 := EncodeSQ8(b, code2)
+		DecodeSQ8(dec, code, s, o)
+		sink += DotSQ8(b, code, s, o, Sum(b))
+		sink += SqDistSQ8(b, code, s, o)
+		sink += DotSQ8Sym(code, code2, s, o, s2, o2, cs, cs2)
+	})
+	if allocs != 0 {
+		t.Fatalf("compressed kernels allocated %v times per run", allocs)
+	}
+	_ = sink
+}
+
+func TestSQ8LengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DotSQ8 with mismatched lengths did not panic")
+		}
+	}()
+	DotSQ8(make([]float64, 3), make([]int8, 4), 1, 0, 0)
+}
