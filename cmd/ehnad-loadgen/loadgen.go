@@ -1,0 +1,302 @@
+// The load core: an open-loop (fixed-arrival-rate) generator.
+//
+// Closed-loop load tools wait for each response before sending the
+// next request, so a slow server quietly throttles its own load and
+// the measured tail is a lie (coordinated omission). This generator
+// schedules every request's *intended* start time up front at the
+// target rate and measures latency from that intended start, not from
+// when a worker got around to sending it: if the server stalls, the
+// queue delay lands in the recorded latency exactly as a real user
+// would feel it.
+//
+// Key skew is zipfian (a few hot keys take most traffic — the shape
+// embedding serving sees in production), the read/write mix is a
+// coin flip per request, and latencies land in the same log-bucketed
+// obs histograms the daemon itself uses, merged for the overall
+// report via HistSnapshot.Merge.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"ehna/internal/obs"
+)
+
+type genConfig struct {
+	target   string  // daemon base URL, no trailing slash
+	rate     float64 // intended arrivals per second
+	duration time.Duration
+	workers  int
+	readFrac float64 // fraction of requests that are /v1/neighbors
+	k        int
+	dim      int // vector dimensionality; 0 = read from /healthz
+	keys     int // key-space size; 0 = max(store nodes, preload)
+	zipfS    float64
+	zipfV    float64
+	seed     int64
+	preload  int // vectors to upsert before the run (ids 0..preload-1)
+	client   *http.Client
+}
+
+// latencyReport is one op class's quantile summary, in milliseconds
+// (the unit humans and SLOs speak at serving scale).
+type latencyReport struct {
+	Count  uint64  `json:"count"`
+	P50ms  float64 `json:"p50_ms"`
+	P90ms  float64 `json:"p90_ms"`
+	P99ms  float64 `json:"p99_ms"`
+	P999ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+func summarize(s *obs.HistSnapshot) latencyReport {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	return latencyReport{
+		Count:  s.Count,
+		P50ms:  ms(s.Quantile(0.50)),
+		P90ms:  ms(s.Quantile(0.90)),
+		P99ms:  ms(s.Quantile(0.99)),
+		P999ms: ms(s.Quantile(0.999)),
+		MaxMs:  ms(s.Max),
+		MeanMs: s.Mean() / 1e6,
+	}
+}
+
+// report is the full run summary; the JSON encoding is the BENCH
+// artifact format.
+type report struct {
+	Target        string  `json:"target"`
+	TargetRate    float64 `json:"target_rate"`
+	AchievedRate  float64 `json:"achieved_rate"`
+	DurationS     float64 `json:"duration_s"`
+	ReadFraction  float64 `json:"read_fraction"`
+	ZipfS         float64 `json:"zipf_s"`
+	Keys          int     `json:"keys"`
+	Ops           uint64  `json:"ops"`
+	Errors        uint64  `json:"errors"`
+	ErrorFraction float64 `json:"error_fraction"`
+
+	Read    latencyReport `json:"read"`
+	Write   latencyReport `json:"write"`
+	Overall latencyReport `json:"overall"`
+
+	SLO *sloReport `json:"slo,omitempty"`
+}
+
+// health mirrors the /healthz fields the generator needs.
+type health struct {
+	Dim   int `json:"dim"`
+	Nodes int `json:"nodes"`
+}
+
+func fetchHealth(client *http.Client, target string) (health, error) {
+	var h health
+	resp, err := client.Get(target + "/healthz")
+	if err != nil {
+		return h, fmt.Errorf("healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, fmt.Errorf("healthz: %w", err)
+	}
+	return h, nil
+}
+
+// post sends one JSON body and drains the response; non-2xx is an error.
+func post(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// randVec fills vec with a random unit-ish vector.
+func randVec(rng *rand.Rand, vec []float64) {
+	for i := range vec {
+		vec[i] = rng.NormFloat64()
+	}
+}
+
+// preloadStore seeds ids 0..n-1 with random vectors in batches, so a
+// fresh daemon has a key space for zipfian reads to hit.
+func preloadStore(cfg genConfig, n int) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	vec := make([]float64, cfg.dim)
+	const batch = 512
+	type update struct {
+		ID     int       `json:"id"`
+		Vector []float64 `json:"vector"`
+	}
+	for lo := 0; lo < n; lo += batch {
+		hi := min(lo+batch, n)
+		updates := make([]update, 0, hi-lo)
+		for id := lo; id < hi; id++ {
+			randVec(rng, vec)
+			updates = append(updates, update{ID: id, Vector: append([]float64(nil), vec...)})
+		}
+		body, err := json.Marshal(map[string]any{"updates": updates})
+		if err != nil {
+			return err
+		}
+		if err := post(cfg.client, cfg.target+"/v1/upsert", body); err != nil {
+			return fmt.Errorf("preload [%d,%d): %w", lo, hi, err)
+		}
+	}
+	return nil
+}
+
+// runLoad executes the configured pass and returns its report.
+func runLoad(cfg genConfig) (*report, error) {
+	if cfg.client == nil {
+		cfg.client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.workers,
+				MaxIdleConnsPerHost: cfg.workers,
+			},
+		}
+	}
+	h, err := fetchHealth(cfg.client, cfg.target)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.dim == 0 {
+		cfg.dim = h.Dim
+	}
+	if cfg.dim < 1 {
+		return nil, fmt.Errorf("store reports dim %d; pass -dim", h.Dim)
+	}
+	if cfg.preload > 0 {
+		if err := preloadStore(cfg, cfg.preload); err != nil {
+			return nil, err
+		}
+		if h.Nodes < cfg.preload {
+			h.Nodes = cfg.preload
+		}
+	}
+	if cfg.keys == 0 {
+		cfg.keys = h.Nodes
+	}
+	if cfg.keys == 0 && (cfg.readFrac > 0 || cfg.preload == 0) {
+		return nil, fmt.Errorf("empty store and no key space: pass -preload or -keys")
+	}
+
+	reg := obs.NewRegistry()
+	readHist := reg.Histogram("loadgen_latency_seconds",
+		"Intended-start-to-response latency.", obs.L("op", "read"))
+	writeHist := reg.Histogram("loadgen_latency_seconds",
+		"Intended-start-to-response latency.", obs.L("op", "write"))
+	errs := reg.Counter("loadgen_errors_total", "Transport errors and non-2xx responses.")
+
+	n := int(cfg.rate * cfg.duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	// The schedule channel holds every intended arrival, so the
+	// dispatcher never blocks on slow workers: arrivals stay on the
+	// open-loop clock and backlog shows up as measured latency.
+	sched := make(chan time.Time, n)
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(id)*7919 + 1))
+			var zipf *rand.Zipf
+			if cfg.keys > 0 {
+				zipf = rand.NewZipf(rng, cfg.zipfS, cfg.zipfV, uint64(cfg.keys-1))
+			}
+			vec := make([]float64, cfg.dim)
+			var buf bytes.Buffer
+			for t := range sched {
+				buf.Reset()
+				enc := json.NewEncoder(&buf)
+				read := rng.Float64() < cfg.readFrac
+				var url string
+				if read {
+					url = cfg.target + "/v1/neighbors"
+					if zipf != nil {
+						_ = enc.Encode(map[string]any{"id": zipf.Uint64(), "k": cfg.k})
+					} else {
+						randVec(rng, vec)
+						_ = enc.Encode(map[string]any{"vector": vec, "k": cfg.k})
+					}
+				} else {
+					url = cfg.target + "/v1/upsert"
+					id := uint64(rng.Intn(cfg.keys + 1))
+					if zipf != nil {
+						id = zipf.Uint64()
+					}
+					randVec(rng, vec)
+					_ = enc.Encode(map[string]any{"id": id, "vector": vec})
+				}
+				err := post(cfg.client, url, buf.Bytes())
+				lat := time.Since(t) // from intended start: queue delay counts
+				if read {
+					readHist.Observe(int64(lat))
+				} else {
+					writeHist.Observe(int64(lat))
+				}
+				if err != nil {
+					errs.Inc()
+				}
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t := start.Add(time.Duration(i) * interval)
+		if d := time.Until(t); d > 0 {
+			time.Sleep(d)
+		}
+		sched <- t
+	}
+	close(sched)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var rs, ws obs.HistSnapshot
+	readHist.Snapshot(&rs)
+	writeHist.Snapshot(&ws)
+	all := rs
+	all.Merge(&ws)
+
+	rep := &report{
+		Target:       cfg.target,
+		TargetRate:   cfg.rate,
+		AchievedRate: float64(n) / elapsed.Seconds(),
+		DurationS:    elapsed.Seconds(),
+		ReadFraction: cfg.readFrac,
+		ZipfS:        cfg.zipfS,
+		Keys:         cfg.keys,
+		Ops:          all.Count,
+		Errors:       errs.Load(),
+		Read:         summarize(&rs),
+		Write:        summarize(&ws),
+		Overall:      summarize(&all),
+	}
+	if all.Count > 0 {
+		rep.ErrorFraction = float64(rep.Errors) / float64(all.Count)
+	}
+	return rep, nil
+}

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	checks, err := parseSLO(" p99<5ms, errors<1% ,p50<800us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 3 {
+		t.Fatalf("got %d checks, want 3", len(checks))
+	}
+	if checks[0].metric != "p99" || checks[0].limit != 0.005 {
+		t.Errorf("p99 clause parsed as %+v", checks[0])
+	}
+	if checks[1].metric != "errors" || checks[1].limit != 0.01 {
+		t.Errorf("errors clause parsed as %+v", checks[1])
+	}
+	if checks[2].metric != "p50" || checks[2].limit != 0.0008 {
+		t.Errorf("p50 clause parsed as %+v", checks[2])
+	}
+
+	if got, err := parseSLO(""); err != nil || got != nil {
+		t.Errorf("empty slo: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"p99", "p98<5ms", "p99<banana", "errors<1", "p99<-3ms", "errors<nope%"} {
+		if _, err := parseSLO(bad); err == nil {
+			t.Errorf("parseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEvalSLOGate(t *testing.T) {
+	overall := latencyReport{Count: 1000, P50ms: 1, P99ms: 4, P999ms: 8, MaxMs: 12, MeanMs: 1.5}
+
+	pass, _ := parseSLO("p99<5ms,errors<1%")
+	if rep := evalSLO("x", pass, overall, 0.002); !rep.Pass {
+		t.Errorf("gate should pass above measured p99: %+v", rep.Checks)
+	}
+	fail, _ := parseSLO("p99<3ms")
+	if rep := evalSLO("x", fail, overall, 0); rep.Pass {
+		t.Error("gate should fail below measured p99")
+	}
+	failErr, _ := parseSLO("p99<5ms,errors<0.1%")
+	rep := evalSLO("x", failErr, overall, 0.002)
+	if rep.Pass {
+		t.Error("gate should fail on the errors clause")
+	}
+	if !rep.Checks[0].Pass || rep.Checks[1].Pass {
+		t.Errorf("per-clause verdicts wrong: %+v", rep.Checks)
+	}
+}
+
+// stubDaemon fakes the three endpoints the generator touches, with a
+// controllable per-request delay and failure set.
+func stubDaemon(t *testing.T, delay time.Duration, failEvery int) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var reads, writes atomic.Int64
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "dim": 4, "nodes": 100})
+	})
+	handle := func(count *atomic.Int64) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			count.Add(1)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if failEvery > 0 && calls.Add(1)%int64(failEvery) == 0 {
+				http.Error(w, "injected", http.StatusInternalServerError)
+				return
+			}
+			json.NewEncoder(w).Encode(map[string]any{"ok": true})
+		}
+	}
+	mux.HandleFunc("/v1/neighbors", handle(&reads))
+	mux.HandleFunc("/v1/upsert", handle(&writes))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &reads, &writes
+}
+
+func TestRunLoadOpenLoop(t *testing.T) {
+	srv, reads, writes := stubDaemon(t, 0, 0)
+	rep, err := runLoad(genConfig{
+		target:   srv.URL,
+		rate:     400,
+		duration: 500 * time.Millisecond,
+		workers:  16,
+		readFrac: 0.75,
+		k:        5,
+		zipfS:    1.1,
+		zipfV:    1,
+		seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := uint64(200)
+	if rep.Ops != wantOps {
+		t.Errorf("ops = %d, want %d", rep.Ops, wantOps)
+	}
+	if got := uint64(reads.Load() + writes.Load()); got != wantOps {
+		t.Errorf("server saw %d requests, want %d", got, wantOps)
+	}
+	if rep.Read.Count+rep.Write.Count != rep.Ops {
+		t.Errorf("read %d + write %d != ops %d", rep.Read.Count, rep.Write.Count, rep.Ops)
+	}
+	// 75/25 mix over 200 coin flips: allow a generous band.
+	frac := float64(rep.Read.Count) / float64(rep.Ops)
+	if frac < 0.55 || frac > 0.95 {
+		t.Errorf("read fraction %.2f far from configured 0.75", frac)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+	if rep.Keys != 100 {
+		t.Errorf("keys = %d, want 100 (from healthz nodes)", rep.Keys)
+	}
+	if rep.Overall.P50ms <= 0 || rep.Overall.P999ms < rep.Overall.P50ms {
+		t.Errorf("quantiles implausible: %+v", rep.Overall)
+	}
+}
+
+// TestRunLoadCoordinatedOmission pins the property that distinguishes
+// an open-loop harness: with one worker and a server stalling 50ms per
+// request at a 1ms arrival interval, queueing delay must show up in
+// the tail (closed-loop tools would report ~50ms for every request).
+func TestRunLoadCoordinatedOmission(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	srv, _, _ := stubDaemon(t, delay, 0)
+	rep, err := runLoad(genConfig{
+		target:   srv.URL,
+		rate:     1000,
+		duration: 20 * time.Millisecond, // 20 arrivals, served serially
+		workers:  1,
+		readFrac: 1,
+		k:        5,
+		zipfS:    1.1,
+		zipfV:    1,
+		seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last of 20 queued arrivals waits ~19 service times: its
+	// intended-start latency is far above one service time.
+	if rep.Overall.MaxMs < 5*float64(delay.Milliseconds()) {
+		t.Errorf("max latency %.1fms does not reflect queueing (service time %.0fms): coordinated omission",
+			rep.Overall.MaxMs, float64(delay.Milliseconds()))
+	}
+}
+
+func TestRunLoadCountsErrors(t *testing.T) {
+	srv, _, _ := stubDaemon(t, 0, 4) // every 4th request 500s
+	rep, err := runLoad(genConfig{
+		target:   srv.URL,
+		rate:     400,
+		duration: 250 * time.Millisecond,
+		workers:  8,
+		readFrac: 1,
+		k:        5,
+		zipfS:    1.1,
+		zipfV:    1,
+		seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 {
+		t.Fatal("injected failures not counted")
+	}
+	want := float64(rep.Errors) / float64(rep.Ops)
+	if rep.ErrorFraction != want {
+		t.Errorf("error fraction %f, want %f", rep.ErrorFraction, want)
+	}
+	if rep.ErrorFraction < 0.15 || rep.ErrorFraction > 0.35 {
+		t.Errorf("error fraction %.2f far from injected 0.25", rep.ErrorFraction)
+	}
+}
+
+func TestRunLoadPreloads(t *testing.T) {
+	var preloaded atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "dim": 3, "nodes": 0})
+	})
+	mux.HandleFunc("/v1/upsert", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ID      *int `json:"id"`
+			Updates []struct {
+				ID     int       `json:"id"`
+				Vector []float64 `json:"vector"`
+			} `json:"updates"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, u := range req.Updates {
+			if len(u.Vector) != 3 {
+				http.Error(w, "bad dim", http.StatusBadRequest)
+				return
+			}
+			preloaded.Add(1)
+		}
+		json.NewEncoder(w).Encode(map[string]any{"ok": true})
+	})
+	mux.HandleFunc("/v1/neighbors", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"results": []any{}})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep, err := runLoad(genConfig{
+		target:   srv.URL,
+		rate:     200,
+		duration: 100 * time.Millisecond,
+		workers:  4,
+		readFrac: 0.5,
+		k:        5,
+		zipfS:    1.1,
+		zipfV:    1,
+		seed:     1,
+		preload:  700, // crosses the 512 batch boundary
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := preloaded.Load(); got != 700 {
+		t.Errorf("preloaded %d vectors, want 700", got)
+	}
+	if rep.Keys != 700 {
+		t.Errorf("keys = %d, want preload count 700", rep.Keys)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+}

@@ -1,0 +1,126 @@
+// Command ehnad-loadgen drives an ehnad daemon with open-loop
+// (fixed-arrival-rate) load and reports latency quantiles that are
+// honest under saturation: every request's latency is measured from
+// its scheduled arrival time, so server stalls surface as tail
+// latency instead of silently slowing the generator down
+// (coordinated omission). See loadgen.go for the mechanics.
+//
+// Typical use against a seeded daemon:
+//
+//	ehnad-loadgen -target http://localhost:8080 \
+//	    -rate 2000 -duration 30s -read-frac 0.9 \
+//	    -slo "p99<5ms,errors<1%" -json bench.json
+//
+// The exit code is the SLO verdict (0 pass, 1 fail, 2 run error), so
+// the same invocation is a CI gate. -preload N seeds ids 0..N-1 with
+// random vectors first, for load-testing an empty -wal daemon.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "http://localhost:8080", "ehnad base URL")
+		rate     = flag.Float64("rate", 500, "intended arrival rate, requests/second")
+		duration = flag.Duration("duration", 10*time.Second, "length of the measured pass")
+		workers  = flag.Int("workers", 64, "max in-flight requests (queueing beyond this is measured, not avoided)")
+		readFrac = flag.Float64("read-frac", 0.9, "fraction of requests that are /v1/neighbors reads (the rest are upserts)")
+		k        = flag.Int("k", 10, "top-k per neighbor query")
+		dim      = flag.Int("dim", 0, "vector dimensionality (0 = read from /healthz)")
+		keys     = flag.Int("keys", 0, "key-space size for zipfian ids (0 = store size after preload)")
+		zipfS    = flag.Float64("zipf-s", 1.1, "zipf skew exponent (>1; larger = hotter hot keys)")
+		zipfV    = flag.Float64("zipf-v", 1, "zipf value offset (>=1)")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		preload  = flag.Int("preload", 0, "upsert this many random vectors (ids 0..n-1) before the pass")
+		sloExpr  = flag.String("slo", "", `pass/fail gate, e.g. "p99<5ms,errors<1%" (sets the exit code)`)
+		jsonPath = flag.String("json", "", `write the JSON report here ("-" = stdout)`)
+	)
+	flag.Parse()
+
+	checks, err := parseSLO(*sloExpr)
+	if err != nil {
+		log.Fatalf("ehnad-loadgen: %v", err)
+	}
+	if *zipfS <= 1 || *zipfV < 1 {
+		log.Fatal("ehnad-loadgen: -zipf-s must be > 1 and -zipf-v >= 1")
+	}
+	if *readFrac < 0 || *readFrac > 1 {
+		log.Fatal("ehnad-loadgen: -read-frac must be in [0,1]")
+	}
+	if *rate <= 0 || *workers < 1 {
+		log.Fatal("ehnad-loadgen: -rate must be > 0 and -workers >= 1")
+	}
+
+	rep, err := runLoad(genConfig{
+		target:   strings.TrimRight(*target, "/"),
+		rate:     *rate,
+		duration: *duration,
+		workers:  *workers,
+		readFrac: *readFrac,
+		k:        *k,
+		dim:      *dim,
+		keys:     *keys,
+		zipfS:    *zipfS,
+		zipfV:    *zipfV,
+		seed:     *seed,
+		preload:  *preload,
+	})
+	if err != nil {
+		log.Printf("ehnad-loadgen: %v", err)
+		os.Exit(2)
+	}
+	if len(checks) > 0 {
+		rep.SLO = evalSLO(*sloExpr, checks, rep.Overall, rep.ErrorFraction)
+	}
+
+	printHuman(rep)
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("ehnad-loadgen: %v", err)
+		}
+		out = append(out, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			log.Fatalf("ehnad-loadgen: %v", err)
+		}
+	}
+	if rep.SLO != nil && !rep.SLO.Pass {
+		os.Exit(1)
+	}
+}
+
+// printHuman writes the terminal report.
+func printHuman(rep *report) {
+	fmt.Printf("ehnad-loadgen: %d ops in %.1fs (%.1f/s achieved, %.1f/s target) against %s\n",
+		rep.Ops, rep.DurationS, rep.AchievedRate, rep.TargetRate, rep.Target)
+	fmt.Printf("  mix: %.0f%% reads, zipf(s=%.2f) over %d keys\n",
+		rep.ReadFraction*100, rep.ZipfS, rep.Keys)
+	row := func(name string, l latencyReport) {
+		if l.Count == 0 {
+			return
+		}
+		fmt.Printf("  %-8s %8d  p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  p999 %8.3fms  max %8.3fms\n",
+			name, l.Count, l.P50ms, l.P90ms, l.P99ms, l.P999ms, l.MaxMs)
+	}
+	row("reads", rep.Read)
+	row("writes", rep.Write)
+	row("overall", rep.Overall)
+	fmt.Printf("  errors: %d (%.3f%%)\n", rep.Errors, rep.ErrorFraction*100)
+	if rep.SLO != nil {
+		parts := make([]string, len(rep.SLO.Checks))
+		for i, c := range rep.SLO.Checks {
+			parts[i] = c.describe()
+		}
+		fmt.Printf("  slo: %s\n", strings.Join(parts, "  "))
+	}
+}

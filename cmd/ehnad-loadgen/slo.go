@@ -1,0 +1,119 @@
+// The SLO gate: -slo "p99<5ms,errors<1%" turns a load run into a
+// pass/fail check a CI pipeline can trust — exit 0 when every clause
+// holds against the overall latency distribution, exit 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// sloCheck is one parsed clause: a metric name and its upper bound
+// (seconds for latency metrics, a fraction for errors).
+type sloCheck struct {
+	expr   string
+	metric string  // p50 | p90 | p99 | p999 | mean | max | errors
+	limit  float64 // seconds, or error fraction
+}
+
+// parseSLO parses a comma-separated clause list. Every clause is
+// METRIC<BOUND: latency bounds are Go durations ("5ms", "800us"),
+// the errors bound is a percentage ("1%", "0.5%").
+func parseSLO(s string) ([]sloCheck, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var checks []sloCheck
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		metric, bound, ok := strings.Cut(clause, "<")
+		if !ok {
+			return nil, fmt.Errorf("slo clause %q: want METRIC<BOUND", clause)
+		}
+		metric, bound = strings.TrimSpace(metric), strings.TrimSpace(bound)
+		c := sloCheck{expr: clause, metric: metric}
+		switch metric {
+		case "errors":
+			pct, found := strings.CutSuffix(bound, "%")
+			if !found {
+				return nil, fmt.Errorf("slo clause %q: errors bound must be a percentage like 1%%", clause)
+			}
+			v, err := strconv.ParseFloat(pct, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("slo clause %q: bad percentage %q", clause, pct)
+			}
+			c.limit = v / 100
+		case "p50", "p90", "p99", "p999", "mean", "max":
+			d, err := time.ParseDuration(bound)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("slo clause %q: bad duration %q", clause, bound)
+			}
+			c.limit = d.Seconds()
+		default:
+			return nil, fmt.Errorf("slo clause %q: unknown metric %q (want p50, p90, p99, p999, mean, max or errors)", clause, metric)
+		}
+		checks = append(checks, c)
+	}
+	return checks, nil
+}
+
+// sloResult is one evaluated clause.
+type sloResult struct {
+	Expr  string  `json:"expr"`
+	Value float64 `json:"value"` // seconds, or error fraction
+	Pass  bool    `json:"pass"`
+}
+
+// sloReport is the evaluated gate, embedded in the run report.
+type sloReport struct {
+	Expr   string      `json:"expr"`
+	Pass   bool        `json:"pass"`
+	Checks []sloResult `json:"checks"`
+}
+
+// evalSLO evaluates every clause against the overall latency summary
+// and the observed error fraction — the same numbers the report
+// prints, so a FAIL is always explainable from the report alone.
+func evalSLO(expr string, checks []sloCheck, overall latencyReport, errFrac float64) *sloReport {
+	rep := &sloReport{Expr: expr, Pass: true}
+	for _, c := range checks {
+		var v float64
+		switch c.metric {
+		case "errors":
+			v = errFrac
+		case "p50":
+			v = overall.P50ms / 1e3
+		case "p90":
+			v = overall.P90ms / 1e3
+		case "p99":
+			v = overall.P99ms / 1e3
+		case "p999":
+			v = overall.P999ms / 1e3
+		case "mean":
+			v = overall.MeanMs / 1e3
+		case "max":
+			v = overall.MaxMs / 1e3
+		}
+		res := sloResult{Expr: c.expr, Value: v, Pass: v < c.limit}
+		if !res.Pass {
+			rep.Pass = false
+		}
+		rep.Checks = append(rep.Checks, res)
+	}
+	return rep
+}
+
+// describe renders one result for the human report.
+func (r sloResult) describe() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	if strings.HasPrefix(r.Expr, "errors") {
+		return fmt.Sprintf("%s %s (%.3f%%)", r.Expr, verdict, r.Value*100)
+	}
+	return fmt.Sprintf("%s %s (%.3fms)", r.Expr, verdict, r.Value*1e3)
+}

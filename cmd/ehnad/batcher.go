@@ -160,6 +160,8 @@ func (b *batcher) drain() {
 // out. Lone queries (the idle-daemon common case) run inline;
 // ann.ParallelFor spreads larger batches across GOMAXPROCS workers.
 func (b *batcher) flush(batch []nnRequest) {
+	start := time.Now()
+	batchSizeHist.Observe(int64(len(batch)))
 	rb := b.bufPool.Get().(*resultBuf)
 	for len(rb.bufs) < len(batch) {
 		rb.bufs = append(rb.bufs, nil)
@@ -177,6 +179,7 @@ func (b *batcher) flush(batch []nnRequest) {
 		}
 		errs[i] = err
 	})
+	batchFlushHist.ObserveSince(start)
 
 	for i, req := range batch {
 		if errs[i] != nil {

@@ -185,6 +185,7 @@ func (d *durable) delete(ids []graph.NodeID) (int, error) {
 // across the writes stalls mutations — not searches — for the
 // duration; the price of an exactly-consistent pair.
 func (d *durable) snapshot() (uint64, error) {
+	start := time.Now()
 	wm, err := func() (uint64, error) {
 		d.mu.Lock()
 		defer d.mu.Unlock()
@@ -216,6 +217,7 @@ func (d *durable) snapshot() (uint64, error) {
 	d.watermark.Store(wm)
 	d.snapshots.Add(1)
 	d.lastSnapshot.Store(time.Now().Unix())
+	snapshotHist.ObserveSince(start)
 	if err := d.log.TruncateThrough(wm); err != nil {
 		// The snapshot is good; stale segments just linger until the
 		// next rotation. Worth a log line, not a failed snapshot.
@@ -254,6 +256,7 @@ func (d *durable) compact(force bool) (bool, error) {
 	alive, tombs, _ := h.Stats()
 	d.compactions.Add(1)
 	d.lastCompaction.Store(time.Now().Unix())
+	compactionHist.ObserveSince(start)
 	log.Printf("ehnad: hnsw compaction: %d nodes, %d tombstones after rebuild in %v",
 		alive, tombs, time.Since(start).Round(time.Millisecond))
 	if _, err := d.snapshot(); err != nil {
@@ -304,33 +307,35 @@ func (d *durable) close() {
 	}
 }
 
-// healthz returns the durability block of the health report.
-func (d *durable) healthz() map[string]any {
-	ws := d.log.Stats()
+// healthz returns the durability block of the health report, reading
+// every number through the gauges registerMetrics installed (see
+// metrics.go) so /healthz and /metrics render one set of values.
+func (d *durable) healthz(m *serverMetrics) map[string]any {
+	g := m.gauge
 	out := map[string]any{
 		"wal": map[string]any{
-			"last_seq":    ws.LastSeq,
-			"durable_seq": ws.DurableSeq,
-			"segments":    ws.Segments,
-			"size_bytes":  ws.SizeBytes,
+			"last_seq":    uint64(g("ehnad_wal_last_seq")),
+			"durable_seq": uint64(g("ehnad_wal_durable_seq")),
+			"segments":    int(g("ehnad_wal_segments")),
+			"size_bytes":  int64(g("ehnad_wal_size_bytes")),
 		},
 		"snapshot": map[string]any{
-			"watermark":  d.watermark.Load(),
-			"count":      d.snapshots.Load(),
-			"last_unix":  d.lastSnapshot.Load(),
-			"interval_s": d.interval.Seconds(),
-			"errors":     d.snapshotErrs.Load(),
+			"watermark":  uint64(g("ehnad_snapshot_watermark")),
+			"count":      int64(g("ehnad_snapshot_count")),
+			"last_unix":  int64(g("ehnad_snapshot_last_unix")),
+			"interval_s": g("ehnad_snapshot_interval_seconds"),
+			"errors":     int64(g("ehnad_snapshot_error_count")),
 		},
-		"replayed_records": d.replayed,
-		"replay_torn_tail": d.replayTorn,
+		"replayed_records": int(g("ehnad_replayed_records")),
+		"replay_torn_tail": g("ehnad_replay_torn_tail") != 0,
 	}
 	if d.isHNSW {
 		out["compaction"] = map[string]any{
-			"running":         d.compactRunning.Load(),
-			"count":           d.compactions.Load(),
-			"last_unix":       d.lastCompaction.Load(),
-			"compact_at":      d.compactAt,
-			"tombstone_ratio": d.tombstoneRatio(),
+			"running":         g("ehnad_compaction_running") != 0,
+			"count":           int64(g("ehnad_compaction_count")),
+			"last_unix":       int64(g("ehnad_compaction_last_unix")),
+			"compact_at":      g("ehnad_compaction_threshold"),
+			"tombstone_ratio": g("ehnad_graph_tombstone_ratio"),
 		}
 	}
 	if msg, ok := d.lastSnapshotErr.Load().(string); ok {

@@ -64,6 +64,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -240,12 +241,20 @@ func buildServer(cfg serverConfig) (*server, error) {
 	sw := ann.NewSwapper(index)
 	srv := newServer(store, sw, cfg.index.kind, cfg.maxBatch, cfg.window)
 	srv.pprof = cfg.pprof
+	if cfg.pprof {
+		// Sampled mutex/block profiles so /debug/pprof/mutex and /block
+		// carry data. 1-in-100 contention events and blocking events
+		// over ~1ms keep the overhead invisible next to a search.
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(int(time.Millisecond))
+	}
 	if cfg.walDir != "" {
 		srv.dur, err = newDurable(cfg, store, sw, watermark)
 		if err != nil {
 			srv.close()
 			return nil, err
 		}
+		srv.dur.registerMetrics(srv.metrics.reg)
 	}
 	return srv, nil
 }

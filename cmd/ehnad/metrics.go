@@ -1,0 +1,174 @@
+// Metrics wiring for the daemon. Two registries feed /metrics:
+//
+//   - obs.Default() carries process-wide series owned by the library
+//     packages (ann query/stage metrics, wal append/fsync latency, Go
+//     runtime stats) plus the daemon-level histograms below — all
+//     cumulative, so several servers in one test process can share
+//     them harmlessly.
+//   - Each server owns a private registry of instance gauges (store
+//     shape, graph shape, WAL/snapshot/compaction state, batcher queue
+//     depth) and its per-endpoint HTTP series. Gauges describe *this*
+//     server, so they cannot live on a process-wide registry without
+//     two test servers clobbering each other.
+//
+// /healthz reads the same gauges through Registry.GaugeValue — the
+// registry is the one source of truth, the JSON report just a second
+// rendering of it.
+package main
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"ehna/internal/ann"
+	"ehna/internal/obs"
+)
+
+// Daemon-level histograms and counters on the process-wide registry.
+var (
+	batchSizeHist = obs.Default().SizeHistogram("ehnad_batch_size",
+		"Queries coalesced per micro-batcher flush.")
+	batchFlushHist = obs.Default().Histogram("ehnad_batch_flush_seconds",
+		"Latency of one micro-batcher flush (batched SearchInto pass).")
+	snapshotHist = obs.Default().Histogram("ehnad_snapshot_seconds",
+		"Duration of one snapshot rotation (WAL rotate + store/graph save).")
+	compactionHist = obs.Default().Histogram("ehnad_compaction_seconds",
+		"Duration of one HNSW compaction rebuild (excludes the follow-up snapshot).")
+)
+
+// serverMetrics is one server instance's registry plus the helpers the
+// handlers use against it.
+type serverMetrics struct {
+	reg *obs.Registry
+}
+
+// gauge reads a registered gauge by name, 0 when absent.
+func (m *serverMetrics) gauge(name string) float64 {
+	v, _ := m.reg.GaugeValue(name)
+	return v
+}
+
+// newServerMetrics builds the per-server registry and registers the
+// store/index/batcher gauges. Durability gauges join later, once the
+// WAL layer exists (buildServer calls durable.registerMetrics).
+func newServerMetrics(s *server) *serverMetrics {
+	obs.RegisterRuntime() // idempotent; runtime + build info on the default registry
+	m := &serverMetrics{reg: obs.NewRegistry()}
+	r := m.reg
+	r.GaugeFunc("ehnad_store_nodes", "Vectors in the store.",
+		func() float64 { return float64(s.store.Len()) })
+	r.GaugeFunc("ehnad_store_dim", "Vector dimensionality.",
+		func() float64 { return float64(s.store.Dim()) })
+	r.GaugeFunc("ehnad_store_shards", "Store shard count.",
+		func() float64 { return float64(s.store.NumShards()) })
+	r.GaugeFunc("ehnad_store_bytes_per_vector", "Slab bytes per stored vector (payload + sidecars).",
+		func() float64 { return float64(s.store.Precision().BytesPerVector(s.store.Dim())) })
+	r.GaugeFunc("ehnad_uptime_seconds", "Seconds since this server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	r.GaugeFunc("ehnad_batch_queue_depth", "Neighbor queries waiting for a micro-batch slot.",
+		func() float64 { return float64(len(s.batch.in)) })
+
+	// Graph gauges read through liveIndex at scrape time, so they track
+	// the current graph across compaction swaps, and report zero when
+	// the index is not HNSW.
+	graphStat := func(pick func(alive, tombstones, maxLevel int) float64) func() float64 {
+		return func() float64 {
+			h, ok := s.liveIndex().(*ann.HNSW)
+			if !ok {
+				return 0
+			}
+			return pick(h.Stats())
+		}
+	}
+	r.GaugeFunc("ehnad_graph_nodes", "Live (non-tombstoned) HNSW graph nodes.",
+		graphStat(func(alive, _, _ int) float64 { return float64(alive) }))
+	r.GaugeFunc("ehnad_graph_tombstones", "Tombstoned HNSW graph slots awaiting compaction.",
+		graphStat(func(_, tombstones, _ int) float64 { return float64(tombstones) }))
+	r.GaugeFunc("ehnad_graph_layers", "HNSW graph layers.",
+		graphStat(func(_, _, maxLevel int) float64 { return float64(maxLevel + 1) }))
+	r.GaugeFunc("ehnad_graph_tombstone_ratio", "Tombstoned fraction of HNSW graph slots.",
+		func() float64 {
+			if h, ok := s.liveIndex().(*ann.HNSW); ok {
+				return h.TombstoneRatio()
+			}
+			return 0
+		})
+	return m
+}
+
+// statusWriter captures the response status for the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route with a latency histogram and per-status-
+// class counters, all labeled by path. Instruments are resolved once
+// at mux-build time, so a request pays two atomic adds and one
+// statusWriter allocation — noise next to its JSON decode.
+func (m *serverMetrics) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	lat := m.reg.Histogram("ehnad_http_request_seconds",
+		"HTTP request latency by endpoint.", obs.L("path", path))
+	const helpReq = "HTTP requests by endpoint and status class."
+	codes := [6]*obs.Counter{}
+	for i := 1; i <= 5; i++ {
+		codes[i] = m.reg.Counter("ehnad_http_requests_total", helpReq,
+			obs.L("path", path), obs.L("code", strconv.Itoa(i)+"xx"))
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		lat.ObserveSince(start)
+		if class := sw.status / 100; class >= 1 && class <= 5 {
+			codes[class].Inc()
+		}
+	}
+}
+
+// registerMetrics exposes the durability layer's state as gauges on
+// the server registry: the WAL instance gauges plus snapshot,
+// compaction and replay state. Called once the layer exists.
+func (d *durable) registerMetrics(r *obs.Registry) {
+	d.log.RegisterMetrics(r)
+	r.GaugeFunc("ehnad_snapshot_watermark", "WAL sequence the newest snapshot pair covers.",
+		func() float64 { return float64(d.watermark.Load()) })
+	r.GaugeFunc("ehnad_snapshot_count", "Snapshot rotations completed since boot.",
+		func() float64 { return float64(d.snapshots.Load()) })
+	r.GaugeFunc("ehnad_snapshot_last_unix", "Unix time of the last snapshot rotation (0 = never).",
+		func() float64 { return float64(d.lastSnapshot.Load()) })
+	r.GaugeFunc("ehnad_snapshot_error_count", "Failed snapshot rotations since boot.",
+		func() float64 { return float64(d.snapshotErrs.Load()) })
+	r.GaugeFunc("ehnad_snapshot_interval_seconds", "Background snapshot rotation period (0 = disabled).",
+		func() float64 { return d.interval.Seconds() })
+	r.GaugeFunc("ehnad_replayed_records", "WAL records replayed at boot.",
+		func() float64 { return float64(d.replayed) })
+	r.GaugeFunc("ehnad_replay_torn_tail", "1 when boot replay truncated a torn WAL tail.",
+		func() float64 {
+			if d.replayTorn {
+				return 1
+			}
+			return 0
+		})
+	if d.isHNSW {
+		r.GaugeFunc("ehnad_compaction_running", "1 while a compaction rebuild is in flight.",
+			func() float64 {
+				if d.compactRunning.Load() {
+					return 1
+				}
+				return 0
+			})
+		r.GaugeFunc("ehnad_compaction_count", "Compaction rebuilds completed since boot.",
+			func() float64 { return float64(d.compactions.Load()) })
+		r.GaugeFunc("ehnad_compaction_last_unix", "Unix time of the last compaction (0 = never).",
+			func() float64 { return float64(d.lastCompaction.Load()) })
+		r.GaugeFunc("ehnad_compaction_threshold", "Tombstone ratio that triggers compaction (<=0 disabled).",
+			func() float64 { return d.compactAt })
+	}
+}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ehna/internal/graph"
+)
+
+// scrapeMetrics fetches /metrics and returns the exposition body.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue finds the sample line for the exact series name (with
+// rendered labels, if any) and returns its value.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not in exposition:\n%s", series, body)
+	return 0
+}
+
+// TestMetricsEndpoint boots an HNSW server, drives traffic through
+// every instrumented layer, and checks the full catalog shows up on
+// /metrics with sane values.
+func TestMetricsEndpoint(t *testing.T) {
+	store, g := trainedStore(t)
+	_, ts := newTestServer(t, store, "hnsw")
+
+	// One good query, one client error, one write: the status-class
+	// counters should split them.
+	var nbr neighborsResponse
+	if code, _ := postJSON(t, ts.URL+"/v1/neighbors", map[string]any{"id": 3, "k": 4}, &nbr); code != http.StatusOK {
+		t.Fatalf("neighbors status %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/neighbors", map[string]any{"k": 4}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad neighbors status %d", code)
+	}
+	id := graph.NodeID(g.NumNodes() + 5)
+	vec := mustGet(t, store, 0)
+	if code, _ := postJSON(t, ts.URL+"/v1/upsert", map[string]any{"id": id, "vector": vec}, nil); code != http.StatusOK {
+		t.Fatalf("upsert status %d", code)
+	}
+
+	body := scrapeMetrics(t, ts.URL)
+
+	if v := metricValue(t, body, `ehnad_http_requests_total{code="2xx",path="/v1/neighbors"}`); v < 1 {
+		t.Errorf("2xx neighbors count = %v, want >= 1", v)
+	}
+	if v := metricValue(t, body, `ehnad_http_requests_total{code="4xx",path="/v1/neighbors"}`); v < 1 {
+		t.Errorf("4xx neighbors count = %v, want >= 1", v)
+	}
+	if v := metricValue(t, body, `ehnad_http_requests_total{code="2xx",path="/v1/upsert"}`); v < 1 {
+		t.Errorf("2xx upsert count = %v, want >= 1", v)
+	}
+	if v := metricValue(t, body, "ehnad_store_nodes"); int(v) != store.Len() {
+		t.Errorf("ehnad_store_nodes = %v, store has %d", v, store.Len())
+	}
+	if v := metricValue(t, body, "ehnad_graph_nodes"); int(v) != store.Len() {
+		t.Errorf("ehnad_graph_nodes = %v, want %d", v, store.Len())
+	}
+	if v := metricValue(t, body, "ehnad_batch_queue_depth"); v != 0 {
+		t.Errorf("idle queue depth = %v, want 0", v)
+	}
+	// Library metrics ride the default registry: the query above must
+	// have bumped the hnsw counter and both stage histograms.
+	for _, series := range []string{
+		`ehnad_ann_queries_total{index="hnsw"}`,
+		`ehnad_ann_stage_seconds_count{index="hnsw",stage="candidates"}`,
+		`ehnad_ann_stage_seconds_count{index="hnsw",stage="rerank"}`,
+		"ehnad_batch_size_count",
+		"ehnad_batch_flush_seconds_count",
+	} {
+		if v := metricValue(t, body, series); v < 1 {
+			t.Errorf("%s = %v, want >= 1", series, v)
+		}
+	}
+	// Runtime + build info (RegisterRuntime).
+	if v := metricValue(t, body, "go_goroutines"); v < 1 {
+		t.Errorf("go_goroutines = %v", v)
+	}
+	if !strings.Contains(body, "ehnad_build_info{") {
+		t.Error("ehnad_build_info missing")
+	}
+	// Latency histogram exposition is cumulative and ends at +Inf.
+	if !strings.Contains(body, `ehnad_http_request_seconds_bucket{path="/v1/neighbors",le="+Inf"}`) {
+		t.Error("http latency histogram missing +Inf bucket")
+	}
+}
+
+// TestHealthzMatchesMetrics pins the one-source-of-truth property:
+// the numbers /healthz reports are GaugeValue reads of the same
+// instruments /metrics renders.
+func TestHealthzMatchesMetrics(t *testing.T) {
+	store, _ := trainedStore(t)
+	_, ts := newTestServer(t, store, "hnsw")
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		Nodes  int `json:"nodes"`
+		Dim    int `json:"dim"`
+		Shards int `json:"shards"`
+		Graph  struct {
+			Nodes  int `json:"nodes"`
+			Layers int `json:"layers"`
+		} `json:"graph"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+
+	body := scrapeMetrics(t, ts.URL)
+	for series, want := range map[string]int{
+		"ehnad_store_nodes":  hz.Nodes,
+		"ehnad_store_dim":    hz.Dim,
+		"ehnad_store_shards": hz.Shards,
+		"ehnad_graph_nodes":  hz.Graph.Nodes,
+		"ehnad_graph_layers": hz.Graph.Layers,
+	} {
+		if v := metricValue(t, body, series); int(v) != want {
+			t.Errorf("%s = %v, healthz says %d", series, v, want)
+		}
+	}
+}
+
+// TestMetricsWithWAL boots the full durable stack and checks the WAL,
+// snapshot and compaction gauges are registered and move.
+func TestMetricsWithWAL(t *testing.T) {
+	srv, err := buildServer(crashTestConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() { ts.Close(); srv.close() })
+
+	vec := make([]float64, crashDim)
+	vec[0] = 1
+	if code, _ := postJSON(t, ts.URL+"/v1/upsert", map[string]any{"id": 1, "vector": vec}, nil); code != http.StatusOK {
+		t.Fatalf("upsert status %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/admin/snapshot", map[string]any{}, nil); code != http.StatusOK {
+		t.Fatalf("snapshot status %d", code)
+	}
+
+	body := scrapeMetrics(t, ts.URL)
+	if v := metricValue(t, body, "ehnad_wal_last_seq"); v < 1 {
+		t.Errorf("ehnad_wal_last_seq = %v, want >= 1 after an upsert", v)
+	}
+	if v := metricValue(t, body, "ehnad_wal_durable_seq"); v < 1 {
+		t.Errorf("ehnad_wal_durable_seq = %v, want >= 1 under -fsync always", v)
+	}
+	if v := metricValue(t, body, "ehnad_snapshot_count"); v != 1 {
+		t.Errorf("ehnad_snapshot_count = %v, want 1", v)
+	}
+	if v := metricValue(t, body, "ehnad_snapshot_watermark"); v < 1 {
+		t.Errorf("ehnad_snapshot_watermark = %v, want >= 1", v)
+	}
+	// The duration histogram lives on the process-wide registry, so it
+	// accumulates across every server this test binary booted: only a
+	// lower bound is stable.
+	if v := metricValue(t, body, "ehnad_snapshot_seconds_count"); v < 1 {
+		t.Errorf("ehnad_snapshot_seconds_count = %v, want >= 1", v)
+	}
+	for _, series := range []string{
+		"ehnad_wal_segments", "ehnad_wal_size_bytes",
+		"ehnad_wal_append_seconds_count", "ehnad_wal_fsync_seconds_count",
+		"ehnad_compaction_running", "ehnad_compaction_count",
+	} {
+		metricValue(t, body, series) // fatal if the series is absent
+	}
+
+	// The durability healthz block must agree with the gauges.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		Durability struct {
+			Wal struct {
+				LastSeq    uint64 `json:"last_seq"`
+				DurableSeq uint64 `json:"durable_seq"`
+			} `json:"wal"`
+			Snapshot struct {
+				Count     int64  `json:"count"`
+				Watermark uint64 `json:"watermark"`
+			} `json:"snapshot"`
+		} `json:"durability"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Durability.Wal.LastSeq < 1 || hz.Durability.Snapshot.Count != 1 {
+		t.Errorf("healthz durability block = %+v", hz.Durability)
+	}
+	if got := uint64(metricValue(t, body, "ehnad_snapshot_watermark")); got != hz.Durability.Snapshot.Watermark {
+		t.Errorf("watermark: metrics %d, healthz %d", got, hz.Durability.Snapshot.Watermark)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ehna/internal/embstore"
 	"ehna/internal/eval"
 	"ehna/internal/graph"
+	"ehna/internal/obs"
 )
 
 // server wires the embedding store, the ANN index and the micro-batcher
@@ -23,18 +24,21 @@ type server struct {
 	batch     *batcher
 	indexName string
 	started   time.Time
-	pprof     bool     // mount net/http/pprof on the mux (-pprof)
-	dur       *durable // nil without -wal; owns the write path when set
+	pprof     bool           // mount net/http/pprof on the mux (-pprof)
+	dur       *durable       // nil without -wal; owns the write path when set
+	metrics   *serverMetrics // per-server gauges + HTTP series; see metrics.go
 }
 
 func newServer(store *embstore.Store, index ann.Index, indexName string, maxBatch int, window time.Duration) *server {
-	return &server{
+	s := &server{
 		store:     store,
 		index:     index,
 		batch:     newBatcher(index, maxBatch, window),
 		indexName: indexName,
 		started:   time.Now(),
 	}
+	s.metrics = newServerMetrics(s)
+	return s
 }
 
 func (s *server) close() {
@@ -58,14 +62,20 @@ func (s *server) liveIndex() ann.Index {
 // (go tool pprof http://host/debug/pprof/profile) while serving.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/neighbors", s.handleNeighbors)
-	mux.HandleFunc("/v1/score", s.handleScore)
-	mux.HandleFunc("/v1/upsert", s.handleUpsert)
-	mux.HandleFunc("/v1/delete", s.handleDelete)
-	mux.HandleFunc("/v1/export", s.handleExport)
-	mux.HandleFunc("/v1/admin/snapshot", s.handleAdminSnapshot)
-	mux.HandleFunc("/v1/admin/compact", s.handleAdminCompact)
+	route := func(path string, h http.HandlerFunc) {
+		mux.HandleFunc(path, s.metrics.instrument(path, h))
+	}
+	route("/v1/neighbors", s.handleNeighbors)
+	route("/v1/score", s.handleScore)
+	route("/v1/upsert", s.handleUpsert)
+	route("/v1/delete", s.handleDelete)
+	route("/v1/export", s.handleExport)
+	route("/v1/admin/snapshot", s.handleAdminSnapshot)
+	route("/v1/admin/compact", s.handleAdminCompact)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	// Server gauges first, then the process-wide registry (ann/wal
+	// histograms, runtime stats) — names are disjoint by construction.
+	mux.Handle("/metrics", s.metrics.reg.Handler(obs.Default()))
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -445,41 +455,46 @@ func (s *server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz renders the liveness report from the same gauges
+// /metrics scrapes (see metrics.go): every number below is a
+// GaugeValue read, so the two endpoints cannot disagree. Only the
+// identity strings (precision, index, metric) are read directly —
+// they have no numeric series.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g := s.metrics.gauge
 	out := map[string]any{
 		"status": "ok",
-		"nodes":  s.store.Len(),
-		"dim":    s.store.Dim(),
-		"shards": s.store.NumShards(),
+		"nodes":  int(g("ehnad_store_nodes")),
+		"dim":    int(g("ehnad_store_dim")),
+		"shards": int(g("ehnad_store_shards")),
 		// The compressed-plane dials: slab precision and the resulting
 		// per-vector store footprint (payload + sidecars). With -index
 		// hnsw the graph mirrors the slab, adding the
 		// graph.slab_bytes_per_vector reported below per indexed vector.
 		"precision":        s.store.Precision().String(),
-		"bytes_per_vector": s.store.Precision().BytesPerVector(s.store.Dim()),
+		"bytes_per_vector": int(g("ehnad_store_bytes_per_vector")),
 		"index":            s.indexName,
 		"metric":           s.index.Metric().String(),
-		"uptime_s":         time.Since(s.started).Seconds(),
+		"uptime_s":         g("ehnad_uptime_seconds"),
 	}
-	if h, ok := s.liveIndex().(*ann.HNSW); ok {
+	if _, ok := s.liveIndex().(*ann.HNSW); ok {
 		// Tombstones accumulate under delete/replace churn and are
 		// reclaimed by a compaction rebuild (automatic with -wal once
 		// the ratio passes -compact-at, or forced via
 		// /v1/admin/compact).
-		alive, tombstones, maxLevel := h.Stats()
 		out["graph"] = map[string]any{
-			"nodes":           alive,
-			"tombstones":      tombstones,
-			"layers":          maxLevel + 1,
-			"tombstone_ratio": h.TombstoneRatio(),
+			"nodes":           int(g("ehnad_graph_nodes")),
+			"tombstones":      int(g("ehnad_graph_tombstones")),
+			"layers":          int(g("ehnad_graph_layers")),
+			"tombstone_ratio": g("ehnad_graph_tombstone_ratio"),
 			// The graph keeps its own slot-indexed vector slab (the price
 			// of lock-free beam scoring), so total vector memory is
 			// nodes×bytes_per_vector + (nodes+tombstones)×this.
-			"slab_bytes_per_vector": s.store.Precision().BytesPerVector(s.store.Dim()),
+			"slab_bytes_per_vector": int(g("ehnad_store_bytes_per_vector")),
 		}
 	}
 	if s.dur != nil {
-		out["durability"] = s.dur.healthz()
+		out["durability"] = s.dur.healthz(s.metrics)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

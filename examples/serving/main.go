@@ -173,6 +173,12 @@ then query:
   curl -s -X POST localhost:8080/v1/upsert -d '{"id":900000,"vector":[...]}'
   curl -s -X POST localhost:8080/v1/delete -d '{"id":900000}'
   curl -s localhost:8080/v1/export > backup.gob
+
+watch it (Prometheus text format), then prove it holds under open-loop
+load with an SLO gate (exit code 0 = pass):
+  curl -s localhost:8080/metrics
+  go run ./cmd/ehnad-loadgen -rate 2000 -duration 30s -read-frac 0.9 \
+      -slo "p99<5ms,errors<1%%" -json bench.json
 `, storePath, storePath, graphPath, walDir, storePath, walDir, modelPath, target, k)
 }
 

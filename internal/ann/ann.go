@@ -19,6 +19,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ehna/internal/embstore"
 	"ehna/internal/graph"
@@ -379,6 +380,8 @@ func (e *Exact) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(e.store, q, k); err != nil {
 		return nil, err
 	}
+	annQueriesExact.Inc()
+	start := time.Now()
 	nShards := e.store.NumShards()
 	sc := scratchPool.Get().(*queryScratch)
 	sc.ctx.init(e.store, q)
@@ -386,6 +389,7 @@ func (e *Exact) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if runtime.GOMAXPROCS(0) == 1 || nShards == 1 {
 		dst = appendResults(dst, e.scanSeq(sc, k))
 		scratchPool.Put(sc)
+		annStageExactCand.ObserveSince(start)
 		return dst, nil
 	}
 	// Parallel scan: one goroutine per shard, merged through a heap.
@@ -413,6 +417,7 @@ func (e *Exact) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	}
 	dst = appendResults(dst, merged.sorted())
 	scratchPool.Put(sc)
+	annStageExactCand.ObserveSince(start)
 	return dst, nil
 }
 

@@ -37,6 +37,7 @@ import (
 	"math/rand"
 	"slices"
 	"sync"
+	"time"
 
 	"ehna/internal/embstore"
 	"ehna/internal/graph"
@@ -847,6 +848,8 @@ func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(h.store, q, k); err != nil {
 		return nil, err
 	}
+	annQueriesHNSW.Inc()
+	start := time.Now()
 	sc := hnswScratchPool.Get().(*hnswScratch)
 	sc.ctx.init(h.store, q)
 	kk := candidateK(sc.ctx.prec, k)
@@ -855,6 +858,7 @@ func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if h.entry < 0 {
 		h.mu.RUnlock()
 		hnswScratchPool.Put(sc)
+		annFallbacks.Inc()
 		// Empty graph: serve whatever the store holds (normally nothing).
 		return h.fallback.SearchInto(dst, q, k)
 	}
@@ -868,6 +872,10 @@ func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 		cur = sc.res.peek()
 	}
 	h.searchLayer(sc, cur, ef, 0)
+	// The beam is the candidate stage; trimming it to the final top-k
+	// (the stage that absorbs the sq8-widened ef) is the re-rank.
+	rerankStart := time.Now()
+	annStageHNSWCand.Observe(int64(rerankStart.Sub(start)))
 	sc.top.reset(k)
 	for _, n := range sc.res.a {
 		sc.top.push(Result{ID: h.nodes[n.slot].id, Score: n.score})
@@ -882,10 +890,12 @@ func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	}
 	if len(got) < want {
 		hnswScratchPool.Put(sc)
+		annFallbacks.Inc()
 		return h.fallback.SearchInto(dst, q, k)
 	}
 	dst = appendResults(dst, got)
 	hnswScratchPool.Put(sc)
+	annStageHNSWRerank.ObserveSince(rerankStart)
 	return dst, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"slices"
 	"sync"
+	"time"
 
 	"ehna/internal/embstore"
 	"ehna/internal/graph"
@@ -283,12 +284,17 @@ func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(l.store, q, k); err != nil {
 		return nil, err
 	}
+	annQueriesLSH.Inc()
+	start := time.Now()
 	sc := scratchPool.Get().(*queryScratch)
 	defer scratchPool.Put(sc)
 	cand := l.collectCandidates(sc, q)
+	annStageLSHCand.ObserveSince(start)
 	if len(cand) < k {
+		annFallbacks.Inc()
 		return l.fallback.SearchInto(dst, q, k)
 	}
+	rerankStart := time.Now()
 
 	// Group candidates by store shard so each shard read lock is taken
 	// once per query rather than once per candidate.
@@ -317,7 +323,9 @@ func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 			t.push(Result{ID: id, Score: l.cfg.Metric.quickScoreView(qc, v)})
 		})
 	}
-	return appendResults(dst, t.sorted()), nil
+	dst = appendResults(dst, t.sorted())
+	annStageLSHRerank.ObserveSince(rerankStart)
+	return dst, nil
 }
 
 // SearchBatch answers queries across a worker pool.

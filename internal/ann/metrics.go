@@ -1,0 +1,42 @@
+package ann
+
+import "ehna/internal/obs"
+
+// Search-path metrics, registered on the process-wide registry. Every
+// instrument here is touched from SearchInto, so the rules are the
+// hot-path rules: package-level pointers resolved at init (no registry
+// lookup per query), atomic-only operations (obs.Counter.Inc and
+// obs.Histogram.Observe are single atomic adds), zero allocations —
+// TestSearchIntoZeroAlloc runs with all of this enabled.
+//
+// The two stage histograms split a query where the index designs
+// split it: "candidates" is generating the candidate set (the full
+// scan for exact, table probing + dedup for LSH, the layered beam
+// search for HNSW) and "rerank" is ranking it into the final top-k
+// (shard-grouped exact scoring for LSH, heap trim — the stage that
+// absorbs the sq8-widened beam — for HNSW). The split shows where a
+// latency regression lives: kernel/bandwidth cost lands in
+// candidates, quantization-widening and top-k cost in rerank.
+var (
+	annQueriesExact = obs.Default().Counter("ehnad_ann_queries_total",
+		"Single-vector queries answered, by index type.", obs.L("index", "exact"))
+	annQueriesLSH = obs.Default().Counter("ehnad_ann_queries_total",
+		"Single-vector queries answered, by index type.", obs.L("index", "lsh"))
+	annQueriesHNSW = obs.Default().Counter("ehnad_ann_queries_total",
+		"Single-vector queries answered, by index type.", obs.L("index", "hnsw"))
+
+	annFallbacks = obs.Default().Counter("ehnad_ann_fallback_total",
+		"Queries answered by the exact fallback after the primary index starved.")
+
+	annStageExactCand  = annStage("exact", "candidates")
+	annStageLSHCand    = annStage("lsh", "candidates")
+	annStageLSHRerank  = annStage("lsh", "rerank")
+	annStageHNSWCand   = annStage("hnsw", "candidates")
+	annStageHNSWRerank = annStage("hnsw", "rerank")
+)
+
+func annStage(index, stage string) *obs.Histogram {
+	return obs.Default().Histogram("ehnad_ann_stage_seconds",
+		"Search-stage latency: candidate generation vs top-k re-rank, by index type.",
+		obs.L("index", index), obs.L("stage", stage))
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketIndexBoundsRoundTrip: every bucket's [lower, upper] range
+// maps back to that bucket, ranges tile the int64 line with no gaps,
+// and widths respect the 1/8 relative-error budget.
+func TestBucketIndexBoundsRoundTrip(t *testing.T) {
+	prevUpper := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo != prevUpper+1 && lo != math.MaxInt64 {
+			t.Fatalf("bucket %d: lower %d leaves a gap after %d", i, lo, prevUpper)
+		}
+		if lo != math.MaxInt64 {
+			prevUpper = hi
+		}
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(lower %d) = %d, want %d", lo, got, i)
+		}
+		if hi != math.MaxInt64 {
+			if got := bucketIndex(hi); got != i {
+				t.Fatalf("bucketIndex(upper %d) = %d, want %d", hi, got, i)
+			}
+		}
+		if lo >= histSubBuckets && hi != math.MaxInt64 {
+			if width := hi - lo + 1; float64(width) > float64(lo)/float64(histSubBuckets)+1 {
+				t.Fatalf("bucket %d [%d,%d] wider than lower/8", i, lo, hi)
+			}
+		}
+	}
+	if got := bucketIndex(math.MaxInt64); got != histBuckets-1 {
+		t.Fatalf("MaxInt64 lands in bucket %d, want %d", got, histBuckets-1)
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative value lands in bucket %d, want 0", got)
+	}
+}
+
+// TestQuantileAccuracyProperty compares histogram quantile estimates
+// against the exact quantiles of a sorted sample, across several
+// distributions shaped like real latency data. The bucket geometry
+// bounds relative error at 1/8; allow a little slack on top for
+// interpolation at bucket edges.
+func TestQuantileAccuracyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() int64{
+		// Tight unimodal: the common case for a healthy p50.
+		"normal": func() int64 { return int64(200_000 + 20_000*rng.NormFloat64()) },
+		// Heavy tail: what p999 gating is for.
+		"lognormal": func() int64 { return int64(50_000 * math.Exp(rng.NormFloat64())) },
+		// Uniform over four decades: stresses every octave.
+		"loguniform": func() int64 { return int64(1000 * math.Pow(10, 4*rng.Float64())) },
+		// Bimodal: fast path + slow path.
+		"bimodal": func() int64 {
+			if rng.Intn(10) == 0 {
+				return int64(5_000_000 + 500_000*rng.NormFloat64())
+			}
+			return int64(100_000 + 10_000*rng.NormFloat64())
+		},
+	}
+	for name, draw := range distributions {
+		h := newHistogram(unitSeconds)
+		samples := make([]int64, 20000)
+		for i := range samples {
+			v := draw()
+			if v < 0 {
+				v = 0
+			}
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		var s HistSnapshot
+		h.Snapshot(&s)
+		for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+			rank := int(math.Ceil(p*float64(len(samples)))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			exact := samples[rank]
+			got := s.Quantile(p)
+			relErr := math.Abs(float64(got-exact)) / math.Max(float64(exact), 1)
+			if relErr > 0.13 {
+				t.Errorf("%s p%g: estimate %d vs exact %d (rel err %.3f > 0.13)",
+					name, p*100, got, exact, relErr)
+			}
+		}
+	}
+}
+
+// TestSnapshotMergeExact: merging per-worker snapshots equals one
+// histogram fed everything — count, sum, max and every quantile.
+func TestSnapshotMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole := newHistogram(unitSeconds)
+	parts := []*Histogram{newHistogram(unitSeconds), newHistogram(unitSeconds), newHistogram(unitSeconds)}
+	for i := 0; i < 30000; i++ {
+		v := int64(rng.ExpFloat64() * 1e6)
+		whole.Observe(v)
+		parts[i%3].Observe(v)
+	}
+	var want, got, tmp HistSnapshot
+	whole.Snapshot(&want)
+	parts[0].Snapshot(&got)
+	for _, p := range parts[1:] {
+		p.Snapshot(&tmp)
+		got.Merge(&tmp)
+	}
+	if got.Count != want.Count || got.Sum != want.Sum || got.Max != want.Max {
+		t.Fatalf("merged summary %d/%d/%d != whole %d/%d/%d",
+			got.Count, got.Sum, got.Max, want.Count, want.Sum, want.Max)
+	}
+	if got.Buckets != want.Buckets {
+		t.Fatal("merged buckets differ from whole-histogram buckets")
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines and checks nothing is lost (the atomics' whole job).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(unitSeconds)
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var s HistSnapshot
+	h.Snapshot(&s)
+	if s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+	var bucketSum uint64
+	for _, c := range s.Buckets {
+		bucketSum += c
+	}
+	if bucketSum != workers*per {
+		t.Fatalf("bucket sum %d, want %d", bucketSum, workers*per)
+	}
+	if s.Max != workers*per-1 {
+		t.Fatalf("max %d, want %d", s.Max, workers*per-1)
+	}
+}
+
+// TestQuantileEdgeCases: empty histogram, single value, clamped p.
+func TestQuantileEdgeCases(t *testing.T) {
+	h := newHistogram(unitCount)
+	var s HistSnapshot
+	h.Snapshot(&s)
+	if s.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Observe(42)
+	h.Snapshot(&s)
+	for _, p := range []float64{-1, 0, 0.5, 1, 2} {
+		if q := s.Quantile(p); q != 42 {
+			t.Fatalf("single-value quantile(%g) = %d, want 42", p, q)
+		}
+	}
+	// 42 lives in the bucket [40, 43]; CountAtMost is exact at bucket
+	// upper bounds (39 and 43 here), which is what the exposition uses.
+	if s.CountAtMost(39) != 0 || s.CountAtMost(43) != 1 || s.CountAtMost(1<<40) != 1 {
+		t.Fatal("CountAtMost wrong around single value")
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Exposition bucket bounds. The internal histograms keep full 8-per-
+// octave resolution for quantile estimation; the Prometheus text
+// output coarsens to one bound per two octaves so a scrape stays
+// compact. Every bound is an exact internal bucket upper edge + 1 - 1
+// (a power of two minus nothing — i.e. bounds align with octave
+// boundaries), so the cumulative counts are exact, not interpolated.
+var (
+	// promSecondsBounds are nanosecond bounds from ~1µs to ~17s.
+	promSecondsBounds = []int64{
+		1 << 10, // 1.024µs
+		1 << 12, // 4.1µs
+		1 << 14, // 16.4µs
+		1 << 16, // 65.5µs
+		1 << 18, // 262µs
+		1 << 20, // 1.05ms
+		1 << 22, // 4.2ms
+		1 << 24, // 16.8ms
+		1 << 26, // 67.1ms
+		1 << 28, // 268ms
+		1 << 30, // 1.07s
+		1 << 32, // 4.3s
+		1 << 34, // 17.2s
+	}
+	// promCountBounds cover unitless sizes (batch sizes, queue depths).
+	promCountBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+)
+
+// WriteProm renders the registry in Prometheus text format: families
+// in registration order, HELP/TYPE once per family, children in
+// registration order. The output is deterministic for a fixed
+// registration sequence, which the golden test pins.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	var snap HistSnapshot
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		r.mu.Lock()
+		children := make([]*child, len(f.children))
+		copy(children, f.children)
+		r.mu.Unlock()
+		for _, c := range children {
+			switch f.kind {
+			case kindCounter:
+				bw.WriteString(f.name)
+				bw.WriteString(c.labels)
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(c.counter.Load(), 10))
+				bw.WriteByte('\n')
+			case kindGauge:
+				v := 0.0
+				if c.gaugeFn != nil {
+					v = c.gaugeFn()
+				} else if c.gauge != nil {
+					v = c.gauge.Load()
+				}
+				bw.WriteString(f.name)
+				bw.WriteString(c.labels)
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(v))
+				bw.WriteByte('\n')
+			case kindHistogram:
+				c.hist.Snapshot(&snap)
+				writePromHistogram(bw, f.name, c.labels, c.hist.u, &snap)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram renders one histogram child: cumulative _bucket
+// series over the unit's fixed bounds, then _sum and _count.
+func writePromHistogram(bw *bufio.Writer, name, labels string, u unit, s *HistSnapshot) {
+	bounds := promSecondsBounds
+	if u == unitCount {
+		bounds = promCountBounds
+	}
+	for _, b := range bounds {
+		writeBucketLine(bw, name, labels, formatBound(b, u), s.CountAtMost(b))
+	}
+	writeBucketLine(bw, name, labels, "+Inf", s.Count)
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	if u == unitSeconds {
+		bw.WriteString(formatFloat(float64(s.Sum) / 1e9))
+	} else {
+		bw.WriteString(strconv.FormatInt(s.Sum, 10))
+	}
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(s.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeBucketLine writes one cumulative bucket sample, splicing the
+// le label into the child's label set.
+func writeBucketLine(bw *bufio.Writer, name, labels, le string, count uint64) {
+	bw.WriteString(name)
+	bw.WriteString("_bucket")
+	if labels == "" {
+		bw.WriteString(`{le="`)
+		bw.WriteString(le)
+		bw.WriteString(`"}`)
+	} else {
+		// labels is "{...}"; insert before the closing brace.
+		bw.WriteString(labels[:len(labels)-1])
+		bw.WriteString(`,le="`)
+		bw.WriteString(le)
+		bw.WriteString(`"}`)
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(count, 10))
+	bw.WriteByte('\n')
+}
+
+// formatBound renders a bucket bound in the exposition unit.
+func formatBound(b int64, u unit) string {
+	if u == unitSeconds {
+		return formatFloat(float64(b) / 1e9)
+	}
+	return strconv.FormatInt(b, 10)
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,41 @@
+package wal
+
+import "ehna/internal/obs"
+
+// Ingest-path metrics on the process-wide registry. Appends and fsyncs
+// are the write path's two latency sources — the buffered encode under
+// the log lock, and the group-committed sync behind the fsync gate —
+// so each gets its own histogram; dividing fsync count into record
+// count shows how well group commit is amortizing. Per-instance shape
+// (segment count, on-disk bytes) is registered by RegisterMetrics,
+// which the daemon calls for the log it serves from.
+var (
+	walAppendHist = obs.Default().Histogram("ehnad_wal_append_seconds",
+		"Latency of buffering a record batch into the log (excludes fsync).")
+	walFsyncHist = obs.Default().Histogram("ehnad_wal_fsync_seconds",
+		"Latency of one fsync at the group-commit gate.")
+	walRecords = obs.Default().Counter("ehnad_wal_records_total",
+		"Records appended to the log.")
+	walFsyncs = obs.Default().Counter("ehnad_wal_fsyncs_total",
+		"Fsyncs paid at the group-commit gate (and segment seals).")
+)
+
+// RegisterMetrics exposes this log instance's shape — segment count,
+// on-disk size, sequence watermarks — as gauges on reg (the daemon
+// passes its per-server registry, so two logs in one test process
+// don't fight over the series). Re-registering rebinds the gauges to
+// the newest instance.
+func (l *Log) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("ehnad_wal_segments",
+		"Log segment files on disk (sealed + active).",
+		func() float64 { return float64(l.Stats().Segments) })
+	reg.GaugeFunc("ehnad_wal_size_bytes",
+		"Total bytes across all log segment files.",
+		func() float64 { return float64(l.Stats().SizeBytes) })
+	reg.GaugeFunc("ehnad_wal_last_seq",
+		"Sequence number of the most recently appended record.",
+		func() float64 { return float64(l.Stats().LastSeq) })
+	reg.GaugeFunc("ehnad_wal_durable_seq",
+		"Highest sequence number known fsynced to disk.",
+		func() float64 { return float64(l.Stats().DurableSeq) })
+}

@@ -573,6 +573,7 @@ func (l *Log) Commit(seq uint64) error {
 }
 
 func (l *Log) appendAll(recs []Record) (uint64, error) {
+	start := time.Now()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -596,6 +597,8 @@ func (l *Log) appendAll(recs []Record) (uint64, error) {
 	}
 	last := l.nextSeq - 1
 	l.mu.Unlock()
+	walRecords.Add(uint64(len(recs)))
+	walAppendHist.ObserveSince(start)
 	return last, nil
 }
 
@@ -627,7 +630,10 @@ func (l *Log) syncTo(seq uint64) error {
 	f := l.f
 	l.mu.Unlock()
 	if err == nil {
+		fsyncStart := time.Now()
 		err = f.Sync()
+		walFsyncs.Inc()
+		walFsyncHist.ObserveSince(fsyncStart)
 	}
 	if err != nil {
 		l.mu.Lock()

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# loadtest.sh — CI smoke for the observability plane: boot a durable
+# sq8/hnsw daemon from empty, seed it through the API, drive a short
+# fixed-arrival-rate open-loop pass with ehnad-loadgen, and assert
+#   (a) the SLO gate passes (exit code is the verdict), and
+#   (b) /metrics serves a non-empty exposition carrying the core
+#       series from every instrumented layer.
+#
+# Tunables (env): DIM NODES RATE DURATION SLO
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dim="${DIM:-16}"
+nodes="${NODES:-5000}"
+rate="${RATE:-400}"
+duration="${DURATION:-5s}"
+# CI machines are noisy neighbors; the smoke gate proves the plumbing
+# (quantiles measured, gate enforced), not a latency budget.
+slo="${SLO:-p99<500ms,errors<1%}"
+port=$((20000 + RANDOM % 20000))
+addr="127.0.0.1:$port"
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/ehnad" ./cmd/ehnad
+go build -o "$workdir/ehnad-loadgen" ./cmd/ehnad-loadgen
+
+"$workdir/ehnad" -addr "$addr" -wal "$workdir/wal" -dim "$dim" \
+  -index hnsw -precision sq8 -fsync 100ms -snapshot-interval 0 &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  kill -0 "$daemon_pid" 2>/dev/null || { echo "loadtest: daemon died during boot" >&2; exit 1; }
+  sleep 0.1
+done
+curl -sf "http://$addr/healthz" >/dev/null
+
+echo "== seeded open-loop pass: $nodes nodes, ${rate}/s for $duration, slo $slo =="
+"$workdir/ehnad-loadgen" -target "http://$addr" -preload "$nodes" \
+  -rate "$rate" -duration "$duration" -read-frac 0.9 \
+  -slo "$slo" -json "$workdir/report.json"
+
+echo "== /metrics exposition =="
+metrics="$(curl -sf "http://$addr/metrics")"
+[ -n "$metrics" ] || { echo "loadtest: empty /metrics" >&2; exit 1; }
+for series in \
+  ehnad_http_requests_total \
+  ehnad_http_request_seconds_bucket \
+  ehnad_ann_queries_total \
+  ehnad_batch_size_count \
+  ehnad_store_nodes \
+  ehnad_wal_fsync_seconds_count \
+  ehnad_graph_nodes \
+  go_goroutines \
+  ehnad_build_info; do
+  grep -q "^$series" <<<"$metrics" || { echo "loadtest: /metrics missing $series" >&2; exit 1; }
+done
+echo "loadtest: ok (report at $workdir/report.json)"
+cat "$workdir/report.json"
