@@ -21,6 +21,7 @@ import (
 	"ehna/internal/experiments"
 	"ehna/internal/graph"
 	"ehna/internal/tensor"
+	"ehna/internal/vecmath"
 	"ehna/internal/wal"
 )
 
@@ -305,6 +306,70 @@ func BenchmarkANNTopK(b *testing.B) {
 					return ann.BuildHNSW(s, ann.DefaultHNSWConfig())
 				})
 			})
+		}
+	}
+}
+
+// BenchmarkKernels measures the vecmath hot kernels in isolation at
+// the dims the serving benchmarks exercise. MB/s is total bytes
+// touched per call (both operands; for the sq8 kernels the f64 query
+// plus the int8 codes), so the same kernel's number is comparable
+// across backends: run once as-is and once with EHNA_NOSIMD=1 (or
+// -tags noasm) to measure the SIMD speedup on this machine. The
+// active backend is reported once per sub-benchmark as backend=0
+// (scalar), 1 (avx2) or 2 (neon).
+func BenchmarkKernels(b *testing.B) {
+	backendID := map[string]float64{"scalar": 0, "avx2": 1, "neon": 2}[vecmath.Backend()]
+	for _, dim := range []int{32, 64, 128} {
+		dim := dim
+		rng := rand.New(rand.NewSource(4))
+		a64 := make([]float64, dim)
+		b64 := make([]float64, dim)
+		a32 := make([]float32, dim)
+		b32 := make([]float32, dim)
+		for i := 0; i < dim; i++ {
+			a64[i] = rng.NormFloat64()
+			b64[i] = rng.NormFloat64()
+			a32[i] = float32(a64[i])
+			b32[i] = float32(b64[i])
+		}
+		aCode := make([]int8, dim)
+		bCode := make([]int8, dim)
+		aScale, aOffset, aSum := vecmath.EncodeSQ8(a64, aCode)
+		bScale, bOffset, bSum := vecmath.EncodeSQ8(b64, bCode)
+		aNorm := vecmath.Norm(a64)
+		bNorm := vecmath.Norm(b64)
+		qSum := vecmath.Sum(a64)
+		var sinkF float64 // keep kernel results observable
+
+		run := func(name string, bytes int, fn func()) {
+			b.Run(fmt.Sprintf("%s/dim=%d", name, dim), func(b *testing.B) {
+				b.SetBytes(int64(bytes))
+				b.ReportMetric(backendID, "backend")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fn()
+				}
+			})
+		}
+		run("Dot", dim*16, func() { sinkF += vecmath.Dot(a64, b64) })
+		run("SqDist", dim*16, func() { sinkF += vecmath.SqDist(a64, b64) })
+		run("Dot32", dim*8, func() { sinkF += vecmath.Dot32(a32, b32) })
+		run("SqDist32", dim*8, func() { sinkF += vecmath.SqDist32(a32, b32) })
+		run("CosineWithNorms32", dim*8, func() {
+			sinkF += vecmath.CosineWithNorms32(a32, b32, aNorm, bNorm)
+		})
+		run("DotSQ8", dim*9, func() { sinkF += vecmath.DotSQ8(a64, bCode, bScale, bOffset, qSum) })
+		run("SqDistSQ8", dim*9, func() { sinkF += vecmath.SqDistSQ8(a64, bCode, bScale, bOffset) })
+		run("DotSQ8Sym", dim*2, func() {
+			sinkF += vecmath.DotSQ8Sym(aCode, bCode, aScale, aOffset, bScale, bOffset, aSum, bSum)
+		})
+		run("EncodeSQ8", dim*9, func() {
+			s, o, c := vecmath.EncodeSQ8(a64, aCode)
+			sinkF += s + o + float64(c)
+		})
+		if sinkF == 0.12345 {
+			b.Log(sinkF)
 		}
 	}
 }

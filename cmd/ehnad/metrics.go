@@ -23,6 +23,7 @@ import (
 
 	"ehna/internal/ann"
 	"ehna/internal/obs"
+	"ehna/internal/vecmath"
 )
 
 // Daemon-level histograms and counters on the process-wide registry.
@@ -66,6 +67,13 @@ func newServerMetrics(s *server) *serverMetrics {
 		func() float64 { return float64(s.store.Precision().BytesPerVector(s.store.Dim())) })
 	r.GaugeFunc("ehnad_uptime_seconds", "Seconds since this server started.",
 		func() float64 { return time.Since(s.started).Seconds() })
+	// Info gauge (constant 1, identity in the label): which vecmath
+	// kernel backend the distance computations run on — "avx2", "neon"
+	// or "scalar". A deployment alerting on this catches a daemon that
+	// silently booted on the slow path (wrong build tag, EHNA_NOSIMD
+	// left set, unexpected hardware).
+	r.Gauge("ehnad_kernel_backend", "Active vecmath kernel backend (identity in the backend label).",
+		obs.L("backend", vecmath.Backend())).Set(1)
 	r.GaugeFunc("ehnad_batch_queue_depth", "Neighbor queries waiting for a micro-batch slot.",
 		func() float64 { return float64(len(s.batch.in)) })
 

@@ -14,6 +14,7 @@ import (
 	"ehna/internal/eval"
 	"ehna/internal/graph"
 	"ehna/internal/obs"
+	"ehna/internal/vecmath"
 )
 
 // server wires the embedding store, the ANN index and the micro-batcher
@@ -475,7 +476,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"bytes_per_vector": int(g("ehnad_store_bytes_per_vector")),
 		"index":            s.indexName,
 		"metric":           s.index.Metric().String(),
-		"uptime_s":         g("ehnad_uptime_seconds"),
+		// The kernel backend the distance computations run on ("avx2",
+		// "neon" or "scalar") — mirrors the ehnad_kernel_backend gauge's
+		// label, the quick way to confirm a deployment is on the fast
+		// path.
+		"kernel_backend": vecmath.Backend(),
+		"uptime_s":       g("ehnad_uptime_seconds"),
 	}
 	if _, ok := s.liveIndex().(*ann.HNSW); ok {
 		// Tombstones accumulate under delete/replace churn and are

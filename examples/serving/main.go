@@ -19,6 +19,7 @@ import (
 	"ehna/internal/embstore"
 	"ehna/internal/eval"
 	"ehna/internal/graph"
+	"ehna/internal/vecmath"
 	"ehna/internal/walk"
 )
 
@@ -79,7 +80,10 @@ func main() {
 
 	// 3. Build all three indexes and answer the same query. The HNSW
 	//    graph is also snapshotted so the daemon can boot without paying
-	//    the build again (-hnsw-graph).
+	//    the build again (-hnsw-graph). Distance kernels run on the
+	//    backend cpuid picked at startup ("avx2", "neon" or "scalar") —
+	//    the same value /healthz and /metrics report once serving.
+	fmt.Printf("vecmath kernel backend: %s\n", vecmath.Backend())
 	exact := ann.NewExact(store, ann.Cosine)
 	lsh, err := ann.NewLSH(store, ann.DefaultLSHConfig())
 	if err != nil {

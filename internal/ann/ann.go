@@ -75,10 +75,12 @@ func (m Metric) score(q, v []float64, qNorm, vNorm float64) float64 {
 
 // queryCtx is the per-query precomputed state the precision-dispatched
 // scoring kernels consume: the query norm (every metric), a narrowed
-// float32 copy (F32 slabs), and the lane sum (SQ8 slabs — the affine
-// correction term of the asymmetric kernel). It lives inside the
-// pooled scratches, so building it allocates only while a scratch's
-// buffers are still growing toward the store's dimensionality.
+// float32 copy (F32 slabs), the lane sum (SQ8 slabs — the affine
+// correction term of the asymmetric kernel), and on SIMD backends a
+// quantized copy of the query (SQ8 slabs — the symmetric first
+// stage's operand). It lives inside the pooled scratches, so building
+// it allocates only while a scratch's buffers are still growing toward
+// the store's dimensionality.
 type queryCtx struct {
 	q     []float64
 	qNorm float64
@@ -86,7 +88,9 @@ type queryCtx struct {
 
 	q32 []float32 // F32: narrowed query
 
-	qSum float64 // SQ8: Σ q[i], threaded through DotSQ8
+	qSum float64           // SQ8: Σ q[i], threaded through DotSQ8
+	sq8q embstore.SQ8Query // SQ8 + SIMD: quantized query for DotSQ8Sym
+	sym  bool              // symmetric first stage active this query
 }
 
 // init prepares the context for one query against store.
@@ -94,6 +98,7 @@ func (qc *queryCtx) init(store *embstore.Store, q []float64) {
 	qc.q = q
 	qc.qNorm = vecmath.Norm(q)
 	qc.prec = store.Precision()
+	qc.sym = false
 	switch qc.prec {
 	case embstore.F32:
 		if cap(qc.q32) < len(q) {
@@ -103,6 +108,13 @@ func (qc *queryCtx) init(store *embstore.Store, q []float64) {
 		vecmath.F64To32(qc.q32, q)
 	case embstore.SQ8:
 		qc.qSum = vecmath.Sum(q)
+		// The symmetric integer kernel only beats the asymmetric one in
+		// its SIMD form (see Metric.quickScoreView); on scalar backends
+		// the search stays single-stage and the query is never quantized.
+		if vecmath.HasSQ8Sym() {
+			qc.sym = true
+			store.EncodeQuery(q, &qc.sq8q)
+		}
 	}
 }
 
@@ -129,19 +141,19 @@ func (m Metric) scoreView(qc *queryCtx, v *embstore.VecView) float64 {
 	return dot / (qc.qNorm * v.Norm)
 }
 
-// quickScoreView is the candidate-scan kernel. Over sq8 slabs it reads
-// one byte per lane of the candidate through the asymmetric LUT kernel
-// — the "exact re-rank from dequantized registers" fused into the scan
-// itself. On scalar cores that is both cheaper and more accurate than
-// a symmetric int8×int8 first stage (DotSQ8Sym — measured 20.5ns vs
-// 24ns at dim 32, and it carries no query-side quantization error), so
-// the two stages of the sq8 search share this kernel and an explicit
-// re-score pass would reproduce identical scores; what remains of the
-// second stage is the widened HNSW beam (see candidateK). DotSQ8Sym
-// stays in vecmath for SIMD-capable backends, where a genuinely
-// cheaper integer first stage would reinstate the explicit re-rank.
-// Other precisions have nothing cheaper than the exact kernel and fall
-// through to scoreView.
+// quickScoreView is the scalar-backend candidate-scan kernel. Over sq8
+// slabs it reads one byte per lane of the candidate through the
+// asymmetric LUT kernel — the "exact re-rank from dequantized
+// registers" fused into the scan itself. On scalar cores that is both
+// cheaper and more accurate than a symmetric int8×int8 first stage
+// (DotSQ8Sym — measured 20.5ns vs 24ns at dim 32, and it carries no
+// query-side quantization error), so there the two stages of the sq8
+// search share this kernel and an explicit re-score pass would
+// reproduce identical scores. On SIMD backends the genuinely cheaper
+// integer kernel reinstates the explicit two-stage search: candidate
+// generation goes through symScoreView, and scoreView re-ranks the
+// widened survivor pool (see candidateK). Other precisions have
+// nothing cheaper than the exact kernel and fall through to scoreView.
 func (m Metric) quickScoreView(qc *queryCtx, v *embstore.VecView) float64 {
 	if v.Code == nil {
 		return m.scoreView(qc, v)
@@ -156,17 +168,51 @@ func (m Metric) quickScoreView(qc *queryCtx, v *embstore.VecView) float64 {
 	return dot / (qc.qNorm * v.Norm)
 }
 
+// symScoreView scores the quantized query against an sq8 candidate
+// through the symmetric integer kernel: 2 bytes moved per lane, no
+// float conversions in the inner loop. The score carries the query's
+// quantization error on top of the candidate's, so it only ranks the
+// first stage — callers re-rank the widened survivor pool with
+// scoreView. Valid only when qc.sym is set.
+func (m Metric) symScoreView(qc *queryCtx, v *embstore.VecView) float64 {
+	dot := vecmath.DotSQ8Sym(qc.sq8q.Code, v.Code,
+		qc.sq8q.Scale, qc.sq8q.Offset, v.Scale, v.Offset,
+		qc.sq8q.CodeSum, v.CodeSum)
+	if m == DotProduct {
+		return dot
+	}
+	if qc.qNorm == 0 || v.Norm == 0 {
+		return 0
+	}
+	return dot / (qc.qNorm * v.Norm)
+}
+
+// beamScoreView is the candidate-generation kernel: the symmetric
+// integer kernel when the backend makes it the cheap one, the
+// asymmetric scan kernel otherwise. Scores from the two branches are
+// not comparable across queries — each query commits to one branch at
+// ctx.init time.
+func (m Metric) beamScoreView(qc *queryCtx, v *embstore.VecView) float64 {
+	if qc.sym {
+		return m.symScoreView(qc, v)
+	}
+	return m.quickScoreView(qc, v)
+}
+
 // sq8Rerank is the candidate-widening multiplier for searches over sq8
-// slabs: the HNSW beam runs at least rerank·k wide so the final top-k
-// is drawn from a candidate pool that absorbs the stored vectors'
-// quantization noise. 4 holds recall@10 within half a point of the
-// f64 baseline at 100k vectors.
+// slabs: candidate generation runs at least rerank·k wide (the HNSW
+// beam always; the linear scans' first-stage heap when the symmetric
+// kernel drives them) so the final top-k is drawn from a pool that
+// absorbs the quantization noise of the stored vectors — and, on the
+// symmetric path, of the quantized query. 4 holds recall@10 within
+// half a point of the f64 baseline at 100k vectors.
 const sq8Rerank = 4
 
-// candidateK widens k for quantized candidate generation (the
-// efSearch-widening HNSW applies on sq8 slabs; linear scans already
-// rank every vector with the asymmetric kernel, so widening their
-// top-k heap would not change the result).
+// candidateK widens k for quantized candidate generation: the HNSW
+// beam floor on sq8 slabs, and the symmetric first-stage heap size of
+// the two-stage linear scans. (On scalar backends linear scans rank
+// every vector with the asymmetric kernel directly, so no widening
+// applies there.)
 func candidateK(prec embstore.Precision, k int) int {
 	if prec == embstore.SQ8 {
 		return k * sq8Rerank
@@ -286,10 +332,11 @@ func (t *topK) sorted() []Result {
 // the steady-state single-query path allocation-free.
 type queryScratch struct {
 	top     topK
+	wide    topK             // sq8 symmetric stage: widened candidate heap
 	ctx     queryCtx         // precision-dispatched query state
 	sigs    []uint32         // LSH per-table signatures
-	cand    []graph.NodeID   // LSH candidate IDs (with duplicates)
-	byShard [][]graph.NodeID // LSH candidates grouped by store shard
+	cand    []graph.NodeID   // LSH / re-rank candidate IDs
+	byShard [][]graph.NodeID // candidates grouped by store shard
 
 	// stamp/epoch implement O(1) candidate deduplication for dense ID
 	// spaces: stamp[id] == epoch marks id as already seen this query.
@@ -322,6 +369,42 @@ func appendResults(dst, rs []Result) []Result {
 	return append(dst[:0], rs...)
 }
 
+// rerankWide is the second stage of a symmetric sq8 search: it
+// re-scores the survivors accumulated in sc.wide with the asymmetric
+// full-precision-query kernel and returns the sorted top-k (aliasing
+// sc.top's storage). Survivors are grouped by store shard so each
+// shard lock is taken once; all buffers come from the scratch, keeping
+// the path allocation-free in steady state.
+func rerankWide(store *embstore.Store, m Metric, sc *queryScratch, k int) []Result {
+	sc.cand = sc.cand[:0]
+	for _, r := range sc.wide.heap {
+		sc.cand = append(sc.cand, r.ID)
+	}
+	nShards := store.NumShards()
+	for len(sc.byShard) < nShards {
+		sc.byShard = append(sc.byShard, nil)
+	}
+	byShard := sc.byShard[:nShards]
+	for i := range byShard {
+		byShard[i] = byShard[i][:0]
+	}
+	for _, id := range sc.cand {
+		byShard[store.ShardOf(id)] = append(byShard[store.ShardOf(id)], id)
+	}
+	qc := &sc.ctx
+	sc.top.reset(k)
+	t := &sc.top
+	for si, ids := range byShard {
+		if len(ids) == 0 {
+			continue
+		}
+		store.WithShard(si, ids, func(id graph.NodeID, v *embstore.VecView) {
+			t.push(Result{ID: id, Score: m.scoreView(qc, v)})
+		})
+	}
+	return t.sorted()
+}
+
 // Exact is the brute-force index: every query scans the whole store.
 // With more than one CPU the shards are scanned in parallel; on a
 // single CPU (or a single shard) the scan runs sequentially through
@@ -349,11 +432,25 @@ func (e *Exact) Remove(id graph.NodeID) bool { return e.store.Delete(id) }
 
 // scanSeq scans every shard sequentially into the scratch heap and
 // returns the sorted results (aliasing scratch storage). sc.ctx must
-// be initialized for the query.
+// be initialized for the query. On the symmetric sq8 path the scan
+// ranks with the integer kernel into a rerank·k-wide heap and the
+// asymmetric kernel re-scores the survivors; otherwise the scan is the
+// single-stage asymmetric (or full-precision) ranking.
 func (e *Exact) scanSeq(sc *queryScratch, k int) []Result {
+	qc := &sc.ctx
+	if qc.sym {
+		sc.wide.reset(candidateK(qc.prec, k))
+		w := &sc.wide
+		for sIdx := 0; sIdx < e.store.NumShards(); sIdx++ {
+			e.store.RangeShard(sIdx, func(id graph.NodeID, v *embstore.VecView) bool {
+				w.push(Result{ID: id, Score: e.metric.symScoreView(qc, v)})
+				return true
+			})
+		}
+		return rerankWide(e.store, e.metric, sc, k)
+	}
 	sc.top.reset(k)
 	t := &sc.top
-	qc := &sc.ctx
 	for sIdx := 0; sIdx < e.store.NumShards(); sIdx++ {
 		e.store.RangeShard(sIdx, func(id graph.NodeID, v *embstore.VecView) bool {
 			t.push(Result{ID: id, Score: e.metric.quickScoreView(qc, v)})
@@ -373,9 +470,11 @@ func (e *Exact) Search(q []float64, k int) ([]Result, error) {
 }
 
 // SearchInto scans the store, writing the top-k into dst. Compressed
-// slabs are ranked by the precision-dispatched kernels (for sq8, every
-// vector is scored with the asymmetric full-precision-query kernel, so
-// no separate re-rank stage can improve the ordering).
+// slabs are ranked by the precision-dispatched kernels; on SIMD
+// backends sq8 scans run two-stage (symmetric integer candidate
+// generation into a rerank·k-wide pool, asymmetric full-precision-
+// query re-rank of the survivors), on scalar backends every vector is
+// scored asymmetrically in a single pass.
 func (e *Exact) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(e.store, q, k); err != nil {
 		return nil, err
@@ -393,29 +492,39 @@ func (e *Exact) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 		return dst, nil
 	}
 	// Parallel scan: one goroutine per shard, merged through a heap.
-	// qc is read-only during the fan-out.
+	// qc is read-only during the fan-out. The first-stage heap width is
+	// kk (= k unless the symmetric sq8 stage widens it).
+	kk := k
+	if qc.sym {
+		kk = candidateK(qc.prec, k)
+	}
 	partial := make([]*topK, nShards)
 	var wg sync.WaitGroup
 	for sIdx := 0; sIdx < nShards; sIdx++ {
 		wg.Add(1)
 		go func(sIdx int) {
 			defer wg.Done()
-			t := &topK{k: k, heap: make([]Result, 0, k)}
+			t := &topK{k: kk, heap: make([]Result, 0, kk)}
 			e.store.RangeShard(sIdx, func(id graph.NodeID, v *embstore.VecView) bool {
-				t.push(Result{ID: id, Score: e.metric.quickScoreView(qc, v)})
+				t.push(Result{ID: id, Score: e.metric.beamScoreView(qc, v)})
 				return true
 			})
 			partial[sIdx] = t
 		}(sIdx)
 	}
 	wg.Wait()
-	merged := &topK{k: k, heap: make([]Result, 0, k)}
+	merged := &sc.wide
+	merged.reset(kk)
 	for _, t := range partial {
 		for _, r := range t.heap {
 			merged.push(r)
 		}
 	}
-	dst = appendResults(dst, merged.sorted())
+	if qc.sym {
+		dst = appendResults(dst, rerankWide(e.store, e.metric, sc, k))
+	} else {
+		dst = appendResults(dst, merged.sorted())
+	}
 	scratchPool.Put(sc)
 	annStageExactCand.ObserveSince(start)
 	return dst, nil

@@ -14,10 +14,12 @@
 // read straight out of the graph-resident slot-indexed slab — at the
 // store's precision (f64/f32/sq8), with no id→slot map lookups or
 // shard locks per expansion — so SearchInto is allocation-free in
-// steady state. Over sq8 slabs the beam widens to at least rerank·k
-// and every candidate is scored with the asymmetric LUT kernel
-// (full-precision query against int8 codes — see Metric.quickScoreView
-// for why no separate re-rank stage exists).
+// steady state. Over sq8 slabs the beam widens to at least rerank·k;
+// on SIMD backends it scores candidates with the symmetric int8×int8
+// kernel (the query is quantized once per search) and the beam's
+// survivors are re-ranked asymmetrically, while on scalar backends
+// every candidate is scored with the asymmetric LUT kernel directly
+// (see Metric.quickScoreView for why that is the scalar optimum).
 //
 // Mutability: Add inserts online (discovery under the read lock, link
 // mutation under the write lock, so concurrent searches keep running
@@ -138,6 +140,14 @@ type HNSW struct {
 	alive    int
 	rng      *rand.Rand // level draws; guarded by mu
 
+	// aliveBits mirrors nodes[s].alive as a dense bitmap. The beam's
+	// neighbor loop checks liveness for every unvisited neighbor, and
+	// reading it out of the ~48-byte node structs costs a random cache
+	// miss per check (the node array is megabytes at serving scale);
+	// the bitmap is 1/384th the size and stays L1-resident. Mutated
+	// only where nodes[s].alive is (Add, detachLocked, graph load).
+	aliveBits []uint64
+
 	// The slot-indexed vector slab: row s is the scan representation of
 	// nodes[s]. Exactly one family is populated, per precision.
 	// Tombstoned slots keep their (dead) rows for index stability.
@@ -149,10 +159,15 @@ type HNSW struct {
 }
 
 // sq8Side is the graph slab's per-row SQ8 sidecar (decode parameters,
-// code sum for vecmath.DotSQ8Sym, original norm), one struct array
-// so a candidate's metadata is a single cache line away from its codes.
+// code sum for vecmath.DotSQ8Sym, original norm). The float fields are
+// deliberately float32: the beam touches a random sidecar per scored
+// candidate, and at 16 bytes/row four rows share a cache line — twice
+// the residency of the float64 layout — while the ~1e-7 relative error
+// the narrowing adds is far below sq8's own quantization error. The
+// store keeps its sidecars in float64; only this beam-local mirror is
+// narrowed.
 type sq8Side struct {
-	scale, offset, norm float64
+	scale, offset, norm float32
 	codeSum             int32
 }
 
@@ -354,9 +369,12 @@ type hnswScratch struct {
 
 	// visited is the epoch-stamp array over graph slots: visited[s] ==
 	// epoch marks s as seen this beam search. Sized to the node count,
-	// grown (amortized) as the graph grows.
-	visited []uint32
-	epoch   uint32
+	// grown (amortized) as the graph grows. uint16 on purpose: the
+	// array is touched randomly for every neighbor of every expansion,
+	// so halving it doubles how much of it survives in cache; the cost
+	// is a 128KB-per-100k-slots clear every 65535 searches at wrap.
+	visited []uint16
+	epoch   uint16
 
 	cand    nodeHeap // expansion frontier (max-heap)
 	res     nodeHeap // beam results (min-heap, capped at ef)
@@ -376,6 +394,10 @@ type hnswScratch struct {
 	vbuf []float64 // insert-vector copy (Build); distinct from qbuf,
 	// which pruneLocked clobbers mid-insert
 	top topK // final top-k assembly
+
+	// touch keeps scorePendingSym's pre-touch loads observable so the
+	// compiler cannot delete them; the value itself is meaningless.
+	touch int32
 }
 
 var hnswScratchPool = sync.Pool{New: func() any { return new(hnswScratch) }}
@@ -383,7 +405,7 @@ var hnswScratchPool = sync.Pool{New: func() any { return new(hnswScratch) }}
 // bumpEpoch starts a fresh visited generation over n slots.
 func (sc *hnswScratch) bumpEpoch(n int) {
 	if len(sc.visited) < n {
-		grown := make([]uint32, n)
+		grown := make([]uint16, n)
 		copy(grown, sc.visited)
 		sc.visited = grown
 	}
@@ -405,7 +427,7 @@ func (h *HNSW) appendSlabRowLocked(vec []float64, norm float64) {
 	case embstore.SQ8:
 		h.codes = extendSlab(h.codes, h.dim)
 		scale, offset, codeSum := vecmath.EncodeSQ8(vec, h.codes[len(h.codes)-h.dim:])
-		h.side = append(h.side, sq8Side{scale: scale, offset: offset, norm: norm, codeSum: codeSum})
+		h.side = append(h.side, sq8Side{scale: float32(scale), offset: float32(offset), norm: float32(norm), codeSum: codeSum})
 	default:
 		h.vecs = append(h.vecs, vec...)
 	}
@@ -426,6 +448,25 @@ func extendSlab[T any](s []T, n int) []T {
 	return append(s, make([]T, n)...)
 }
 
+// aliveBit reads slot's liveness from the dense bitmap. Caller holds
+// h.mu; the bitmap covers every allocated slot by construction.
+func (h *HNSW) aliveBit(slot uint32) bool {
+	return h.aliveBits[slot>>6]&(1<<(slot&63)) != 0
+}
+
+// setAliveBit mirrors a nodes[slot].alive write into the bitmap,
+// growing it to cover slot. Caller holds h.mu for writing.
+func (h *HNSW) setAliveBit(slot uint32, v bool) {
+	for int(slot>>6) >= len(h.aliveBits) {
+		h.aliveBits = append(h.aliveBits, 0)
+	}
+	if v {
+		h.aliveBits[slot>>6] |= 1 << (slot & 63)
+	} else {
+		h.aliveBits[slot>>6] &^= 1 << (slot & 63)
+	}
+}
+
 // slabView points v at slot's slab row. Caller holds h.mu (read or
 // write); rows exist for every allocated slot by construction.
 func (h *HNSW) slabView(slot uint32, v *embstore.VecView) {
@@ -437,7 +478,7 @@ func (h *HNSW) slabView(slot uint32, v *embstore.VecView) {
 	case embstore.SQ8:
 		s := &h.side[slot]
 		v.Code = h.codes[lo : lo+h.dim]
-		v.Scale, v.Offset, v.CodeSum, v.Norm = s.scale, s.offset, s.codeSum, s.norm
+		v.Scale, v.Offset, v.CodeSum, v.Norm = float64(s.scale), float64(s.offset), s.codeSum, float64(s.norm)
 	default:
 		v.F64 = h.vecs[lo : lo+h.dim]
 		v.Norm = h.norms[slot]
@@ -445,23 +486,101 @@ func (h *HNSW) slabView(slot uint32, v *embstore.VecView) {
 }
 
 // scoreSlot scores a single slot against the scratch's query from the
-// graph slab. Used for entry points; bulk scoring goes through
-// scorePending. Caller holds h.mu.
+// graph slab with the candidate-generation kernel (symmetric over sq8
+// slabs on SIMD backends). Used for entry points; bulk scoring goes
+// through scorePending. Caller holds h.mu.
 func (h *HNSW) scoreSlot(slot uint32, qc *queryCtx) float64 {
 	var v embstore.VecView
 	h.slabView(slot, &v)
-	return h.cfg.Metric.quickScoreView(qc, &v)
+	return h.cfg.Metric.beamScoreView(qc, &v)
 }
 
 // scorePending scores every slot queued in sc.pending against the
 // scratch's query (sc.ctx) straight out of the graph slab — a tight
 // slot-indexed loop with no store access — and invokes visit for each.
+// Scoring uses the candidate-generation kernel (see beamScoreView);
+// over sq8 slabs on SIMD backends that is the symmetric integer
+// kernel, and SearchInto re-ranks the beam's survivors asymmetrically.
+// Used by the prune/repair paths; the query beam goes through
+// scorePendingBeam, which folds its heap updates into the loop.
 // Caller holds h.mu.
 func (h *HNSW) scorePending(sc *hnswScratch, visit func(slot uint32, score float64)) {
 	var v embstore.VecView
 	for _, slot := range sc.pending {
 		h.slabView(slot, &v)
-		visit(slot, h.cfg.Metric.quickScoreView(&sc.ctx, &v))
+		visit(slot, h.cfg.Metric.beamScoreView(&sc.ctx, &v))
+	}
+}
+
+// beamPush applies the standard beam update for one scored slot: grow
+// the beam until it holds ef results, then displace its worst. Both
+// heaps receive every admitted node (cand drives expansion, res keeps
+// the beam).
+func beamPush(sc *hnswScratch, slot uint32, score float64, ef int) {
+	if sc.res.len() < ef {
+		sc.cand.push(scoredNode{slot, score})
+		sc.res.push(scoredNode{slot, score})
+	} else if score > sc.res.peek().score {
+		sc.cand.push(scoredNode{slot, score})
+		sc.res.push(scoredNode{slot, score})
+		sc.res.pop()
+	}
+}
+
+// scorePendingBeam scores sc.pending into the beam heaps (see
+// beamPush). This is the query beam's hot loop; profiles show it bound
+// by memory latency and per-candidate overhead, not kernel arithmetic,
+// so the sq8+SIMD specialization (sc.ctx.sym) (a) reads codes and
+// sidecars straight off the slab arrays with no VecView assembly,
+// (b) hoists the affine correction's query-side terms out of the loop
+// and calls the raw integer kernel per candidate, and (c) pre-touches
+// every pending row first, so the candidates' cache misses issue
+// back-to-back and resolve in parallel instead of serializing one
+// score call at a time. The score it produces is symScoreView's up to
+// floating-point regrouping. Caller holds h.mu.
+func (h *HNSW) scorePendingBeam(sc *hnswScratch, ef int) {
+	qc := &sc.ctx
+	if !qc.sym {
+		var v embstore.VecView
+		for _, slot := range sc.pending {
+			h.slabView(slot, &v)
+			beamPush(sc, slot, h.cfg.Metric.quickScoreView(qc, &v), ef)
+		}
+		return
+	}
+	q := &qc.sq8q
+	dim := h.dim
+	var touch int32
+	for _, slot := range sc.pending {
+		lo := int(slot) * dim
+		touch ^= int32(h.codes[lo]) ^ int32(h.codes[lo+dim-1]) ^ h.side[slot].codeSum
+	}
+	sc.touch = touch
+	qScale := q.Scale
+	qOffset := q.Offset
+	nqo := float64(dim) * qOffset // n·qOff term of the correction
+	qs := float64(q.CodeSum)      // Σ query codes
+	cosine := h.cfg.Metric != DotProduct
+	invQ := 0.0
+	if qc.qNorm != 0 {
+		invQ = 1 / qc.qNorm
+	}
+	for _, slot := range sc.pending {
+		lo := int(slot) * dim
+		sd := &h.side[slot]
+		acc := vecmath.DotSQ8SymCodes(q.Code, h.codes[lo:lo+dim])
+		scale, offset := float64(sd.scale), float64(sd.offset)
+		dot := nqo*offset + qOffset*scale*float64(sd.codeSum) +
+			offset*qScale*qs + qScale*scale*float64(acc)
+		score := dot
+		if cosine {
+			if invQ == 0 || sd.norm == 0 {
+				score = 0
+			} else {
+				score = dot * invQ / float64(sd.norm)
+			}
+		}
+		beamPush(sc, slot, score, ef)
 	}
 }
 
@@ -481,27 +600,31 @@ func (h *HNSW) searchLayer(sc *hnswScratch, ep scoredNode, ef, layer int) {
 		if sc.res.len() >= ef && c.score < sc.res.peek().score {
 			break // every remaining candidate is worse than the beam's worst
 		}
+		if sc.cand.len() > 0 {
+			// Pre-touch the likely next expansion's link chain (node
+			// record → per-layer headers → neighbor list): three
+			// dependent loads that would otherwise serialize at the top
+			// of the next iteration now resolve behind this expansion's
+			// scoring work. "Likely" because scoring may push a better
+			// candidate above it; a wasted touch costs nothing.
+			if nl := h.nodes[sc.cand.a[0].slot].links; layer < len(nl) {
+				if nbl := nl[layer]; len(nbl) > 0 {
+					sc.touch ^= int32(nbl[0])
+				}
+			}
+		}
 		sc.pending = sc.pending[:0]
 		for _, nb := range h.nodes[c.slot].links[layer] {
 			if sc.visited[nb] == sc.epoch {
 				continue
 			}
 			sc.visited[nb] = sc.epoch
-			if !h.nodes[nb].alive {
+			if !h.aliveBit(nb) {
 				continue // tombstone: repaired links route around it
 			}
 			sc.pending = append(sc.pending, nb)
 		}
-		h.scorePending(sc, func(slot uint32, score float64) {
-			if sc.res.len() < ef {
-				sc.cand.push(scoredNode{slot, score})
-				sc.res.push(scoredNode{slot, score})
-			} else if score > sc.res.peek().score {
-				sc.cand.push(scoredNode{slot, score})
-				sc.res.push(scoredNode{slot, score})
-				sc.res.pop()
-			}
-		})
+		h.scorePendingBeam(sc, ef)
 	}
 }
 
@@ -639,6 +762,7 @@ func (h *HNSW) insert(id graph.NodeID, vec []float64, sc *hnswScratch, upsert bo
 	slot := uint32(len(h.nodes))
 	h.appendSlabRowLocked(vec, vecmath.Norm(vec))
 	h.nodes = append(h.nodes, hnswNode{id: id, alive: true, links: make([][]uint32, level+1)})
+	h.setAliveBit(slot, true)
 	h.slotOf[id] = slot
 	h.alive++
 	if h.entry < 0 { // first node: it is the graph
@@ -717,6 +841,7 @@ func (h *HNSW) detachLocked(slot uint32, sc *hnswScratch) {
 		return
 	}
 	n.alive = false
+	h.setAliveBit(slot, false)
 	h.alive--
 	if cur, ok := h.slotOf[n.id]; ok && cur == slot {
 		delete(h.slotOf, n.id)
@@ -839,11 +964,14 @@ func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
 // path. Greedy descent from the entry point to layer 1, then a beam
 // across layer 0 of width max(EfSearch, k) — widened to at least
 // rerank·k over sq8 slabs, so the candidate pool absorbs quantization
-// noise (the beam already scores every candidate with the asymmetric
-// full-precision-query kernel; a separate re-rank pass would
-// reproduce identical scores). If the beam surfaces fewer than
-// min(k, live) results (possible only on a heavily-churned graph),
-// the exact fallback takes over so results never silently degrade.
+// noise. On SIMD backends the sq8 beam scores candidates with the
+// symmetric integer kernel (the query is quantized once per search)
+// and the surviving beam is re-ranked with the asymmetric
+// full-precision-query kernel; on scalar backends the beam already
+// scores asymmetrically and the trim to top-k is the whole re-rank.
+// If the beam surfaces fewer than min(k, live) results (possible only
+// on a heavily-churned graph), the exact fallback takes over so
+// results never silently degrade.
 func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(h.store, q, k); err != nil {
 		return nil, err
@@ -872,13 +1000,23 @@ func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 		cur = sc.res.peek()
 	}
 	h.searchLayer(sc, cur, ef, 0)
-	// The beam is the candidate stage; trimming it to the final top-k
-	// (the stage that absorbs the sq8-widened ef) is the re-rank.
+	// The beam is the candidate stage; the re-rank trims it to the final
+	// top-k — re-scoring each survivor with the asymmetric kernel when
+	// the beam ranked with the symmetric one (slab rows are still at
+	// hand under the read lock), reusing the beam scores otherwise.
 	rerankStart := time.Now()
 	annStageHNSWCand.Observe(int64(rerankStart.Sub(start)))
 	sc.top.reset(k)
-	for _, n := range sc.res.a {
-		sc.top.push(Result{ID: h.nodes[n.slot].id, Score: n.score})
+	if sc.ctx.sym {
+		var v embstore.VecView
+		for _, n := range sc.res.a {
+			h.slabView(n.slot, &v)
+			sc.top.push(Result{ID: h.nodes[n.slot].id, Score: h.cfg.Metric.scoreView(&sc.ctx, &v)})
+		}
+	} else {
+		for _, n := range sc.res.a {
+			sc.top.push(Result{ID: h.nodes[n.slot].id, Score: n.score})
+		}
 	}
 	alive := h.alive
 	h.mu.RUnlock()
@@ -996,6 +1134,7 @@ func LoadHNSWGraph(r io.Reader, store *embstore.Store) (*HNSW, error) {
 	for i := 0; i < nSlots; i++ {
 		n := &h.nodes[i]
 		n.id, n.alive = wire.IDs[i], wire.Alive[i]
+		h.setAliveBit(uint32(i), n.alive)
 		layers := int(wire.Layers[i])
 		if layers < 0 || ci+layers > len(wire.Counts) {
 			return nil, fmt.Errorf("ann: hnsw load: corrupt snapshot: layer counts overrun at slot %d", i)
@@ -1040,7 +1179,7 @@ func LoadHNSWGraph(r io.Reader, store *embstore.Store) (*HNSW, error) {
 					h.norms = append(h.norms, v.Norm)
 				case embstore.SQ8:
 					h.codes = append(h.codes, v.Code...)
-					h.side = append(h.side, sq8Side{scale: v.Scale, offset: v.Offset, norm: v.Norm, codeSum: v.CodeSum})
+					h.side = append(h.side, sq8Side{scale: float32(v.Scale), offset: float32(v.Offset), norm: float32(v.Norm), codeSum: v.CodeSum})
 				default:
 					h.vecs = append(h.vecs, v.F64...)
 					h.norms = append(h.norms, v.Norm)

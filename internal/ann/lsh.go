@@ -278,8 +278,10 @@ func (l *LSH) Search(q []float64, k int) ([]Result, error) {
 
 // SearchInto is Search writing the results into dst: the
 // zero-allocation query path. Candidates are ranked by the precision-
-// dispatched kernels (asymmetric full-precision-query scoring on sq8
-// slabs).
+// dispatched kernels; on SIMD backends sq8 candidates run through the
+// two-stage symmetric ranking (integer kernel into a rerank·k-wide
+// heap, asymmetric re-rank of the survivors), on scalar backends the
+// asymmetric kernel ranks every candidate directly.
 func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(l.store, q, k); err != nil {
 		return nil, err
@@ -311,8 +313,27 @@ func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 		byShard[si] = append(byShard[si], id)
 	}
 
-	sc.ctx.init(l.store, q) // query norm (and narrowed forms) once per query
+	sc.ctx.init(l.store, q) // query norm (and narrowed/quantized forms) once per query
 	qc := &sc.ctx
+	if qc.sym {
+		// Symmetric first stage: the integer kernel ranks every candidate
+		// into a widened heap; the asymmetric kernel re-scores the
+		// survivors (rerankWide regroups them by shard itself — byShard
+		// is free for reuse once this loop finishes).
+		sc.wide.reset(candidateK(qc.prec, k))
+		w := &sc.wide
+		for si, ids := range byShard {
+			if len(ids) == 0 {
+				continue
+			}
+			l.store.WithShard(si, ids, func(id graph.NodeID, v *embstore.VecView) {
+				w.push(Result{ID: id, Score: l.cfg.Metric.symScoreView(qc, v)})
+			})
+		}
+		dst = appendResults(dst, rerankWide(l.store, l.cfg.Metric, sc, k))
+		annStageLSHRerank.ObserveSince(rerankStart)
+		return dst, nil
+	}
 	sc.top.reset(k)
 	t := &sc.top
 	for si, ids := range byShard {

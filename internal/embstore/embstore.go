@@ -109,14 +109,43 @@ type VecView struct {
 
 	// Scale and Offset are the SQ8 per-vector decode parameters;
 	// CodeSum is Σ Code[i], the precomputed operand of the symmetric
-	// dot kernel (vecmath.DotSQ8Sym — no serving-path caller today;
-	// retained for SIMD-capable backends).
+	// dot kernel (vecmath.DotSQ8Sym) that ann's two-stage sq8 search
+	// scores candidates with on SIMD backends.
 	Scale, Offset float64
 	CodeSum       int32
 
 	// Norm is the L2 norm of the original full-precision vector,
 	// maintained on write for all layouts.
 	Norm float64
+}
+
+// SQ8Query is a query vector quantized with the same per-vector scalar
+// scheme the SQ8 slabs use, produced by Store.EncodeQuery: the
+// query-side operand of the symmetric int8×int8 kernel
+// (vecmath.DotSQ8Sym) that drives candidate generation on SIMD
+// backends. The asymmetric kernels keep consuming the original
+// float64 query for re-ranking, so the final ordering never carries
+// the query's quantization error.
+type SQ8Query struct {
+	Code          []int8
+	Scale, Offset float64
+	CodeSum       int32
+}
+
+// EncodeQuery quantizes q into dst for symmetric scoring against this
+// store's SQ8 codes, reusing dst.Code's capacity (pooled query
+// contexts call this once per search with zero steady-state
+// allocations). Meaningful only on SQ8 stores; q must have the store's
+// dimensionality.
+func (s *Store) EncodeQuery(q []float64, dst *SQ8Query) {
+	if len(q) != s.dim {
+		panic(fmt.Sprintf("embstore: encode of %d-dim query against %d-dim store", len(q), s.dim))
+	}
+	if cap(dst.Code) < len(q) {
+		dst.Code = make([]int8, len(q))
+	}
+	dst.Code = dst.Code[:len(q)]
+	dst.Scale, dst.Offset, dst.CodeSum = vecmath.EncodeSQ8(q, dst.Code)
 }
 
 // Dim returns the vector's dimensionality.

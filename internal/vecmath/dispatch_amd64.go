@@ -1,0 +1,74 @@
+//go:build !noasm
+
+package vecmath
+
+import "os"
+
+// Per-family dispatch flags. Split per family rather than one global
+// so architectures with partial kernel coverage (arm64 implements the
+// float kernels, not the SQ8 set) reuse the same wrapper code.
+var (
+	simd64  bool // Dot, SqDist
+	simd32  bool // Dot32, SqDist32 (and CosineWithNorms32 through Dot32)
+	simdSQ8 bool // DotSQ8, SqDistSQ8
+	simdSym bool // DotSQ8Sym
+	simdEnc bool // EncodeSQ8 (min/max + quantize passes)
+
+	backendName = "scalar"
+)
+
+func init() {
+	if os.Getenv("EHNA_NOSIMD") != "" {
+		return
+	}
+	if !cpuHasAVX2() {
+		return
+	}
+	simd64, simd32, simdSQ8, simdSym, simdEnc = true, true, true, true, true
+	backendName = "avx2"
+}
+
+// Assembly kernels (simd_amd64.s). All of them tolerate any length
+// including zero and leave no YMM state behind (VZEROUPPER before
+// return); the go:noescape annotations keep callers' slices off the
+// heap so the serving paths stay allocation-free.
+
+//go:noescape
+func dotSIMD(a, b []float64) float64
+
+//go:noescape
+func sqDistSIMD(a, b []float64) float64
+
+//go:noescape
+func dot32SIMD(a, b []float32) float64
+
+//go:noescape
+func sqDist32SIMD(a, b []float32) float64
+
+// dotSQ8RawSIMD returns the raw Σ q[i]·code[i] sum; the wrapper
+// applies the scale/offset affine correction.
+//
+//go:noescape
+func dotSQ8RawSIMD(q []float64, code []int8) float64
+
+//go:noescape
+func sqDistSQ8SIMD(q []float64, code []int8, scale, offset float64) float64
+
+// dotSQ8SymRawSIMD returns the raw int32 Σ ac[i]·bc[i] code dot; the
+// wrapper applies the affine combination of the two codebooks.
+//
+//go:noescape
+func dotSQ8SymRawSIMD(ac, bc []int8) int32
+
+// minMaxSIMD scans v (len ≥ 1) for its minimum and maximum.
+//
+//go:noescape
+func minMaxSIMD(v []float64) (lo, hi float64)
+
+// quantizeSIMD encodes whole 8-lane blocks of v (len must be a
+// multiple of 8): code[i] = roundNearestEven((v[i]-lo)*inv) - 128,
+// saturated to int8, returning the sum of the written codes. The
+// caller handles the tail lanes and the degenerate-scale case.
+//
+//go:noescape
+func quantizeSIMD(v []float64, code []int8, lo, inv float64) int32

@@ -1,0 +1,28 @@
+//go:build !noasm
+
+package vecmath
+
+import (
+	"os"
+	"testing"
+)
+
+// TestBackendMatchesCPU: NEON is architecturally mandatory on arm64,
+// so the backend is "neon" unless the env kill switch is set, and the
+// NEON coverage is exactly the float kernel families.
+func TestBackendMatchesCPU(t *testing.T) {
+	want := "neon"
+	if os.Getenv("EHNA_NOSIMD") != "" {
+		want = "scalar"
+	}
+	if got := Backend(); got != want {
+		t.Fatalf("Backend() = %q, want %q", got, want)
+	}
+	on := want == "neon"
+	if simd64 != on || simd32 != on {
+		t.Errorf("float flags (simd64=%v, simd32=%v) disagree with backend %q", simd64, simd32, want)
+	}
+	if simdSQ8 || simdSym || simdEnc {
+		t.Errorf("sq8 flags set on arm64, which has no NEON sq8 kernels")
+	}
+}

@@ -54,13 +54,19 @@ func EncodeSQ8(v []float64, code []int8) (scale, offset float64, codeSum int32) 
 	if len(v) == 0 {
 		return 0, 0, 0
 	}
-	lo, hi := v[0], v[0]
-	for _, x := range v[1:] {
-		if x < lo {
-			lo = x
-		}
-		if x > hi {
-			hi = x
+	useSIMD := simdEnc && len(v) >= simdMinLanes
+	var lo, hi float64
+	if useSIMD {
+		lo, hi = minMaxSIMD(v)
+	} else {
+		lo, hi = v[0], v[0]
+		for _, x := range v[1:] {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
 		}
 	}
 	scale = (hi - lo) / 255
@@ -74,6 +80,25 @@ func EncodeSQ8(v []float64, code []int8) (scale, offset float64, codeSum int32) 
 	}
 	offset = lo + 128*scale
 	inv := 1 / scale
+	if useSIMD {
+		// The vector path rounds nearest-even (the CPU default); the
+		// tail lanes use RoundToEven to match. Scalar EncodeSQ8 rounds
+		// half away from zero — the two differ by at most one code on
+		// exact .5 boundaries, both within the scale/2 envelope.
+		n := len(v) &^ 7
+		codeSum = quantizeSIMD(v[:n], code[:n], lo, inv)
+		for i := n; i < len(v); i++ {
+			c := int(math.RoundToEven((v[i]-lo)*inv)) - 128
+			if c < -128 {
+				c = -128
+			} else if c > 127 {
+				c = 127
+			}
+			code[i] = int8(c)
+			codeSum += int32(c)
+		}
+		return scale, offset, codeSum
+	}
 	for i, x := range v {
 		c := int(math.Round((x-lo)*inv)) - 128
 		if c < -128 {
@@ -118,6 +143,13 @@ func DotSQ8(q []float64, code []int8, scale, offset, qSum float64) float64 {
 	if len(q) != len(code) {
 		panic("vecmath: DotSQ8 length mismatch")
 	}
+	if simdSQ8 && len(q) >= simdMinLanes {
+		return scale*dotSQ8RawSIMD(q, code) + offset*qSum
+	}
+	return dotSQ8Scalar(q, code, scale, offset, qSum)
+}
+
+func dotSQ8Scalar(q []float64, code []int8, scale, offset, qSum float64) float64 {
 	code = code[:len(q)]
 	var s0, s1, s2, s3 float64
 	n := len(q) &^ 3
@@ -141,6 +173,13 @@ func SqDistSQ8(q []float64, code []int8, scale, offset float64) float64 {
 	if len(q) != len(code) {
 		panic("vecmath: SqDistSQ8 length mismatch")
 	}
+	if simdSQ8 && len(q) >= simdMinLanes {
+		return sqDistSQ8SIMD(q, code, scale, offset)
+	}
+	return sqDistSQ8Scalar(q, code, scale, offset)
+}
+
+func sqDistSQ8Scalar(q []float64, code []int8, scale, offset float64) float64 {
 	code = code[:len(q)]
 	var s0, s1, s2, s3 float64
 	n := len(q) &^ 3
@@ -174,8 +213,24 @@ func SqDistSQ8(q []float64, code []int8, scale, offset float64) float64 {
 // accumulators are safe for dimensions up to 2³¹/(4·128²) ≈ 32k lanes
 // per accumulator (≈131k total), far above any embedding width here.
 func DotSQ8Sym(ac, bc []int8, aScale, aOffset, bScale, bOffset float64, aSum, bSum int32) float64 {
+	s := DotSQ8SymCodes(ac, bc)
+	return float64(len(ac))*aOffset*bOffset +
+		aOffset*bScale*float64(bSum) +
+		bOffset*aScale*float64(aSum) +
+		aScale*bScale*float64(s)
+}
+
+// DotSQ8SymCodes is the integer core of DotSQ8Sym: Σ acᵢ·bcᵢ over the
+// raw int8 codes, leaving the affine correction to the caller. The
+// HNSW beam scores through this directly so the correction's
+// query-side terms hoist out of its per-candidate loop and the
+// wrapper call chain stays out of the hot path.
+func DotSQ8SymCodes(ac, bc []int8) int32 {
 	if len(ac) != len(bc) {
 		panic("vecmath: DotSQ8Sym length mismatch")
+	}
+	if simdSym && len(ac) >= simdMinLanes {
+		return dotSQ8SymRawSIMD(ac, bc)
 	}
 	bc = bc[:len(ac)]
 	var s0, s1, s2, s3 int32
@@ -190,8 +245,5 @@ func DotSQ8Sym(ac, bc []int8, aScale, aOffset, bScale, bOffset float64, aSum, bS
 	for i := n; i < len(ac); i++ {
 		s += int32(ac[i]) * int32(bc[i])
 	}
-	return float64(len(ac))*aOffset*bOffset +
-		aOffset*bScale*float64(bSum) +
-		bOffset*aScale*float64(aSum) +
-		aScale*bScale*float64(s)
+	return s
 }

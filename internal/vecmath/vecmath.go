@@ -30,6 +30,13 @@ func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("vecmath: Dot length mismatch")
 	}
+	if simd64 && len(a) >= simdMinLanes {
+		return dotSIMD(a, b)
+	}
+	return dotScalar(a, b)
+}
+
+func dotScalar(a, b []float64) float64 {
 	b = b[:len(a)] // bounds-check elimination hint
 	var s0, s1, s2, s3 float64
 	n := len(a) &^ 3
@@ -128,6 +135,13 @@ func SqDist(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("vecmath: SqDist length mismatch")
 	}
+	if simd64 && len(a) >= simdMinLanes {
+		return sqDistSIMD(a, b)
+	}
+	return sqDistScalar(a, b)
+}
+
+func sqDistScalar(a, b []float64) float64 {
 	b = b[:len(a)]
 	var s0, s1, s2, s3 float64
 	n := len(a) &^ 3

@@ -18,6 +18,13 @@ func Dot32(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic("vecmath: Dot32 length mismatch")
 	}
+	if simd32 && len(a) >= simdMinLanes {
+		return dot32SIMD(a, b)
+	}
+	return dot32Scalar(a, b)
+}
+
+func dot32Scalar(a, b []float32) float64 {
 	b = b[:len(a)] // bounds-check elimination hint
 	var s0, s1, s2, s3 float32
 	n := len(a) &^ 3
@@ -40,6 +47,13 @@ func SqDist32(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic("vecmath: SqDist32 length mismatch")
 	}
+	if simd32 && len(a) >= simdMinLanes {
+		return sqDist32SIMD(a, b)
+	}
+	return sqDist32Scalar(a, b)
+}
+
+func sqDist32Scalar(a, b []float32) float64 {
 	b = b[:len(a)]
 	var s0, s1, s2, s3 float32
 	n := len(a) &^ 3

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the repo's key performance benchmarks and merge the
 # results under a label into a JSON trajectory file (default
-# BENCH_PR5.json) via cmd/benchjson.
+# BENCH_PR7.json) via cmd/benchjson.
 #
 # Usage:
 #   scripts/bench.sh before            # before a change
@@ -14,14 +14,16 @@
 #     end-to-end training throughput (the paper's efficiency tables)
 #   - BenchmarkANNTopK (exact vs LSH vs HNSW at 10k/100k, across the
 #     f64/f32/sq8 slab precisions, with recall@10, bytes_per_vector
-#     and allocs/op) / BenchmarkEmbstoreBulkLoad / BenchmarkHNSWBuild /
-#     BenchmarkWALAppend: the serving and ingest paths
+#     and allocs/op) / BenchmarkKernels (per-kernel ns/op + MB/s on
+#     the active vecmath backend) / BenchmarkEmbstoreBulkLoad /
+#     BenchmarkHNSWBuild / BenchmarkWALAppend: the serving and ingest
+#     paths
 # Micro benchmarks run time-based for stable ns/op; the macro
 # experiment benchmarks run a fixed 2 iterations (each is seconds).
 set -euo pipefail
 
 label="${1:?usage: scripts/bench.sh <label> [out.json]}"
-out="${2:-BENCH_PR5.json}"
+out="${2:-BENCH_PR7.json}"
 cd "$(dirname "$0")/.."
 
 tmp="$(mktemp)"
@@ -30,7 +32,7 @@ trap 'rm -f "$tmp"' EXIT
 echo "== micro (serving + ingest paths) =="
 # The precision matrix runs six 100k-node index builds; give the
 # harness room well past go test's default 10m timeout.
-go test -run=NONE -timeout=120m -bench='BenchmarkANNTopK$|BenchmarkEmbstoreBulkLoad$|BenchmarkHNSWBuild$|BenchmarkWALAppend$' \
+go test -run=NONE -timeout=120m -bench='BenchmarkANNTopK$|BenchmarkKernels$|BenchmarkEmbstoreBulkLoad$|BenchmarkHNSWBuild$|BenchmarkWALAppend$' \
   -benchtime=1s -benchmem -count=1 . | tee -a "$tmp"
 
 echo "== macro (training path) =="
