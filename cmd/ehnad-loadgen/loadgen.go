@@ -30,19 +30,21 @@ import (
 )
 
 type genConfig struct {
-	target   string  // daemon base URL, no trailing slash
-	rate     float64 // intended arrivals per second
-	duration time.Duration
-	workers  int
-	readFrac float64 // fraction of requests that are /v1/neighbors
-	k        int
-	dim      int // vector dimensionality; 0 = read from /healthz
-	keys     int // key-space size; 0 = max(store nodes, preload)
-	zipfS    float64
-	zipfV    float64
-	seed     int64
-	preload  int // vectors to upsert before the run (ids 0..preload-1)
-	client   *http.Client
+	target      string  // daemon base URL, no trailing slash
+	rate        float64 // intended arrivals per second
+	duration    time.Duration
+	workers     int
+	readFrac    float64 // fraction of requests that are /v1/neighbors
+	k           int
+	dim         int // vector dimensionality; 0 = read from /healthz
+	keys        int // key-space size; 0 = max(store nodes, preload)
+	zipfS       float64
+	zipfV       float64
+	seed        int64
+	preload     int           // vectors to upsert before the run (ids 0..preload-1)
+	retries     int           // extra attempts after a 429, jittered backoff between
+	retryBudget time.Duration // total time (from intended start) retries may consume
+	client      *http.Client
 }
 
 // latencyReport is one op class's quantile summary, in milliseconds
@@ -84,6 +86,16 @@ type report struct {
 	Errors        uint64  `json:"errors"`
 	ErrorFraction float64 `json:"error_fraction"`
 
+	// Overload accounting. A 429 is the daemon keeping its latency
+	// promise by refusing work — counted as shed, never as an error.
+	// Goodput is the rate of requests that actually completed 2xx;
+	// under overload it is the number that matters, since throughput
+	// alone can be padded with cheap refusals.
+	Shed         uint64  `json:"shed"`
+	ShedFraction float64 `json:"shed_fraction"`
+	Retries      uint64  `json:"retries"`
+	GoodputRate  float64 `json:"goodput_rate"`
+
 	Read    latencyReport `json:"read"`
 	Write   latencyReport `json:"write"`
 	Overall latencyReport `json:"overall"`
@@ -113,18 +125,20 @@ func fetchHealth(client *http.Client, target string) (health, error) {
 	return h, nil
 }
 
-// post sends one JSON body and drains the response; non-2xx is an error.
-func post(client *http.Client, url string, body []byte) error {
+// post sends one JSON body and drains the response. It returns the
+// HTTP status (0 on a transport error) so the caller can tell a shed
+// (429 — retryable by design) from a genuine failure.
+func post(client *http.Client, url string, body []byte) (int, error) {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("status %d", resp.StatusCode)
+		return resp.StatusCode, fmt.Errorf("status %d", resp.StatusCode)
 	}
-	return nil
+	return resp.StatusCode, nil
 }
 
 // randVec fills vec with a random unit-ish vector.
@@ -155,7 +169,7 @@ func preloadStore(cfg genConfig, n int) error {
 		if err != nil {
 			return err
 		}
-		if err := post(cfg.client, cfg.target+"/v1/upsert", body); err != nil {
+		if _, err := post(cfg.client, cfg.target+"/v1/upsert", body); err != nil {
 			return fmt.Errorf("preload [%d,%d): %w", lo, hi, err)
 		}
 	}
@@ -203,7 +217,9 @@ func runLoad(cfg genConfig) (*report, error) {
 		"Intended-start-to-response latency.", obs.L("op", "read"))
 	writeHist := reg.Histogram("loadgen_latency_seconds",
 		"Intended-start-to-response latency.", obs.L("op", "write"))
-	errs := reg.Counter("loadgen_errors_total", "Transport errors and non-2xx responses.")
+	errs := reg.Counter("loadgen_errors_total", "Transport errors and non-2xx, non-429 responses.")
+	shed := reg.Counter("loadgen_shed_total", "Requests whose final attempt was refused with 429.")
+	retried := reg.Counter("loadgen_retries_total", "Extra attempts made after a 429.")
 
 	n := int(cfg.rate * cfg.duration.Seconds())
 	if n < 1 {
@@ -249,15 +265,36 @@ func runLoad(cfg genConfig) (*report, error) {
 					randVec(rng, vec)
 					_ = enc.Encode(map[string]any{"id": id, "vector": vec})
 				}
-				err := post(cfg.client, url, buf.Bytes())
-				lat := time.Since(t) // from intended start: queue delay counts
-				if read {
-					readHist.Observe(int64(lat))
-				} else {
-					writeHist.Observe(int64(lat))
+				// First attempt plus up to cfg.retries more on a 429,
+				// jittered-exponential backoff between, the whole affair
+				// capped by the retry budget measured from the intended
+				// start — a retried request that finally lands still has
+				// its full queue+retry delay in the recorded latency.
+				status, err := post(cfg.client, url, buf.Bytes())
+				backoff := 2 * time.Millisecond
+				for attempt := 0; status == http.StatusTooManyRequests &&
+					attempt < cfg.retries &&
+					time.Since(t)+backoff < cfg.retryBudget; attempt++ {
+					time.Sleep(backoff/2 + time.Duration(rng.Int63n(int64(backoff))))
+					backoff *= 2
+					retried.Inc()
+					status, err = post(cfg.client, url, buf.Bytes())
 				}
-				if err != nil {
+				lat := time.Since(t) // from intended start: queue delay counts
+				switch {
+				case status == http.StatusTooManyRequests:
+					shed.Inc() // refused to the end; not goodput, not an error
+				case err != nil:
 					errs.Inc()
+				default:
+					// Only completed requests feed the latency quantiles:
+					// the report's p99 is the accepted-request p99, not a
+					// blend of real work and cheap refusals.
+					if read {
+						readHist.Observe(int64(lat))
+					} else {
+						writeHist.Observe(int64(lat))
+					}
 				}
 			}
 		}(w)
@@ -289,14 +326,18 @@ func runLoad(cfg genConfig) (*report, error) {
 		ReadFraction: cfg.readFrac,
 		ZipfS:        cfg.zipfS,
 		Keys:         cfg.keys,
-		Ops:          all.Count,
+		Ops:          uint64(n),
 		Errors:       errs.Load(),
+		Shed:         shed.Load(),
+		Retries:      retried.Load(),
+		GoodputRate:  float64(all.Count) / elapsed.Seconds(),
 		Read:         summarize(&rs),
 		Write:        summarize(&ws),
 		Overall:      summarize(&all),
 	}
-	if all.Count > 0 {
-		rep.ErrorFraction = float64(rep.Errors) / float64(all.Count)
+	if rep.Ops > 0 {
+		rep.ErrorFraction = float64(rep.Errors) / float64(rep.Ops)
+		rep.ShedFraction = float64(rep.Shed) / float64(rep.Ops)
 	}
 	return rep, nil
 }

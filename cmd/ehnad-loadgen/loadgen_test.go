@@ -27,10 +27,19 @@ func TestParseSLO(t *testing.T) {
 		t.Errorf("p50 clause parsed as %+v", checks[2])
 	}
 
+	goodput, err := parseSLO("goodput>400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(goodput) != 1 || goodput[0].metric != "goodput" || goodput[0].limit != 400 || !goodput[0].lower {
+		t.Errorf("goodput clause parsed as %+v", goodput)
+	}
+
 	if got, err := parseSLO(""); err != nil || got != nil {
 		t.Errorf("empty slo: got %v, %v", got, err)
 	}
-	for _, bad := range []string{"p99", "p98<5ms", "p99<banana", "errors<1", "p99<-3ms", "errors<nope%"} {
+	for _, bad := range []string{"p99", "p98<5ms", "p99<banana", "errors<1", "p99<-3ms", "errors<nope%",
+		"goodput<400", "goodput>banana", "goodput>-5", "p99>5ms"} {
 		if _, err := parseSLO(bad); err == nil {
 			t.Errorf("parseSLO(%q) accepted", bad)
 		}
@@ -38,23 +47,31 @@ func TestParseSLO(t *testing.T) {
 }
 
 func TestEvalSLOGate(t *testing.T) {
-	overall := latencyReport{Count: 1000, P50ms: 1, P99ms: 4, P999ms: 8, MaxMs: 12, MeanMs: 1.5}
+	rep := &report{
+		Overall:       latencyReport{Count: 1000, P50ms: 1, P99ms: 4, P999ms: 8, MaxMs: 12, MeanMs: 1.5},
+		ErrorFraction: 0.002,
+		GoodputRate:   450,
+	}
 
-	pass, _ := parseSLO("p99<5ms,errors<1%")
-	if rep := evalSLO("x", pass, overall, 0.002); !rep.Pass {
-		t.Errorf("gate should pass above measured p99: %+v", rep.Checks)
+	pass, _ := parseSLO("p99<5ms,errors<1%,goodput>400")
+	if out := evalSLO("x", pass, rep); !out.Pass {
+		t.Errorf("gate should pass: %+v", out.Checks)
 	}
 	fail, _ := parseSLO("p99<3ms")
-	if rep := evalSLO("x", fail, overall, 0); rep.Pass {
+	if out := evalSLO("x", fail, rep); out.Pass {
 		t.Error("gate should fail below measured p99")
 	}
 	failErr, _ := parseSLO("p99<5ms,errors<0.1%")
-	rep := evalSLO("x", failErr, overall, 0.002)
-	if rep.Pass {
+	out := evalSLO("x", failErr, rep)
+	if out.Pass {
 		t.Error("gate should fail on the errors clause")
 	}
-	if !rep.Checks[0].Pass || rep.Checks[1].Pass {
-		t.Errorf("per-clause verdicts wrong: %+v", rep.Checks)
+	if !out.Checks[0].Pass || out.Checks[1].Pass {
+		t.Errorf("per-clause verdicts wrong: %+v", out.Checks)
+	}
+	failGood, _ := parseSLO("goodput>500")
+	if out := evalSLO("x", failGood, rep); out.Pass {
+		t.Error("gate should fail on goodput below the lower bound")
 	}
 }
 
@@ -184,6 +201,57 @@ func TestRunLoadCountsErrors(t *testing.T) {
 	}
 	if rep.ErrorFraction < 0.15 || rep.ErrorFraction > 0.35 {
 		t.Errorf("error fraction %.2f far from injected 0.25", rep.ErrorFraction)
+	}
+}
+
+// TestRunLoadCountsShedAndRetries pins the overload accounting: a
+// daemon refusing every request with 429 produces shed + retries, not
+// errors, zero goodput, and an empty accepted-latency distribution.
+func TestRunLoadCountsShedAndRetries(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "dim": 4, "nodes": 100})
+	})
+	mux.HandleFunc("/v1/neighbors", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep, err := runLoad(genConfig{
+		target:      srv.URL,
+		rate:        200,
+		duration:    250 * time.Millisecond,
+		workers:     8,
+		readFrac:    1,
+		k:           5,
+		zipfS:       1.1,
+		zipfV:       1,
+		seed:        1,
+		retries:     2,
+		retryBudget: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed != rep.Ops {
+		t.Errorf("shed = %d, want every op (%d)", rep.Shed, rep.Ops)
+	}
+	if rep.ShedFraction != 1 {
+		t.Errorf("shed fraction = %f, want 1", rep.ShedFraction)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d; a 429 must not count as an error", rep.Errors)
+	}
+	if rep.Retries != 2*rep.Ops {
+		t.Errorf("retries = %d, want 2 per op (%d)", rep.Retries, 2*rep.Ops)
+	}
+	if rep.GoodputRate != 0 {
+		t.Errorf("goodput = %f, want 0 when everything sheds", rep.GoodputRate)
+	}
+	if rep.Overall.Count != 0 {
+		t.Errorf("accepted-latency count = %d; shed requests must not enter the quantiles", rep.Overall.Count)
 	}
 }
 

@@ -28,20 +28,22 @@ import (
 
 func main() {
 	var (
-		target   = flag.String("target", "http://localhost:8080", "ehnad base URL")
-		rate     = flag.Float64("rate", 500, "intended arrival rate, requests/second")
-		duration = flag.Duration("duration", 10*time.Second, "length of the measured pass")
-		workers  = flag.Int("workers", 64, "max in-flight requests (queueing beyond this is measured, not avoided)")
-		readFrac = flag.Float64("read-frac", 0.9, "fraction of requests that are /v1/neighbors reads (the rest are upserts)")
-		k        = flag.Int("k", 10, "top-k per neighbor query")
-		dim      = flag.Int("dim", 0, "vector dimensionality (0 = read from /healthz)")
-		keys     = flag.Int("keys", 0, "key-space size for zipfian ids (0 = store size after preload)")
-		zipfS    = flag.Float64("zipf-s", 1.1, "zipf skew exponent (>1; larger = hotter hot keys)")
-		zipfV    = flag.Float64("zipf-v", 1, "zipf value offset (>=1)")
-		seed     = flag.Int64("seed", 1, "workload RNG seed")
-		preload  = flag.Int("preload", 0, "upsert this many random vectors (ids 0..n-1) before the pass")
-		sloExpr  = flag.String("slo", "", `pass/fail gate, e.g. "p99<5ms,errors<1%" (sets the exit code)`)
-		jsonPath = flag.String("json", "", `write the JSON report here ("-" = stdout)`)
+		target      = flag.String("target", "http://localhost:8080", "ehnad base URL")
+		rate        = flag.Float64("rate", 500, "intended arrival rate, requests/second")
+		duration    = flag.Duration("duration", 10*time.Second, "length of the measured pass")
+		workers     = flag.Int("workers", 64, "max in-flight requests (queueing beyond this is measured, not avoided)")
+		readFrac    = flag.Float64("read-frac", 0.9, "fraction of requests that are /v1/neighbors reads (the rest are upserts)")
+		k           = flag.Int("k", 10, "top-k per neighbor query")
+		dim         = flag.Int("dim", 0, "vector dimensionality (0 = read from /healthz)")
+		keys        = flag.Int("keys", 0, "key-space size for zipfian ids (0 = store size after preload)")
+		zipfS       = flag.Float64("zipf-s", 1.1, "zipf skew exponent (>1; larger = hotter hot keys)")
+		zipfV       = flag.Float64("zipf-v", 1, "zipf value offset (>=1)")
+		seed        = flag.Int64("seed", 1, "workload RNG seed")
+		preload     = flag.Int("preload", 0, "upsert this many random vectors (ids 0..n-1) before the pass")
+		retries     = flag.Int("retries", 0, "extra attempts after a 429 shed, jittered exponential backoff between")
+		retryBudget = flag.Duration("retry-budget", time.Second, "max time (from a request's intended start) its retries may consume")
+		sloExpr     = flag.String("slo", "", `pass/fail gate, e.g. "p99<5ms,errors<1%,goodput>400" (sets the exit code)`)
+		jsonPath    = flag.String("json", "", `write the JSON report here ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -60,25 +62,27 @@ func main() {
 	}
 
 	rep, err := runLoad(genConfig{
-		target:   strings.TrimRight(*target, "/"),
-		rate:     *rate,
-		duration: *duration,
-		workers:  *workers,
-		readFrac: *readFrac,
-		k:        *k,
-		dim:      *dim,
-		keys:     *keys,
-		zipfS:    *zipfS,
-		zipfV:    *zipfV,
-		seed:     *seed,
-		preload:  *preload,
+		target:      strings.TrimRight(*target, "/"),
+		rate:        *rate,
+		duration:    *duration,
+		workers:     *workers,
+		readFrac:    *readFrac,
+		k:           *k,
+		dim:         *dim,
+		keys:        *keys,
+		zipfS:       *zipfS,
+		zipfV:       *zipfV,
+		seed:        *seed,
+		preload:     *preload,
+		retries:     *retries,
+		retryBudget: *retryBudget,
 	})
 	if err != nil {
 		log.Printf("ehnad-loadgen: %v", err)
 		os.Exit(2)
 	}
 	if len(checks) > 0 {
-		rep.SLO = evalSLO(*sloExpr, checks, rep.Overall, rep.ErrorFraction)
+		rep.SLO = evalSLO(*sloExpr, checks, rep)
 	}
 
 	printHuman(rep)
@@ -115,7 +119,8 @@ func printHuman(rep *report) {
 	row("reads", rep.Read)
 	row("writes", rep.Write)
 	row("overall", rep.Overall)
-	fmt.Printf("  errors: %d (%.3f%%)\n", rep.Errors, rep.ErrorFraction*100)
+	fmt.Printf("  goodput: %.1f/s  shed: %d (%.3f%%, %d retries)  errors: %d (%.3f%%)\n",
+		rep.GoodputRate, rep.Shed, rep.ShedFraction*100, rep.Retries, rep.Errors, rep.ErrorFraction*100)
 	if rep.SLO != nil {
 		parts := make([]string, len(rep.SLO.Checks))
 		for i, c := range rep.SLO.Checks {

@@ -1,6 +1,9 @@
-// The SLO gate: -slo "p99<5ms,errors<1%" turns a load run into a
-// pass/fail check a CI pipeline can trust — exit 0 when every clause
-// holds against the overall latency distribution, exit 1 otherwise.
+// The SLO gate: -slo "p99<5ms,errors<1%,goodput>400" turns a load run
+// into a pass/fail check a CI pipeline can trust — exit 0 when every
+// clause holds, exit 1 otherwise. Latency and error clauses are upper
+// bounds (<); goodput is a lower bound (>), because under overload the
+// honest question is not "how fast were the refusals" but "how much
+// real work still completed per second".
 package main
 
 import (
@@ -10,17 +13,20 @@ import (
 	"time"
 )
 
-// sloCheck is one parsed clause: a metric name and its upper bound
-// (seconds for latency metrics, a fraction for errors).
+// sloCheck is one parsed clause: a metric name, its bound, and the
+// bound's direction (latency seconds / error fraction are upper
+// bounds, goodput requests-per-second is a lower bound).
 type sloCheck struct {
 	expr   string
-	metric string  // p50 | p90 | p99 | p999 | mean | max | errors
-	limit  float64 // seconds, or error fraction
+	metric string  // p50 | p90 | p99 | p999 | mean | max | errors | goodput
+	limit  float64 // seconds, error fraction, or req/s for goodput
+	lower  bool    // true: value must exceed limit (goodput)
 }
 
-// parseSLO parses a comma-separated clause list. Every clause is
-// METRIC<BOUND: latency bounds are Go durations ("5ms", "800us"),
-// the errors bound is a percentage ("1%", "0.5%").
+// parseSLO parses a comma-separated clause list. Latency clauses are
+// METRIC<DURATION ("p99<5ms"), the errors clause is a percentage
+// ("errors<1%"), and goodput is a rate lower bound ("goodput>400",
+// requests per second).
 func parseSLO(s string) ([]sloCheck, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -29,9 +35,21 @@ func parseSLO(s string) ([]sloCheck, error) {
 	var checks []sloCheck
 	for _, clause := range strings.Split(s, ",") {
 		clause = strings.TrimSpace(clause)
+		if metric, bound, ok := strings.Cut(clause, ">"); ok {
+			metric, bound = strings.TrimSpace(metric), strings.TrimSpace(bound)
+			if metric != "goodput" {
+				return nil, fmt.Errorf("slo clause %q: only goodput takes a lower bound (>)", clause)
+			}
+			v, err := strconv.ParseFloat(bound, 64)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("slo clause %q: bad rate %q (want requests/second)", clause, bound)
+			}
+			checks = append(checks, sloCheck{expr: clause, metric: metric, limit: v, lower: true})
+			continue
+		}
 		metric, bound, ok := strings.Cut(clause, "<")
 		if !ok {
-			return nil, fmt.Errorf("slo clause %q: want METRIC<BOUND", clause)
+			return nil, fmt.Errorf("slo clause %q: want METRIC<BOUND or goodput>RATE", clause)
 		}
 		metric, bound = strings.TrimSpace(metric), strings.TrimSpace(bound)
 		c := sloCheck{expr: clause, metric: metric}
@@ -52,8 +70,10 @@ func parseSLO(s string) ([]sloCheck, error) {
 				return nil, fmt.Errorf("slo clause %q: bad duration %q", clause, bound)
 			}
 			c.limit = d.Seconds()
+		case "goodput":
+			return nil, fmt.Errorf("slo clause %q: goodput is a lower bound, write goodput>RATE", clause)
 		default:
-			return nil, fmt.Errorf("slo clause %q: unknown metric %q (want p50, p90, p99, p999, mean, max or errors)", clause, metric)
+			return nil, fmt.Errorf("slo clause %q: unknown metric %q (want p50, p90, p99, p999, mean, max, errors or goodput)", clause, metric)
 		}
 		checks = append(checks, c)
 	}
@@ -63,7 +83,7 @@ func parseSLO(s string) ([]sloCheck, error) {
 // sloResult is one evaluated clause.
 type sloResult struct {
 	Expr  string  `json:"expr"`
-	Value float64 `json:"value"` // seconds, or error fraction
+	Value float64 `json:"value"` // seconds, error fraction, or req/s
 	Pass  bool    `json:"pass"`
 }
 
@@ -74,36 +94,44 @@ type sloReport struct {
 	Checks []sloResult `json:"checks"`
 }
 
-// evalSLO evaluates every clause against the overall latency summary
-// and the observed error fraction — the same numbers the report
-// prints, so a FAIL is always explainable from the report alone.
-func evalSLO(expr string, checks []sloCheck, overall latencyReport, errFrac float64) *sloReport {
-	rep := &sloReport{Expr: expr, Pass: true}
+// evalSLO evaluates every clause against the run report — the same
+// numbers the report prints, so a FAIL is always explainable from the
+// report alone. Latency clauses read the overall (accepted-request)
+// distribution; goodput reads the completed-request rate.
+func evalSLO(expr string, checks []sloCheck, rep *report) *sloReport {
+	out := &sloReport{Expr: expr, Pass: true}
 	for _, c := range checks {
 		var v float64
 		switch c.metric {
 		case "errors":
-			v = errFrac
+			v = rep.ErrorFraction
+		case "goodput":
+			v = rep.GoodputRate
 		case "p50":
-			v = overall.P50ms / 1e3
+			v = rep.Overall.P50ms / 1e3
 		case "p90":
-			v = overall.P90ms / 1e3
+			v = rep.Overall.P90ms / 1e3
 		case "p99":
-			v = overall.P99ms / 1e3
+			v = rep.Overall.P99ms / 1e3
 		case "p999":
-			v = overall.P999ms / 1e3
+			v = rep.Overall.P999ms / 1e3
 		case "mean":
-			v = overall.MeanMs / 1e3
+			v = rep.Overall.MeanMs / 1e3
 		case "max":
-			v = overall.MaxMs / 1e3
+			v = rep.Overall.MaxMs / 1e3
 		}
-		res := sloResult{Expr: c.expr, Value: v, Pass: v < c.limit}
+		res := sloResult{Expr: c.expr, Value: v}
+		if c.lower {
+			res.Pass = v > c.limit
+		} else {
+			res.Pass = v < c.limit
+		}
 		if !res.Pass {
-			rep.Pass = false
+			out.Pass = false
 		}
-		rep.Checks = append(rep.Checks, res)
+		out.Checks = append(out.Checks, res)
 	}
-	return rep
+	return out
 }
 
 // describe renders one result for the human report.
@@ -112,8 +140,12 @@ func (r sloResult) describe() string {
 	if !r.Pass {
 		verdict = "FAIL"
 	}
-	if strings.HasPrefix(r.Expr, "errors") {
+	switch {
+	case strings.HasPrefix(r.Expr, "errors"):
 		return fmt.Sprintf("%s %s (%.3f%%)", r.Expr, verdict, r.Value*100)
+	case strings.HasPrefix(r.Expr, "goodput"):
+		return fmt.Sprintf("%s %s (%.1f/s)", r.Expr, verdict, r.Value)
+	default:
+		return fmt.Sprintf("%s %s (%.3fms)", r.Expr, verdict, r.Value*1e3)
 	}
-	return fmt.Sprintf("%s %s (%.3fms)", r.Expr, verdict, r.Value*1e3)
 }

@@ -21,6 +21,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -52,12 +53,14 @@ func crashTestConfig(walDir string) serverConfig {
 }
 
 // TestCrashDaemonHelper is the child-process entry point, not a test:
-// re-exec'd by TestCrashRecoveryE2E with EHNAD_CRASH_HELPER=1, it
-// boots the full daemon stack over the WAL directory in EHNAD_WAL,
-// prints the listen address, and serves until it is killed.
+// re-exec'd by the crash tests with EHNAD_CRASH_HELPER=1, it boots the
+// full daemon stack over the WAL directory in EHNAD_WAL, prints the
+// listen address, and runs the production serve loop — so a SIGKILL
+// exercises the no-shutdown path and a SIGTERM exercises the real
+// graceful drain (batcher close, WAL fsync, final snapshot pair).
 func TestCrashDaemonHelper(t *testing.T) {
 	if os.Getenv("EHNAD_CRASH_HELPER") != "1" {
-		t.Skip("helper-process entry point; driven by TestCrashRecoveryE2E")
+		t.Skip("helper-process entry point; driven by TestCrashRecoveryE2E and TestGracefulSIGTERM")
 	}
 	srv, err := buildServer(crashTestConfig(os.Getenv("EHNAD_WAL")))
 	if err != nil {
@@ -70,7 +73,11 @@ func TestCrashDaemonHelper(t *testing.T) {
 		os.Exit(1)
 	}
 	fmt.Printf("HELPER_ADDR=%s\n", ln.Addr())
-	_ = http.Serve(ln, srv.handler()) // runs until SIGKILL
+	if err := runDaemon(srv, ln); err != nil {
+		fmt.Printf("HELPER_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0) // clean drain; don't fall through to the test runner's exit
 }
 
 // crashOp is one client-side mutation, mirrored into the reference
@@ -129,13 +136,11 @@ func (op crashOp) applyTo(t *testing.T, s *embstore.Store) {
 	}
 }
 
-func TestCrashRecoveryE2E(t *testing.T) {
-	if testing.Short() {
-		t.Skip("spawns a process and fsyncs every write; skipped under -short")
-	}
-	walDir := t.TempDir()
-
-	// ---- Phase 1: live daemon process, randomized write stream, SIGKILL.
+// startCrashHelper re-execs this test binary into helper mode over
+// walDir and waits for its listen address. The caller owns the
+// process's fate (SIGKILL or SIGTERM + Wait).
+func startCrashHelper(t *testing.T, walDir string) (*exec.Cmd, string) {
+	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashDaemonHelper$", "-test.v")
 	cmd.Env = append(os.Environ(), "EHNAD_CRASH_HELPER=1", "EHNAD_WAL="+walDir)
 	stdout, err := cmd.StdoutPipe()
@@ -146,7 +151,7 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer cmd.Process.Kill()
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
 
 	addrC := make(chan string, 1)
 	go func() {
@@ -162,16 +167,26 @@ func TestCrashRecoveryE2E(t *testing.T) {
 			}
 		}
 	}()
-	var base string
 	select {
 	case addr := <-addrC:
 		if addr == "" {
 			t.Fatal("helper failed to boot")
 		}
-		base = "http://" + addr
+		return cmd, "http://" + addr
 	case <-time.After(60 * time.Second):
 		t.Fatal("helper never reported its address")
 	}
+	panic("unreachable")
+}
+
+func TestCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a process and fsyncs every write; skipped under -short")
+	}
+	walDir := t.TempDir()
+
+	// ---- Phase 1: live daemon process, randomized write stream, SIGKILL.
+	cmd, base := startCrashHelper(t, walDir)
 
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	reference, err := embstore.New(crashDim, 4)
@@ -348,5 +363,58 @@ func TestCrashRecoveryE2E(t *testing.T) {
 		t.Fatalf("rebooted index is %T", srv2.liveIndex())
 	} else if _, tombs, _ := h2.Stats(); tombs != 0 {
 		t.Errorf("rebooted graph carries %d tombstones despite fresh compacted snapshot", tombs)
+	}
+}
+
+// TestGracefulSIGTERM is the clean-exit counterpart of the SIGKILL
+// drill: after an acknowledged write stream, SIGTERM must drain the
+// daemon through the production shutdown path — exit status 0 and a
+// final snapshot pair covering every acked op, so the next boot
+// replays zero WAL records and serves the exact acked state.
+func TestGracefulSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a process and fsyncs every write; skipped under -short")
+	}
+	walDir := t.TempDir()
+	cmd, base := startCrashHelper(t, walDir)
+
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	reference, err := embstore.New(crashDim, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 50; i++ {
+		op := randomCrashOp(rng)
+		if err := op.post(client, base); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		op.applyTo(t, reference)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitC := make(chan error, 1)
+	go func() { waitC <- cmd.Wait() }()
+	select {
+	case err := <-waitC:
+		if err != nil {
+			t.Fatalf("helper did not exit 0 after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("helper did not exit within 30s of SIGTERM")
+	}
+
+	srv, err := buildServer(crashTestConfig(walDir))
+	if err != nil {
+		t.Fatalf("post-SIGTERM boot: %v", err)
+	}
+	defer srv.close()
+	if srv.dur.replayed != 0 {
+		t.Errorf("replayed %d WAL records after graceful shutdown, want 0", srv.dur.replayed)
+	}
+	if !srv.store.Equal(reference) {
+		t.Fatal("recovered store diverges from the acked write stream")
 	}
 }

@@ -24,9 +24,22 @@
 // maintenance loop rebuilds the graph from the store in the background
 // and atomically swaps it in (see ann.Swapper), then rotates a
 // snapshot so the on-disk graph is fresh too.
+//
+// Read-only degraded mode: the first append or fsync failure poisons
+// the log (wal's sticky syncErr), so instead of acknowledging writes
+// it cannot persist the daemon flips readOnly and refuses mutations at
+// the front door with errReadOnly (503 at the HTTP layer, with
+// Retry-After). Searches keep serving throughout. A background heal
+// loop periodically reopens the log directory (repairing any torn tail
+// the failure left), probes it with a real fsync, and — only after a
+// successful reconciliation snapshot of the in-memory state — resumes
+// writes. The gate sitting in front of append keeps the ambiguity
+// window minimal: only operations already in flight when the fault hit
+// can end up applied-but-unacknowledged.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -36,7 +49,9 @@ import (
 
 	"ehna/internal/ann"
 	"ehna/internal/embstore"
+	"ehna/internal/faultfs"
 	"ehna/internal/graph"
+	"ehna/internal/obs"
 	"ehna/internal/wal"
 )
 
@@ -44,12 +59,23 @@ import (
 // tombstone ratio. Cheap (two ints under RLock), so frequent.
 const compactCheckEvery = 5 * time.Second
 
+// healCheckEvery is how often the maintenance loop retries a WAL heal
+// while the daemon is read-only.
+const healCheckEvery = time.Second
+
+// errReadOnly is returned to mutations while the daemon is in
+// read-only degraded mode. The HTTP layer maps it to 503.
+var errReadOnly = errors.New("read-only mode: WAL persistence failed; writes disabled until the log heals")
+
 type durable struct {
-	mu    sync.Mutex // the applier lock; see the package comment
-	log   *wal.Log
+	mu   sync.Mutex // the applier lock; see the package comment
+	logp atomic.Pointer[wal.Log]
+
 	sw    *ann.Swapper
 	store *embstore.Store
 
+	walDir    string
+	walOpts   wal.Options
 	snapPath  string
 	graphPath string // "" unless the index is hnsw
 	hnswCfg   ann.HNSWConfig
@@ -59,6 +85,8 @@ type durable struct {
 
 	stop chan struct{}
 	done chan struct{}
+
+	reg *obs.Registry // set by registerMetrics; heal() re-binds WAL gauges
 
 	replayed        int // records recovered at boot
 	replayTorn      bool
@@ -70,7 +98,18 @@ type durable struct {
 	lastCompaction  atomic.Int64 // unix seconds
 	snapshotErrs    atomic.Int64
 	lastSnapshotErr atomic.Value // string
+
+	readOnly      atomic.Bool
+	readOnlyCause atomic.Value // string
+	readOnlySince atomic.Int64 // unix seconds
+	healAttempts  atomic.Int64
+	heals         atomic.Int64
 }
+
+// wal returns the live log. An atomic pointer because heal() swaps in
+// a fresh log while metrics closures and late Commit calls may still
+// hold the old one.
+func (d *durable) wal() *wal.Log { return d.logp.Load() }
 
 // newDurable recovers state (WAL replay over the already-loaded
 // snapshot), opens the log for appending (repairing any torn tail),
@@ -79,6 +118,7 @@ func newDurable(cfg serverConfig, store *embstore.Store, sw *ann.Swapper, waterm
 	d := &durable{
 		sw:        sw,
 		store:     store,
+		walDir:    cfg.walDir,
 		snapPath:  walSnapshotPath(cfg.walDir),
 		hnswCfg:   hnswConfigOf(cfg.index),
 		isHNSW:    cfg.index.kind == "hnsw",
@@ -92,8 +132,12 @@ func newDurable(cfg serverConfig, store *embstore.Store, sw *ann.Swapper, waterm
 	}
 	d.watermark.Store(watermark)
 
+	fsys := cfg.fs
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
 	// Recovery: replay the log suffix through the index (graph + store).
-	info, err := wal.Replay(cfg.walDir, watermark, func(r wal.Record) error {
+	info, err := wal.ReplayFS(fsys, cfg.walDir, watermark, func(r wal.Record) error {
 		switch r.Op {
 		case wal.OpUpsert:
 			return sw.Add(r.ID, r.Vec)
@@ -119,11 +163,69 @@ func newDurable(cfg serverConfig, store *embstore.Store, sw *ann.Swapper, waterm
 	if err != nil {
 		return nil, err
 	}
-	if d.log, err = wal.Open(cfg.walDir, wal.Options{Sync: policy, Interval: ivl}); err != nil {
+	d.walOpts = wal.Options{Sync: policy, Interval: ivl, FS: cfg.fs}
+	l, err := wal.Open(cfg.walDir, d.walOpts)
+	if err != nil {
 		return nil, fmt.Errorf("wal open: %w", err)
 	}
+	d.logp.Store(l)
 	go d.run()
 	return d, nil
+}
+
+// enterReadOnly flips the daemon into read-only degraded mode on the
+// first persistence failure. Idempotent; later failures keep the
+// original cause.
+func (d *durable) enterReadOnly(cause error) {
+	if !d.readOnly.CompareAndSwap(false, true) {
+		return
+	}
+	d.readOnlyCause.Store(cause.Error())
+	d.readOnlySince.Store(time.Now().Unix())
+	log.Printf("ehnad: entering read-only mode: %v (searches keep serving; writes refuse with 503 until the WAL heals)", cause)
+}
+
+// isReadOnly reports whether mutations are currently refused.
+func (d *durable) isReadOnly() bool { return d.readOnly.Load() }
+
+// heal tries to exit read-only mode: close the poisoned log, reopen
+// the directory (wal.Open truncates any torn tail the failed writes
+// left), probe the fresh log with a real fsync, and rotate a
+// reconciliation snapshot of the in-memory state before accepting
+// writes again. The snapshot matters: operations that were applied in
+// memory but torn out of the failed log would otherwise be silently
+// missing from a later recovery. Any step failing leaves the daemon
+// read-only for the next tick to retry.
+func (d *durable) heal() {
+	d.healAttempts.Add(1)
+	d.mu.Lock()
+	old := d.wal()
+	_ = old.Close() // flush what it still can; errors are expected here
+	fresh, err := wal.Open(d.walDir, d.walOpts)
+	if err != nil {
+		d.mu.Unlock()
+		log.Printf("ehnad: wal heal: reopen: %v (still read-only)", err)
+		return
+	}
+	if err := fresh.Sync(); err != nil {
+		fresh.Close()
+		d.mu.Unlock()
+		log.Printf("ehnad: wal heal: fsync probe: %v (still read-only)", err)
+		return
+	}
+	d.logp.Store(fresh)
+	d.mu.Unlock()
+
+	if d.reg != nil {
+		fresh.RegisterMetrics(d.reg) // GaugeFunc re-registration re-binds to the live log
+	}
+	if _, err := d.snapshot(); err != nil {
+		log.Printf("ehnad: wal heal: reconciliation snapshot: %v (still read-only)", err)
+		return
+	}
+	d.heals.Add(1)
+	d.readOnly.Store(false)
+	log.Printf("ehnad: wal healed after %d attempts; leaving read-only mode", d.healAttempts.Load())
 }
 
 // upsert logs then applies a batch of updates, acknowledging only
@@ -133,14 +235,19 @@ func newDurable(cfg serverConfig, store *embstore.Store, sw *ann.Swapper, waterm
 // Append+apply run under d.mu (preserving the watermark invariant);
 // the durability wait happens after the lock drops, so concurrent
 // requests group-commit behind one fsync instead of each paying a
-// serialized sync.
+// serialized sync. The read-only gate sits in front of the append so
+// a poisoned log refuses work before mutating anything.
 func (d *durable) upsert(updates []upsertUpdate) error {
+	if d.readOnly.Load() {
+		return errReadOnly
+	}
 	recs := make([]wal.Record, len(updates))
 	for i, u := range updates {
 		recs[i] = wal.Record{Op: wal.OpUpsert, ID: *u.ID, Vec: u.Vector}
 	}
 	d.mu.Lock()
-	last, err := d.log.AppendBuffered(recs)
+	lg := d.wal()
+	last, err := lg.AppendBuffered(recs)
 	if err == nil {
 		for _, u := range updates {
 			if err = d.sw.Add(*u.ID, u.Vector); err != nil {
@@ -150,21 +257,32 @@ func (d *durable) upsert(updates []upsertUpdate) error {
 	}
 	d.mu.Unlock()
 	if err != nil {
-		return fmt.Errorf("wal append: %w", err)
+		err = fmt.Errorf("wal append: %w", err)
+		d.enterReadOnly(err)
+		return err
 	}
-	return d.log.Commit(last)
+	if err := lg.Commit(last); err != nil {
+		err = fmt.Errorf("wal commit: %w", err)
+		d.enterReadOnly(err)
+		return err
+	}
+	return nil
 }
 
 // delete logs then applies removals, reporting how many were present.
 // Same locking shape as upsert: append+apply inside d.mu, durability
 // wait (group-committed) outside it.
 func (d *durable) delete(ids []graph.NodeID) (int, error) {
+	if d.readOnly.Load() {
+		return 0, errReadOnly
+	}
 	recs := make([]wal.Record, len(ids))
 	for i, id := range ids {
 		recs[i] = wal.Record{Op: wal.OpDelete, ID: id}
 	}
 	d.mu.Lock()
-	last, err := d.log.AppendBuffered(recs)
+	lg := d.wal()
+	last, err := lg.AppendBuffered(recs)
 	n := 0
 	if err == nil {
 		for _, id := range ids {
@@ -175,9 +293,16 @@ func (d *durable) delete(ids []graph.NodeID) (int, error) {
 	}
 	d.mu.Unlock()
 	if err != nil {
-		return 0, fmt.Errorf("wal append: %w", err)
+		err = fmt.Errorf("wal append: %w", err)
+		d.enterReadOnly(err)
+		return 0, err
 	}
-	return n, d.log.Commit(last)
+	if err := lg.Commit(last); err != nil {
+		err = fmt.Errorf("wal commit: %w", err)
+		d.enterReadOnly(err)
+		return n, err
+	}
+	return n, nil
 }
 
 // snapshot rotates the WAL and writes the store (+ graph) snapshot
@@ -189,7 +314,7 @@ func (d *durable) snapshot() (uint64, error) {
 	wm, err := func() (uint64, error) {
 		d.mu.Lock()
 		defer d.mu.Unlock()
-		wm, err := d.log.Rotate()
+		wm, err := d.wal().Rotate()
 		if err != nil {
 			return 0, fmt.Errorf("wal rotate: %w", err)
 		}
@@ -218,7 +343,7 @@ func (d *durable) snapshot() (uint64, error) {
 	d.snapshots.Add(1)
 	d.lastSnapshot.Store(time.Now().Unix())
 	snapshotHist.ObserveSince(start)
-	if err := d.log.TruncateThrough(wm); err != nil {
+	if err := d.wal().TruncateThrough(wm); err != nil {
 		// The snapshot is good; stale segments just linger until the
 		// next rotation. Worth a log line, not a failed snapshot.
 		log.Printf("ehnad: wal truncate through %d: %v", wm, err)
@@ -259,14 +384,17 @@ func (d *durable) compact(force bool) (bool, error) {
 	compactionHist.ObserveSince(start)
 	log.Printf("ehnad: hnsw compaction: %d nodes, %d tombstones after rebuild in %v",
 		alive, tombs, time.Since(start).Round(time.Millisecond))
+	if d.readOnly.Load() {
+		return true, nil // the heal's reconciliation snapshot will cover it
+	}
 	if _, err := d.snapshot(); err != nil {
 		log.Printf("ehnad: post-compaction snapshot: %v", err)
 	}
 	return true, nil
 }
 
-// run is the maintenance loop: periodic snapshot rotation and
-// tombstone-triggered compaction.
+// run is the maintenance loop: periodic snapshot rotation, tombstone-
+// triggered compaction, and — while read-only — WAL heal retries.
 func (d *durable) run() {
 	defer close(d.done)
 	var snapC <-chan time.Time
@@ -281,15 +409,24 @@ func (d *durable) run() {
 		defer t.Stop()
 		compactC = t.C
 	}
+	healT := time.NewTicker(healCheckEvery)
+	defer healT.Stop()
 	for {
 		select {
 		case <-snapC:
+			if d.readOnly.Load() {
+				continue // rotation needs a working log; heal goes first
+			}
 			if _, err := d.snapshot(); err != nil {
 				log.Printf("ehnad: background snapshot: %v", err)
 			}
 		case <-compactC:
 			if _, err := d.compact(false); err != nil && err != ann.ErrRebuildInProgress {
 				log.Printf("ehnad: background compaction: %v", err)
+			}
+		case <-healT.C:
+			if d.readOnly.Load() {
+				d.heal()
 			}
 		case <-d.stop:
 			return
@@ -298,11 +435,29 @@ func (d *durable) run() {
 }
 
 // close stops the maintenance loop and closes the log (flushing and
-// fsyncing whatever the policy had not yet synced).
+// fsyncing whatever the policy had not yet synced). The fast path: no
+// final snapshot, so the next boot replays the WAL suffix.
 func (d *durable) close() {
 	close(d.stop)
 	<-d.done
-	if err := d.log.Close(); err != nil {
+	if err := d.wal().Close(); err != nil {
+		log.Printf("ehnad: wal close: %v", err)
+	}
+}
+
+// shutdown is the graceful exit: stop the maintenance loop, rotate a
+// final snapshot pair (so the next boot replays zero records), and
+// close the log. Skips the snapshot while read-only — a poisoned log
+// cannot rotate, and the WAL suffix already on disk is the recovery.
+func (d *durable) shutdown() {
+	close(d.stop)
+	<-d.done
+	if !d.readOnly.Load() {
+		if _, err := d.snapshot(); err != nil {
+			log.Printf("ehnad: final snapshot: %v (boot will replay the wal instead)", err)
+		}
+	}
+	if err := d.wal().Close(); err != nil {
 		log.Printf("ehnad: wal close: %v", err)
 	}
 }
@@ -329,6 +484,18 @@ func (d *durable) healthz(m *serverMetrics) map[string]any {
 		"replayed_records": int(g("ehnad_replayed_records")),
 		"replay_torn_tail": g("ehnad_replay_torn_tail") != 0,
 	}
+	ro := map[string]any{
+		"read_only":     g("ehnad_read_only") != 0,
+		"heal_attempts": int64(g("ehnad_wal_heal_attempts")),
+		"heals":         int64(g("ehnad_wal_heals")),
+	}
+	if d.readOnly.Load() {
+		ro["since_unix"] = int64(g("ehnad_read_only_since_unix"))
+		if msg, ok := d.readOnlyCause.Load().(string); ok {
+			ro["cause"] = msg
+		}
+	}
+	out["write_path"] = ro
 	if d.isHNSW {
 		out["compaction"] = map[string]any{
 			"running":         g("ehnad_compaction_running") != 0,

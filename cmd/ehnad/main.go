@@ -60,6 +60,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -70,6 +71,7 @@ import (
 
 	"ehna/internal/ann"
 	"ehna/internal/embstore"
+	"ehna/internal/faultfs"
 )
 
 func main() {
@@ -97,8 +99,23 @@ func main() {
 		fsync     = flag.String("fsync", "always", "wal fsync policy: always (group commit, crash-safe), never, or a flush interval like 100ms")
 		snapEvery = flag.Duration("snapshot-interval", 5*time.Minute, "wal: background snapshot rotation period (0 disables; snapshots can still be forced via /v1/admin/snapshot)")
 		compactAt = flag.Float64("compact-at", 0.2, "hnsw+wal: tombstone ratio that triggers a background compaction rebuild (<=0 disables)")
+		deadline  = flag.Duration("default-deadline", 2*time.Second, "per-request time budget when the client sends none (deadline_ms field or X-Ehnad-Deadline-Ms header override; 0 disables)")
+		inflight  = flag.Int("max-inflight", 256, "max concurrently served /v1/neighbors requests; excess sheds with 429 (0 = unlimited)")
+		queueCap  = flag.Int("queue-depth", 0, "micro-batcher admission queue capacity; a full queue sheds with 429 (0 = 4×max-batch)")
+		efFloor   = flag.Int("ef-floor", 16, "hnsw: lowest ef-search the overload degrader may shrink the beam to under sustained queue pressure (0 disables adaptation)")
+		faultSpec = flag.String("fault", "", `wal fault-injection spec for chaos drills, e.g. "sync:after=100,count=3;write:enospc,p=0.01,seed=7" (see internal/faultfs)`)
 	)
 	flag.Parse()
+
+	var fsys faultfs.FS
+	if *faultSpec != "" {
+		inj, err := faultfs.Parse(*faultSpec, faultfs.OS())
+		if err != nil {
+			log.Fatalf("ehnad: -fault: %v", err)
+		}
+		fsys = inj
+		log.Printf("ehnad: WAL fault injection armed: %s", *faultSpec)
+	}
 
 	mt, err := ann.ParseMetric(*metric)
 	if err != nil {
@@ -133,36 +150,61 @@ func main() {
 		fsync:            *fsync,
 		snapshotInterval: *snapEvery,
 		compactAt:        *compactAt,
+		defaultDeadline:  *deadline,
+		maxInflight:      *inflight,
+		queueDepth:       *queueCap,
+		efFloor:          *efFloor,
+		fs:               fsys,
 	})
 	if err != nil {
 		log.Fatalf("ehnad: %v", err)
 	}
-	defer srv.close()
 	log.Printf("ehnad: store loaded: %d nodes × %d dims across %d shards at %s (%d bytes/vector), %s index (%s metric)",
 		srv.store.Len(), srv.store.Dim(), srv.store.NumShards(),
 		srv.store.Precision(), srv.store.Precision().BytesPerVector(srv.store.Dim()), *indexKind, mt)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
-	done := make(chan struct{})
-	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Print("ehnad: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = httpSrv.Shutdown(ctx)
-		close(done)
-	}()
-
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.close()
+		log.Fatalf("ehnad: %v", err)
+	}
 	if *pprofOn {
 		log.Printf("ehnad: pprof mounted at %s/debug/pprof/", *addr)
 	}
 	log.Printf("ehnad: listening on %s", *addr)
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	if err := runDaemon(srv, ln); err != nil {
+		srv.close()
 		log.Fatalf("ehnad: %v", err)
 	}
+}
+
+// runDaemon serves srv on ln until SIGTERM/SIGINT, then exits
+// gracefully: stop accepting and drain in-flight HTTP (readiness flips
+// not-ready first, so balancers stop routing), drain the micro-batcher,
+// fsync the WAL, and rotate a final snapshot pair — a clean exit
+// replays zero records on the next boot. Shared with the crash-test
+// helper process so the signal path under test is the production one.
+func runDaemon(srv *server, ln net.Listener) error {
+	httpSrv := &http.Server{Handler: srv.handler()}
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("ehnad: shutting down: draining requests, flushing WAL, rotating final snapshot")
+		srv.draining.Store(true)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		srv.shutdown()
+		close(done)
+	}()
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
 	<-done
+	log.Print("ehnad: shutdown complete")
+	return nil
 }
 
 // serverConfig is everything buildServer needs: the flag set, parsed.
@@ -183,6 +225,14 @@ type serverConfig struct {
 	fsync            string
 	snapshotInterval time.Duration
 	compactAt        float64
+
+	// Overload-control plane (zero values = permissive defaults that
+	// keep existing tests and embedders behaving as before).
+	defaultDeadline time.Duration
+	maxInflight     int
+	queueDepth      int
+	efFloor         int
+	fs              faultfs.FS // nil = the real filesystem
 }
 
 // buildServer assembles store, index and (with a WAL dir) the
@@ -239,7 +289,12 @@ func buildServer(cfg serverConfig) (*server, error) {
 		return nil, err
 	}
 	sw := ann.NewSwapper(index)
-	srv := newServer(store, sw, cfg.index.kind, cfg.maxBatch, cfg.window)
+	srv := newServer(store, sw, cfg.index.kind, cfg.maxBatch, cfg.window, serveOpts{
+		defaultDeadline: cfg.defaultDeadline,
+		maxInflight:     cfg.maxInflight,
+		queueDepth:      cfg.queueDepth,
+		efFloor:         cfg.efFloor,
+	})
 	srv.pprof = cfg.pprof
 	if cfg.pprof {
 		// Sampled mutex/block profiles so /debug/pprof/mutex and /block

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -37,7 +38,7 @@ func newTestServer(t *testing.T, store *embstore.Store, indexKind string) (*serv
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(store, index, indexKind, 64, time.Millisecond)
+	srv := newServer(store, index, indexKind, 64, time.Millisecond, serveOpts{})
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(func() { ts.Close(); srv.close() })
 	return srv, ts
@@ -329,7 +330,7 @@ func TestConcurrentNeighborsThroughBatcher(t *testing.T) {
 func TestBatcherShutdownUnblocksCallers(t *testing.T) {
 	store, _ := trainedStore(t)
 	index := ann.NewExact(store, ann.Cosine)
-	b := newBatcher(index, 64, 50*time.Millisecond)
+	b := newBatcher(index, 64, 50*time.Millisecond, 0, nil)
 	q := mustGet(t, store, 0)
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
@@ -338,7 +339,7 @@ func TestBatcherShutdownUnblocksCallers(t *testing.T) {
 			defer wg.Done()
 			// Either a real result (flushed before close) or errShutdown —
 			// never a hang.
-			_, buf, _ := b.do(q, 3)
+			_, buf, _, _ := b.do(context.Background(), q, 3)
 			buf.release()
 		}()
 	}

@@ -36,6 +36,21 @@ var (
 		"Duration of one snapshot rotation (WAL rotate + store/graph save).")
 	compactionHist = obs.Default().Histogram("ehnad_compaction_seconds",
 		"Duration of one HNSW compaction rebuild (excludes the follow-up snapshot).")
+
+	// The overload-control plane: admission decisions and queue waits.
+	queueWaitHist = obs.Default().Histogram("ehnad_queue_wait_seconds",
+		"Time a neighbor query waited for a micro-batch slot before its search began.")
+	acceptedTotal = obs.Default().Counter("ehnad_requests_accepted_total",
+		"Neighbor queries admitted to a search batch.")
+	shedHelp      = "Requests refused at admission, by reason."
+	shedQueueFull = obs.Default().Counter("ehnad_requests_shed_total", shedHelp,
+		obs.L("reason", "queue_full"))
+	shedDeadline = obs.Default().Counter("ehnad_requests_shed_total", shedHelp,
+		obs.L("reason", "deadline"))
+	shedInflight = obs.Default().Counter("ehnad_requests_shed_total", shedHelp,
+		obs.L("reason", "inflight"))
+	expiredInQueue = obs.Default().Counter("ehnad_requests_expired_total",
+		"Requests whose deadline passed while queued; answered without searching.")
 )
 
 // serverMetrics is one server instance's registry plus the helpers the
@@ -76,6 +91,17 @@ func newServerMetrics(s *server) *serverMetrics {
 		obs.L("backend", vecmath.Backend())).Set(1)
 	r.GaugeFunc("ehnad_batch_queue_depth", "Neighbor queries waiting for a micro-batch slot.",
 		func() float64 { return float64(len(s.batch.in)) })
+	r.GaugeFunc("ehnad_batch_queue_capacity", "Micro-batcher admission queue capacity (a full queue sheds).",
+		func() float64 { return float64(cap(s.batch.in)) })
+	r.GaugeFunc("ehnad_ef_search_current", "ef-search the degrader currently applies (0 = degrader inactive).",
+		func() float64 { return float64(s.batch.deg.efNow()) })
+	r.GaugeFunc("ehnad_degraded", "1 while searches run below the configured ef-search beam.",
+		func() float64 {
+			if s.batch.deg.degradedNow() {
+				return 1
+			}
+			return 0
+		})
 
 	// Graph gauges read through liveIndex at scrape time, so they track
 	// the current graph across compaction swaps, and report zero when
@@ -144,7 +170,26 @@ func (m *serverMetrics) instrument(path string, h http.HandlerFunc) http.Handler
 // the server registry: the WAL instance gauges plus snapshot,
 // compaction and replay state. Called once the layer exists.
 func (d *durable) registerMetrics(r *obs.Registry) {
-	d.log.RegisterMetrics(r)
+	d.reg = r // heal() re-registers the WAL gauges against the fresh log
+	d.wal().RegisterMetrics(r)
+	r.GaugeFunc("ehnad_read_only", "1 while the daemon is in read-only degraded mode (WAL unavailable).",
+		func() float64 {
+			if d.readOnly.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("ehnad_read_only_since_unix", "Unix time read-only mode was entered (0 = writable).",
+		func() float64 {
+			if !d.readOnly.Load() {
+				return 0
+			}
+			return float64(d.readOnlySince.Load())
+		})
+	r.GaugeFunc("ehnad_wal_heal_attempts", "WAL reopen-and-probe attempts made while read-only.",
+		func() float64 { return float64(d.healAttempts.Load()) })
+	r.GaugeFunc("ehnad_wal_heals", "Successful WAL heals (read-only mode exits) since boot.",
+		func() float64 { return float64(d.heals.Load()) })
 	r.GaugeFunc("ehnad_snapshot_watermark", "WAL sequence the newest snapshot pair covers.",
 		func() float64 { return float64(d.watermark.Load()) })
 	r.GaugeFunc("ehnad_snapshot_count", "Snapshot rotations completed since boot.",

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ehna/internal/ann"
@@ -16,6 +21,16 @@ import (
 	"ehna/internal/obs"
 	"ehna/internal/vecmath"
 )
+
+// serveOpts is the overload-control knob set: deadline budget,
+// concurrency cap, admission queue bound, and the degradation floor.
+// The zero value disables all four (the permissive test default).
+type serveOpts struct {
+	defaultDeadline time.Duration // per-request budget when the client sends none (0 = none)
+	maxInflight     int           // concurrent /v1/neighbors cap (0 = unlimited)
+	queueDepth      int           // batcher admission queue capacity (0 = 4×maxBatch)
+	efFloor         int           // lowest ef-search the degrader may shrink to (0 = off)
+}
 
 // server wires the embedding store, the ANN index and the micro-batcher
 // behind the HTTP/JSON API.
@@ -28,25 +43,65 @@ type server struct {
 	pprof     bool           // mount net/http/pprof on the mux (-pprof)
 	dur       *durable       // nil without -wal; owns the write path when set
 	metrics   *serverMetrics // per-server gauges + HTTP series; see metrics.go
+
+	defaultDeadline time.Duration
+	inflight        chan struct{} // nil = unlimited; else a semaphore
+	draining        atomic.Bool   // set when shutdown starts; /readyz flips not-ready
+	closeOnce       sync.Once
 }
 
-func newServer(store *embstore.Store, index ann.Index, indexName string, maxBatch int, window time.Duration) *server {
+func newServer(store *embstore.Store, index ann.Index, indexName string, maxBatch int, window time.Duration, opts serveOpts) *server {
 	s := &server{
-		store:     store,
-		index:     index,
-		batch:     newBatcher(index, maxBatch, window),
-		indexName: indexName,
-		started:   time.Now(),
+		store:           store,
+		index:           index,
+		indexName:       indexName,
+		started:         time.Now(),
+		defaultDeadline: opts.defaultDeadline,
 	}
+	if opts.maxInflight > 0 {
+		s.inflight = make(chan struct{}, opts.maxInflight)
+	}
+	queueDepth := opts.queueDepth
+	if queueDepth <= 0 {
+		queueDepth = 4 * maxBatch
+	}
+	var deg *degrader
+	if opts.efFloor > 0 {
+		if h, ok := s.liveIndex().(*ann.HNSW); ok {
+			full := h.Config().EfSearch
+			deg = newDegrader(func() *ann.HNSW {
+				h, _ := s.liveIndex().(*ann.HNSW)
+				return h
+			}, full, opts.efFloor, queueDepth)
+		}
+	}
+	s.batch = newBatcher(index, maxBatch, window, queueDepth, deg)
 	s.metrics = newServerMetrics(s)
 	return s
 }
 
+// close tears the server down without a final snapshot (the next boot
+// replays the WAL suffix). Idempotent, and shared with shutdown.
 func (s *server) close() {
-	s.batch.close()
-	if s.dur != nil {
-		s.dur.close()
-	}
+	s.closeOnce.Do(func() {
+		s.batch.close()
+		if s.dur != nil {
+			s.dur.close()
+		}
+	})
+}
+
+// shutdown is the graceful path: mark not-ready, drain the batcher,
+// and rotate a final snapshot pair so the next boot replays nothing.
+// Safe to race with close (whichever runs first wins the Once).
+func (s *server) shutdown() {
+	s.draining.Store(true)
+	s.closeOnce.Do(func() {
+		s.batch.close()
+		if s.dur != nil {
+			s.dur.shutdown()
+		}
+	})
 }
 
 // liveIndex unwraps the Swapper (the index is always wrapped in one,
@@ -74,6 +129,7 @@ func (s *server) handler() http.Handler {
 	route("/v1/admin/snapshot", s.handleAdminSnapshot)
 	route("/v1/admin/compact", s.handleAdminCompact)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	// Server gauges first, then the process-wide registry (ann/wal
 	// histograms, runtime stats) — names are disjoint by construction.
 	mux.Handle("/metrics", s.metrics.reg.Handler(obs.Default()))
@@ -107,12 +163,93 @@ type neighborQuery struct {
 
 // neighborsRequest is the /v1/neighbors body: a single query inline, or
 // several under "queries" (K is the per-query default then).
+// DeadlineMS overrides the server's -default-deadline for this request
+// (as does the X-Ehnad-Deadline-Ms header; the body field wins).
 type neighborsRequest struct {
 	neighborQuery
-	Queries []neighborQuery `json:"queries,omitempty"`
+	Queries    []neighborQuery `json:"queries,omitempty"`
+	DeadlineMS int             `json:"deadline_ms,omitempty"`
 }
 
 const defaultK = 10
+
+// deadlineHeader is the client's per-request budget override in
+// milliseconds; the JSON deadline_ms field takes precedence over it.
+const deadlineHeader = "X-Ehnad-Deadline-Ms"
+
+// requestCtx derives the search context: the client's HTTP context
+// (cancel propagates when the client disconnects) bounded by the
+// request's deadline budget — deadline_ms in the body, then the
+// header, then -default-deadline. A budget of 0 means unbounded.
+func (s *server) requestCtx(r *http.Request, deadlineMS int) (context.Context, context.CancelFunc) {
+	d := s.defaultDeadline
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		if v, err := strconv.Atoi(h); err == nil && v > 0 {
+			d = time.Duration(v) * time.Millisecond
+		}
+	}
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// acquire claims an inflight slot, shedding with 429 when the server
+// is at -max-inflight. Returns false when the response is written.
+func (s *server) acquire(w http.ResponseWriter) bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		shedInflight.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server at -max-inflight capacity")
+		return false
+	}
+}
+
+func (s *server) release() {
+	if s.inflight != nil {
+		<-s.inflight
+	}
+}
+
+// retrySeconds converts the batcher's predicted queue wait into a
+// Retry-After value: at least 1s (the header's resolution), rounded up.
+func retrySeconds(wait time.Duration) int {
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// writeSearchError maps a failed search onto the overload contract:
+// 429 for work refused cheaply at admission (retry after backoff),
+// 503 for work accepted but not finished (deadline, shutdown), 500
+// for genuine faults.
+func (s *server) writeSearchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(s.batch.predictedWait())))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "deadline exceeded before the search completed")
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status code is for the access log.
+		writeError(w, http.StatusServiceUnavailable, "request canceled")
+	case errors.Is(err, errShutdown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "search: %v", err)
+	}
+}
 
 // resolve turns a query into (vector, k, excludeSelf) form. Queries by
 // ID exclude the query node itself from the results — "who is nearest
@@ -166,13 +303,19 @@ func (s *server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
 	var req neighborsRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
+	defer cancel()
 	if len(req.Queries) > 0 {
-		s.handleNeighborsBatch(w, req)
+		s.handleNeighborsBatch(ctx, w, req)
 		return
 	}
 	vec, k, self, err := s.resolve(req.neighborQuery, defaultK)
@@ -185,19 +328,23 @@ func (s *server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	if self != nil {
 		ask++
 	}
-	results, buf, err := s.batch.do(vec, ask)
+	results, buf, degraded, err := s.batch.do(ctx, vec, ask)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "search: %v", err)
+		s.writeSearchError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": trimSelf(results, self, k)})
+	out := map[string]any{"results": trimSelf(results, self, k)}
+	if degraded {
+		out["degraded"] = true
+	}
+	writeJSON(w, http.StatusOK, out)
 	buf.release() // results must not be touched past this point
 }
 
 // handleNeighborsBatch answers an explicit client-side batch in one
 // SearchBatch pass, bypassing the micro-batcher (the client already
 // batched).
-func (s *server) handleNeighborsBatch(w http.ResponseWriter, req neighborsRequest) {
+func (s *server) handleNeighborsBatch(ctx context.Context, w http.ResponseWriter, req neighborsRequest) {
 	defK := req.K
 	if defK <= 0 {
 		defK = defaultK
@@ -220,16 +367,20 @@ func (s *server) handleNeighborsBatch(w http.ResponseWriter, req neighborsReques
 			maxK = k
 		}
 	}
-	results, err := s.index.SearchBatch(qs, maxK)
+	results, err := s.index.SearchBatch(ctx, qs, maxK)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "search: %v", err)
+		s.writeSearchError(w, err)
 		return
 	}
 	batches := make([][]ann.Result, len(results))
 	for i, res := range results {
 		batches[i] = trimSelf(res, selves[i], ks[i])
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"batches": batches})
+	out := map[string]any{"batches": batches}
+	if s.batch.deg.degradedNow() {
+		out["degraded"] = true
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // scoreRequest asks for a pairwise link-prediction score between two
@@ -342,10 +493,12 @@ func (s *server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	}
 	// With -wal the durability layer logs the batch before applying it;
 	// otherwise apply straight to the index. Dimension errors were
-	// pre-validated, so any error past this point is ours (a 500).
+	// pre-validated, so any error past this point is ours: 503 when the
+	// WAL is (or just became) unavailable — the op was not acknowledged
+	// and retrying after the heal is correct — 500 otherwise.
 	if s.dur != nil {
 		if err := s.dur.upsert(updates); err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			s.writeDurabilityError(w, err)
 			return
 		}
 	} else {
@@ -387,7 +540,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if s.dur != nil {
 		var err error
 		if deleted, err = s.dur.delete(ids); err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			s.writeDurabilityError(w, err)
 			return
 		}
 	} else {
@@ -398,6 +551,19 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted, "nodes": s.store.Len()})
+}
+
+// writeDurabilityError maps a failed mutation onto the overload
+// contract: 503 + Retry-After whenever the daemon is in (or just
+// entered) read-only mode — the write was refused or unacknowledged
+// and will succeed after the WAL heals — 500 for anything else.
+func (s *server) writeDurabilityError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errReadOnly) || s.dur.isReadOnly() {
+		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(healCheckEvery)))
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "%v", err)
 }
 
 // handleExport streams an embstore snapshot of the live store — the
@@ -499,8 +665,35 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"slab_bytes_per_vector": int(g("ehnad_store_bytes_per_vector")),
 		}
 	}
+	if s.batch.deg != nil {
+		out["degraded"] = s.batch.deg.degradedNow()
+		out["ef_search_current"] = s.batch.deg.efNow()
+	}
 	if s.dur != nil {
 		out["durability"] = s.dur.healthz(s.metrics)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz
+// liveness: a 503 here means "alive but don't route new traffic to
+// me" — draining for shutdown, mid compaction promote, or read-only
+// because the WAL is unavailable. Load balancers should poll this;
+// orchestrators should restart on /healthz, not on /readyz.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "draining: shutdown in progress")
+	}
+	if sw, ok := s.index.(*ann.Swapper); ok && sw.Promoting() {
+		reasons = append(reasons, "compaction promote in progress")
+	}
+	if s.dur != nil && s.dur.isReadOnly() {
+		reasons = append(reasons, "read-only: WAL unavailable")
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reasons": reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }

@@ -1,6 +1,7 @@
 package ann
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"runtime/debug"
@@ -48,6 +49,14 @@ func TestSearchIntoZeroAlloc(t *testing.T) {
 	}
 	const k = 10
 
+	// A cancelable context (not Background) so the cooperative
+	// cancellation polls run with a live Done channel — the guarantee
+	// must hold for real request contexts, not just the nil-channel
+	// short circuit. Done() is materialized once, outside the loop.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = ctx.Done()
+
 	for _, prec := range []embstore.Precision{embstore.F64, embstore.F32, embstore.SQ8} {
 		store := buildStoreAt(t, 2000, 32, prec)
 		exact := NewExact(store, Cosine)
@@ -63,13 +72,13 @@ func TestSearchIntoZeroAlloc(t *testing.T) {
 			dst := make([]Result, 0, k)
 			// Warm the scratch pool and result buffers.
 			for i := 0; i < 3; i++ {
-				if dst, err = idx.SearchInto(dst, q, k); err != nil {
+				if dst, err = idx.SearchInto(ctx, dst, q, k); err != nil {
 					t.Fatal(err)
 				}
 			}
 			allocs := testing.AllocsPerRun(100, func() {
 				var err error
-				dst, err = idx.SearchInto(dst, q, k)
+				dst, err = idx.SearchInto(ctx, dst, q, k)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -113,7 +122,7 @@ func TestSearchIntoMatchesSearch(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := idx.SearchInto(make([]Result, 3), q, 7)
+				got, err := idx.SearchInto(context.Background(), make([]Result, 3), q, 7)
 				if err != nil {
 					t.Fatal(err)
 				}

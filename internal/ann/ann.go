@@ -14,6 +14,7 @@
 package ann
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -91,6 +92,30 @@ type queryCtx struct {
 	qSum float64           // SQ8: Σ q[i], threaded through DotSQ8
 	sq8q embstore.SQ8Query // SQ8 + SIMD: quantized query for DotSQ8Sym
 	sym  bool              // symmetric first stage active this query
+
+	// done is the query's cancellation signal (ctx.Done()); nil — the
+	// Background context's Done — means the query can never be canceled
+	// and every check short-circuits on the nil test alone.
+	done <-chan struct{}
+}
+
+// cancelCheckEvery is how many scored vectors a scan batches between
+// cancellation polls: coarse enough that the poll (one channel select)
+// vanishes against the scoring kernels, fine enough that an abandoned
+// query stops burning CPU within microseconds.
+const cancelCheckEvery = 1024
+
+// canceled polls the query's cancellation signal without blocking.
+func (qc *queryCtx) canceled() bool {
+	if qc.done == nil {
+		return false
+	}
+	select {
+	case <-qc.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // init prepares the context for one query against store.
@@ -99,6 +124,7 @@ func (qc *queryCtx) init(store *embstore.Store, q []float64) {
 	qc.qNorm = vecmath.Norm(q)
 	qc.prec = store.Precision()
 	qc.sym = false
+	qc.done = nil
 	switch qc.prec {
 	case embstore.F32:
 		if cap(qc.q32) < len(q) {
@@ -238,10 +264,14 @@ type Index interface {
 	// descending score (ties broken by ascending ID).
 	Search(q []float64, k int) ([]Result, error)
 	// SearchInto is Search writing into dst (grown as needed and
-	// returned re-sliced): the zero-allocation single-query path.
-	SearchInto(dst []Result, q []float64, k int) ([]Result, error)
-	// SearchBatch answers many queries, executing them in parallel.
-	SearchBatch(qs [][]float64, k int) ([][]Result, error)
+	// returned re-sliced): the zero-allocation single-query path. The
+	// context is polled cooperatively at beam-expansion granularity; a
+	// canceled or expired query stops scanning promptly and returns
+	// ctx.Err() so abandoned requests stop burning CPU.
+	SearchInto(ctx context.Context, dst []Result, q []float64, k int) ([]Result, error)
+	// SearchBatch answers many queries, executing them in parallel
+	// under one context.
+	SearchBatch(ctx context.Context, qs [][]float64, k int) ([][]Result, error)
 	// Metric reports the similarity metric the index ranks by.
 	Metric() Metric
 }
@@ -435,34 +465,45 @@ func (e *Exact) Remove(id graph.NodeID) bool { return e.store.Delete(id) }
 // be initialized for the query. On the symmetric sq8 path the scan
 // ranks with the integer kernel into a rerank·k-wide heap and the
 // asymmetric kernel re-scores the survivors; otherwise the scan is the
-// single-stage asymmetric (or full-precision) ranking.
-func (e *Exact) scanSeq(sc *queryScratch, k int) []Result {
+// single-stage asymmetric (or full-precision) ranking. The query's
+// cancellation signal is polled every cancelCheckEvery vectors; a
+// canceled scan stops early and reports canceled=true.
+func (e *Exact) scanSeq(sc *queryScratch, k int) (res []Result, canceled bool) {
 	qc := &sc.ctx
+	n := 0
 	if qc.sym {
 		sc.wide.reset(candidateK(qc.prec, k))
 		w := &sc.wide
 		for sIdx := 0; sIdx < e.store.NumShards(); sIdx++ {
 			e.store.RangeShard(sIdx, func(id graph.NodeID, v *embstore.VecView) bool {
 				w.push(Result{ID: id, Score: e.metric.symScoreView(qc, v)})
-				return true
+				n++
+				return n%cancelCheckEvery != 0 || !qc.canceled()
 			})
+			if qc.canceled() {
+				return nil, true
+			}
 		}
-		return rerankWide(e.store, e.metric, sc, k)
+		return rerankWide(e.store, e.metric, sc, k), false
 	}
 	sc.top.reset(k)
 	t := &sc.top
 	for sIdx := 0; sIdx < e.store.NumShards(); sIdx++ {
 		e.store.RangeShard(sIdx, func(id graph.NodeID, v *embstore.VecView) bool {
 			t.push(Result{ID: id, Score: e.metric.quickScoreView(qc, v)})
-			return true
+			n++
+			return n%cancelCheckEvery != 0 || !qc.canceled()
 		})
+		if qc.canceled() {
+			return nil, true
+		}
 	}
-	return t.sorted()
+	return t.sorted(), false
 }
 
 // Search scans the store and returns the freshly allocated top-k.
 func (e *Exact) Search(q []float64, k int) ([]Result, error) {
-	out, err := e.SearchInto(nil, q, k)
+	out, err := e.SearchInto(context.Background(), nil, q, k)
 	if err != nil {
 		return nil, err
 	}
@@ -475,8 +516,11 @@ func (e *Exact) Search(q []float64, k int) ([]Result, error) {
 // generation into a rerank·k-wide pool, asymmetric full-precision-
 // query re-rank of the survivors), on scalar backends every vector is
 // scored asymmetrically in a single pass.
-func (e *Exact) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
+func (e *Exact) SearchInto(ctx context.Context, dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(e.store, q, k); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	annQueriesExact.Inc()
@@ -484,9 +528,15 @@ func (e *Exact) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	nShards := e.store.NumShards()
 	sc := scratchPool.Get().(*queryScratch)
 	sc.ctx.init(e.store, q)
+	sc.ctx.done = ctx.Done()
 	qc := &sc.ctx
 	if runtime.GOMAXPROCS(0) == 1 || nShards == 1 {
-		dst = appendResults(dst, e.scanSeq(sc, k))
+		res, canceled := e.scanSeq(sc, k)
+		if canceled {
+			scratchPool.Put(sc)
+			return dst[:0], ctx.Err()
+		}
+		dst = appendResults(dst, res)
 		scratchPool.Put(sc)
 		annStageExactCand.ObserveSince(start)
 		return dst, nil
@@ -505,14 +555,20 @@ func (e *Exact) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 		go func(sIdx int) {
 			defer wg.Done()
 			t := &topK{k: kk, heap: make([]Result, 0, kk)}
+			n := 0
 			e.store.RangeShard(sIdx, func(id graph.NodeID, v *embstore.VecView) bool {
 				t.push(Result{ID: id, Score: e.metric.beamScoreView(qc, v)})
-				return true
+				n++
+				return n%cancelCheckEvery != 0 || !qc.canceled()
 			})
 			partial[sIdx] = t
 		}(sIdx)
 	}
 	wg.Wait()
+	if qc.canceled() {
+		scratchPool.Put(sc)
+		return dst[:0], ctx.Err()
+	}
 	merged := &sc.wide
 	merged.reset(kk)
 	for _, t := range partial {
@@ -532,14 +588,20 @@ func (e *Exact) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 
 // SearchBatch runs queries across a GOMAXPROCS-sized worker pool. Each
 // query scans shards sequentially (the pool already saturates cores).
-func (e *Exact) SearchBatch(qs [][]float64, k int) ([][]Result, error) {
+func (e *Exact) SearchBatch(ctx context.Context, qs [][]float64, k int) ([][]Result, error) {
 	return batchSearch(qs, k, func(q []float64) ([]Result, error) {
 		if err := checkQuery(e.store, q, k); err != nil {
 			return nil, err
 		}
 		sc := scratchPool.Get().(*queryScratch)
 		sc.ctx.init(e.store, q)
-		out := appendResults(nil, e.scanSeq(sc, k))
+		sc.ctx.done = ctx.Done()
+		res, canceled := e.scanSeq(sc, k)
+		if canceled {
+			scratchPool.Put(sc)
+			return nil, ctx.Err()
+		}
+		out := appendResults(nil, res)
 		scratchPool.Put(sc)
 		return out, nil
 	})

@@ -1,6 +1,7 @@
 package ann
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -90,7 +91,7 @@ func TestExactSearchBatchMatchesSearch(t *testing.T) {
 			qs[i][j] = rng.NormFloat64()
 		}
 	}
-	batch, err := e.SearchBatch(qs, 5)
+	batch, err := e.SearchBatch(context.Background(), qs, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,7 @@
 package ann
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -596,6 +597,9 @@ func (h *HNSW) searchLayer(sc *hnswScratch, ep scoredNode, ef, layer int) {
 	sc.cand.push(ep)
 	sc.res.push(ep)
 	for sc.cand.len() > 0 {
+		if sc.ctx.canceled() {
+			return // abandoned query: stop expanding, caller returns ctx.Err()
+		}
 		c := sc.cand.pop()
 		if sc.res.len() >= ef && c.score < sc.res.peek().score {
 			break // every remaining candidate is worse than the beam's worst
@@ -957,7 +961,7 @@ func (h *HNSW) Build() error {
 
 // Search returns the top-k neighbors of q as a fresh slice.
 func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
-	return h.SearchInto(nil, q, k)
+	return h.SearchInto(context.Background(), nil, q, k)
 }
 
 // SearchInto is Search writing into dst: the zero-allocation query
@@ -972,14 +976,18 @@ func (h *HNSW) Search(q []float64, k int) ([]Result, error) {
 // If the beam surfaces fewer than min(k, live) results (possible only
 // on a heavily-churned graph), the exact fallback takes over so
 // results never silently degrade.
-func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
+func (h *HNSW) SearchInto(ctx context.Context, dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(h.store, q, k); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	annQueriesHNSW.Inc()
 	start := time.Now()
 	sc := hnswScratchPool.Get().(*hnswScratch)
 	sc.ctx.init(h.store, q)
+	sc.ctx.done = ctx.Done()
 	kk := candidateK(sc.ctx.prec, k)
 
 	h.mu.RLock()
@@ -988,7 +996,7 @@ func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 		hnswScratchPool.Put(sc)
 		annFallbacks.Inc()
 		// Empty graph: serve whatever the store holds (normally nothing).
-		return h.fallback.SearchInto(dst, q, k)
+		return h.fallback.SearchInto(ctx, dst, q, k)
 	}
 	ef := h.cfg.EfSearch
 	if ef < kk {
@@ -1000,6 +1008,11 @@ func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 		cur = sc.res.peek()
 	}
 	h.searchLayer(sc, cur, ef, 0)
+	if sc.ctx.canceled() {
+		h.mu.RUnlock()
+		hnswScratchPool.Put(sc)
+		return dst[:0], ctx.Err()
+	}
 	// The beam is the candidate stage; the re-rank trims it to the final
 	// top-k — re-scoring each survivor with the asymmetric kernel when
 	// the beam ranked with the symmetric one (slab rows are still at
@@ -1029,7 +1042,7 @@ func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	if len(got) < want {
 		hnswScratchPool.Put(sc)
 		annFallbacks.Inc()
-		return h.fallback.SearchInto(dst, q, k)
+		return h.fallback.SearchInto(ctx, dst, q, k)
 	}
 	dst = appendResults(dst, got)
 	hnswScratchPool.Put(sc)
@@ -1038,9 +1051,9 @@ func (h *HNSW) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 }
 
 // SearchBatch answers queries across a worker pool.
-func (h *HNSW) SearchBatch(qs [][]float64, k int) ([][]Result, error) {
+func (h *HNSW) SearchBatch(ctx context.Context, qs [][]float64, k int) ([][]Result, error) {
 	return batchSearch(qs, k, func(q []float64) ([]Result, error) {
-		return h.Search(q, k)
+		return h.SearchInto(ctx, nil, q, k)
 	})
 }
 

@@ -19,6 +19,7 @@
 package ann
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -273,7 +274,7 @@ func (l *LSH) collectCandidates(sc *queryScratch, q []float64) []graph.NodeID {
 // the exact metric. If fewer than k candidates surface, it falls back to
 // a brute-force scan so callers always get min(k, Len) results.
 func (l *LSH) Search(q []float64, k int) ([]Result, error) {
-	return l.SearchInto(nil, q, k)
+	return l.SearchInto(context.Background(), nil, q, k)
 }
 
 // SearchInto is Search writing the results into dst: the
@@ -281,9 +282,14 @@ func (l *LSH) Search(q []float64, k int) ([]Result, error) {
 // dispatched kernels; on SIMD backends sq8 candidates run through the
 // two-stage symmetric ranking (integer kernel into a rerank·k-wide
 // heap, asymmetric re-rank of the survivors), on scalar backends the
-// asymmetric kernel ranks every candidate directly.
-func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
+// asymmetric kernel ranks every candidate directly. Cancellation is
+// polled between the probe and re-rank stages and between shard
+// groups of the re-rank.
+func (l *LSH) SearchInto(ctx context.Context, dst []Result, q []float64, k int) ([]Result, error) {
 	if err := checkQuery(l.store, q, k); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	annQueriesLSH.Inc()
@@ -294,7 +300,7 @@ func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	annStageLSHCand.ObserveSince(start)
 	if len(cand) < k {
 		annFallbacks.Inc()
-		return l.fallback.SearchInto(dst, q, k)
+		return l.fallback.SearchInto(ctx, dst, q, k)
 	}
 	rerankStart := time.Now()
 
@@ -314,7 +320,11 @@ func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 	}
 
 	sc.ctx.init(l.store, q) // query norm (and narrowed/quantized forms) once per query
+	sc.ctx.done = ctx.Done()
 	qc := &sc.ctx
+	if qc.canceled() {
+		return dst[:0], ctx.Err()
+	}
 	if qc.sym {
 		// Symmetric first stage: the integer kernel ranks every candidate
 		// into a widened heap; the asymmetric kernel re-scores the
@@ -325,6 +335,9 @@ func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 		for si, ids := range byShard {
 			if len(ids) == 0 {
 				continue
+			}
+			if qc.canceled() {
+				return dst[:0], ctx.Err()
 			}
 			l.store.WithShard(si, ids, func(id graph.NodeID, v *embstore.VecView) {
 				w.push(Result{ID: id, Score: l.cfg.Metric.symScoreView(qc, v)})
@@ -340,6 +353,9 @@ func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 		if len(ids) == 0 {
 			continue
 		}
+		if qc.canceled() {
+			return dst[:0], ctx.Err()
+		}
 		l.store.WithShard(si, ids, func(id graph.NodeID, v *embstore.VecView) {
 			t.push(Result{ID: id, Score: l.cfg.Metric.quickScoreView(qc, v)})
 		})
@@ -350,8 +366,8 @@ func (l *LSH) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
 }
 
 // SearchBatch answers queries across a worker pool.
-func (l *LSH) SearchBatch(qs [][]float64, k int) ([][]Result, error) {
+func (l *LSH) SearchBatch(ctx context.Context, qs [][]float64, k int) ([][]Result, error) {
 	return batchSearch(qs, k, func(q []float64) ([]Result, error) {
-		return l.Search(q, k)
+		return l.SearchInto(ctx, nil, q, k)
 	})
 }

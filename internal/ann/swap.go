@@ -11,6 +11,7 @@
 package ann
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -48,6 +49,10 @@ type Swapper struct {
 	pending    []swapMutation
 
 	rebuilds atomic.Int64
+	// promoting marks the brief final-drain-and-swap window of a
+	// compaction, during which mutations stall behind mu; readiness
+	// probes report not-ready while it is set.
+	promoting atomic.Bool
 }
 
 // indexBox exists because atomic.Pointer needs a concrete pointee type
@@ -68,6 +73,10 @@ func (s *Swapper) Current() Index { return s.cur.Load().idx }
 
 // Rebuilds reports how many compaction swaps have completed.
 func (s *Swapper) Rebuilds() int64 { return s.rebuilds.Load() }
+
+// Promoting reports whether a compaction is inside its final
+// drain-and-promote step (mutations briefly blocked).
+func (s *Swapper) Promoting() bool { return s.promoting.Load() }
 
 // Metric reports the current index's similarity metric.
 func (s *Swapper) Metric() Metric { return s.Current().Metric() }
@@ -105,13 +114,13 @@ func (s *Swapper) Search(q []float64, k int) ([]Result, error) {
 
 // SearchInto delegates to the current index: one atomic load on top of
 // the underlying zero-allocation path.
-func (s *Swapper) SearchInto(dst []Result, q []float64, k int) ([]Result, error) {
-	return s.Current().SearchInto(dst, q, k)
+func (s *Swapper) SearchInto(ctx context.Context, dst []Result, q []float64, k int) ([]Result, error) {
+	return s.Current().SearchInto(ctx, dst, q, k)
 }
 
 // SearchBatch delegates to the current index.
-func (s *Swapper) SearchBatch(qs [][]float64, k int) ([][]Result, error) {
-	return s.Current().SearchBatch(qs, k)
+func (s *Swapper) SearchBatch(ctx context.Context, qs [][]float64, k int) ([][]Result, error) {
+	return s.Current().SearchBatch(ctx, qs, k)
 }
 
 // catchupBatchMax bounds how much of the mutation buffer is drained
@@ -163,10 +172,12 @@ func (s *Swapper) CompactHNSW(store *embstore.Store, cfg HNSWConfig) (*HNSW, err
 		if len(s.pending) <= catchupBatchMax || round >= maxCatchupRounds {
 			// Final drain + promote under the lock: after this no mutation
 			// can land in the old index only.
+			s.promoting.Store(true)
 			replayInto(next, s.pending)
 			s.pending = nil
 			s.rebuilding = false
 			s.cur.Store(&indexBox{next})
+			s.promoting.Store(false)
 			s.mu.Unlock()
 			s.rebuilds.Add(1)
 			return next, nil

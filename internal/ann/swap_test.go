@@ -1,6 +1,7 @@
 package ann
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -51,7 +52,7 @@ func TestSwapperDelegates(t *testing.T) {
 	if !sw.Remove(9000) {
 		t.Fatal("remove of present id reported false")
 	}
-	batches, err := sw.SearchBatch([][]float64{q, vec}, 3)
+	batches, err := sw.SearchBatch(context.Background(), [][]float64{q, vec}, 3)
 	if err != nil || len(batches) != 2 {
 		t.Fatalf("batch: %v %v", batches, err)
 	}
@@ -287,7 +288,7 @@ func TestChurnSoakCompaction(t *testing.T) {
 				}
 				qi := (i + w) % queries
 				var err error
-				dst, err = sw.SearchInto(dst[:0], queryVecs[qi], kWide)
+				dst, err = sw.SearchInto(context.Background(), dst[:0], queryVecs[qi], kWide)
 				if err != nil {
 					fail("search during churn: %v", err)
 					return
@@ -359,13 +360,13 @@ func TestChurnSoakCompaction(t *testing.T) {
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	dst := make([]Result, 0, k)
 	for i := 0; i < 3; i++ {
-		if dst, err = sw.SearchInto(dst[:0], queryVecs[0], k); err != nil {
+		if dst, err = sw.SearchInto(context.Background(), dst[:0], queryVecs[0], k); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(100, func() {
 		var err error
-		dst, err = sw.SearchInto(dst[:0], queryVecs[0], k)
+		dst, err = sw.SearchInto(context.Background(), dst[:0], queryVecs[0], k)
 		if err != nil {
 			t.Fatal(err)
 		}

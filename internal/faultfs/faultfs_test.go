@@ -1,0 +1,220 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func tmpFile(t *testing.T, fs FS) File {
+	t.Helper()
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "x"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestDeterministicAfterCount(t *testing.T) {
+	in := New(nil)
+	in.Add(Rule{Op: OpSync, After: 2, Count: 3})
+	f := tmpFile(t, in)
+	var errs []bool
+	for i := 0; i < 8; i++ {
+		errs = append(errs, f.Sync() != nil)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("sync %d: err=%v, want %v (full: %v)", i, errs[i], want[i], errs)
+		}
+	}
+	if got := in.Injected(); got != 3 {
+		t.Fatalf("Injected() = %d, want 3", got)
+	}
+}
+
+func TestENOSPCWrite(t *testing.T) {
+	in := New(nil)
+	in.Add(Rule{Op: OpWrite, After: 1, Err: syscall.ENOSPC})
+	f := tmpFile(t, in)
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	_, err := f.Write([]byte("boom"))
+	if !IsDiskFull(err) {
+		t.Fatalf("second write: err=%v, want ENOSPC", err)
+	}
+	// The injected error is persistent (count=0): every later write fails.
+	if _, err := f.Write([]byte("still")); !IsDiskFull(err) {
+		t.Fatalf("third write: err=%v, want ENOSPC", err)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	in := New(nil)
+	in.Add(Rule{Op: OpWrite, Torn: true})
+	path := filepath.Join(t.TempDir(), "torn")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	payload := []byte("0123456789")
+	n, werr := f.Write(payload)
+	f.Close()
+	if werr == nil {
+		t.Fatal("torn write returned no error")
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("torn write landed %d bytes, want %d", n, len(payload)/2)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("file holds %q, want half the payload", got)
+	}
+}
+
+func TestProbabilisticDeterministicAcrossRuns(t *testing.T) {
+	run := func() []bool {
+		in := New(nil)
+		in.Add(Rule{Op: OpWrite, P: 0.3, Seed: 42})
+		f := tmpFile(t, in)
+		var outcomes []bool
+		for i := 0; i < 50; i++ {
+			_, err := f.Write([]byte("x"))
+			outcomes = append(outcomes, err != nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at call %d: same seed must give same faults", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.3 fired %d/%d times; want some but not all", fired, len(a))
+	}
+}
+
+func TestSlowSync(t *testing.T) {
+	in := New(nil)
+	in.Add(Rule{Op: OpSync, Sleep: 30 * time.Millisecond})
+	f := tmpFile(t, in)
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("slow sync should succeed, got %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sync returned in %v, want ≥30ms stall", d)
+	}
+}
+
+func TestPathFilterAndClear(t *testing.T) {
+	in := New(nil)
+	in.Add(Rule{Op: OpSync, Path: ".wal"})
+	dir := t.TempDir()
+	wal, err := in.OpenFile(filepath.Join(dir, "0001.wal"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer wal.Close()
+	other, err := in.OpenFile(filepath.Join(dir, "store.gob"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer other.Close()
+	if err := wal.Sync(); err == nil {
+		t.Fatal("sync on .wal file should fault")
+	}
+	if err := other.Sync(); err != nil {
+		t.Fatalf("sync on non-matching file faulted: %v", err)
+	}
+	in.Clear()
+	if err := wal.Sync(); err != nil {
+		t.Fatalf("sync after Clear faulted: %v", err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("sync:after=100,count=3,err=eio; write:p=0.01,seed=7,err=enospc,torn; sync:sleep=250ms,path=.wal", nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	in.mu.Lock()
+	rules := in.rules
+	in.mu.Unlock()
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	r := rules[0].Rule
+	if r.Op != OpSync || r.After != 100 || r.Count != 3 || !errors.Is(r.Err, syscall.EIO) {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = rules[1].Rule
+	if r.Op != OpWrite || r.P != 0.01 || r.Seed != 7 || !r.Torn || !errors.Is(r.Err, syscall.ENOSPC) {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	r = rules[2].Rule
+	if r.Op != OpSync || r.Sleep != 250*time.Millisecond || r.Path != ".wal" {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+
+	for _, bad := range []string{"frobnicate:after=1", "sync:after=x", "sync:p=2", "sync:err=exdev", "sync:bogus=1"} {
+		if _, err := Parse(bad, nil); err == nil {
+			t.Errorf("Parse(%q) accepted invalid spec", bad)
+		}
+	}
+	if in, err := Parse("  ", nil); err != nil || in.Injected() != 0 {
+		t.Errorf("empty spec should parse to a no-rule injector, got %v", err)
+	}
+}
+
+func TestOSPassthrough(t *testing.T) {
+	fs := OS()
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := fs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	path := filepath.Join(sub, "f")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	f.Close()
+	ents, err := fs.ReadDir(sub)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %v, %d entries", err, len(ents))
+	}
+	rf, err := fs.Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	buf := make([]byte, 16)
+	n, _ := rf.Read(buf)
+	rf.Close()
+	if string(buf[:n]) != "hello" {
+		t.Fatalf("read back %q", buf[:n])
+	}
+	if err := fs.Remove(path); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}

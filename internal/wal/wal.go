@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ehna/internal/faultfs"
 	"ehna/internal/graph"
 )
 
@@ -208,11 +209,17 @@ type Options struct {
 	// Interval is the background fsync period under SyncInterval
 	// (default 100ms).
 	Interval time.Duration
+	// FS is the filesystem the log persists through (default the real
+	// one). Fault drills inject a faultfs.Injector here.
+	FS faultfs.FS
 }
 
 func (o *Options) fill() {
 	if o.Sync == SyncInterval && o.Interval <= 0 {
 		o.Interval = 100 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS()
 	}
 }
 
@@ -230,7 +237,7 @@ type Log struct {
 	opts Options
 
 	mu       sync.Mutex // buffer writes, seq assignment, segment bookkeeping
-	f        *os.File
+	f        faultfs.File
 	bw       *bufio.Writer
 	enc      []byte // frame-encoding scratch
 	nextSeq  uint64
@@ -262,8 +269,8 @@ func parseSegName(name string) (uint64, bool) {
 }
 
 // listSegments returns the directory's segment files sorted by first seq.
-func listSegments(dir string) ([]sealedSeg, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]sealedSeg, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -293,8 +300,8 @@ func listSegments(dir string) ([]sealedSeg, error) {
 
 // syncDir fsyncs the directory so segment creates/removes survive a
 // crash of the machine, not just the process.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -309,8 +316,8 @@ func syncDir(dir string) error {
 // each record, and returns the byte offset and sequence number after
 // the last valid record. A torn or corrupt tail is reported via torn
 // (with the offset where it starts), not as an error; fn errors abort.
-func scanSegment(path string, firstSeq uint64, fn func(Record) error) (end int64, last uint64, torn bool, err error) {
-	f, err := os.Open(path)
+func scanSegment(fsys faultfs.FS, path string, firstSeq uint64, fn func(Record) error) (end int64, last uint64, torn bool, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, 0, false, err
 	}
@@ -383,8 +390,14 @@ type Info struct {
 // including a whole missing segment — is an error. A missing or empty
 // directory replays zero records.
 func Replay(dir string, after uint64, fn func(Record) error) (Info, error) {
+	return ReplayFS(faultfs.OS(), dir, after, fn)
+}
+
+// ReplayFS is Replay reading through an explicit filesystem, so fault
+// drills can exercise boot-time recovery too.
+func ReplayFS(fsys faultfs.FS, dir string, after uint64, fn func(Record) error) (Info, error) {
 	var info Info
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if os.IsNotExist(err) {
 		return info, nil
 	}
@@ -405,7 +418,7 @@ func Replay(dir string, after uint64, fn func(Record) error) (Info, error) {
 			return info, fmt.Errorf("wal: gap between segments: %s ends at %d, %s starts at %d",
 				segs[i-1].path, segs[i-1].last, seg.path, seg.first)
 		}
-		end, last, torn, err := scanSegment(seg.path, seg.first, func(r Record) error {
+		end, last, torn, err := scanSegment(fsys, seg.path, seg.first, func(r Record) error {
 			if r.Seq <= after {
 				return nil
 			}
@@ -438,10 +451,10 @@ func Replay(dir string, after uint64, fn func(Record) error) (Info, error) {
 // them.
 func Open(dir string, opts Options) (*Log, error) {
 	opts.fill()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -453,11 +466,11 @@ func Open(dir string, opts Options) (*Log, error) {
 	} else {
 		active := segs[len(segs)-1]
 		l.sealed = segs[:len(segs)-1]
-		end, last, torn, err := scanSegment(active.path, active.first, nil)
+		end, last, torn, err := scanSegment(opts.FS, active.path, active.first, nil)
 		if err != nil {
 			return nil, err
 		}
-		f, err := os.OpenFile(active.path, os.O_WRONLY, 0o644)
+		f, err := opts.FS.OpenFile(active.path, os.O_WRONLY, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -498,11 +511,11 @@ func Open(dir string, opts Options) (*Log, error) {
 // (Rotate).
 func (l *Log) openSegment(seq uint64) error {
 	path := filepath.Join(l.dir, segName(seq))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.opts.FS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.opts.FS, l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -723,12 +736,12 @@ func (l *Log) TruncateThrough(watermark uint64) error {
 	l.sealed = keep
 	l.mu.Unlock()
 	for _, s := range drop {
-		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+		if err := l.opts.FS.Remove(s.path); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 	}
 	if len(drop) > 0 {
-		return syncDir(l.dir)
+		return syncDir(l.opts.FS, l.dir)
 	}
 	return nil
 }

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# chaos.sh — CI fault drill for the WAL write path: boot a durable
+# daemon with -fault injecting an ENOSPC mid-stream and a burst of
+# fsync EIO failures, drive a serial upsert stream against it, and
+# assert the documented overload/failure contract at every step:
+#   (a) each injected fault flips the daemon into read-only degraded
+#       mode — writes 503, /readyz not-ready — while searches and
+#       /healthz keep answering 200;
+#   (b) the faults are count-limited, so the 1s heal loop reopens the
+#       log and resumes writes without a restart (/readyz back to 200);
+#   (c) after both drills the store holds exactly the acked prefix
+#       (every acked id searchable, node count matches);
+#   (d) SIGTERM exits 0, and the post-shutdown boot replays 0 WAL
+#       records with the same node count — the acked prefix survived
+#       two faults, two heals and a graceful shutdown.
+#
+# Tunables (env): DIM FAULT MAX_OPS
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dim="${DIM:-8}"
+# Phase 1: the 16th append dies with ENOSPC (disk full) — around the
+# 15th op, since boot barely writes.
+# Phase 2: two fsyncs starting at the 31st die with EIO — mid-stream,
+# with the second consumed by the heal loop's reopen probe.
+# Both rules clear themselves after firing (count=), so each drill
+# must end in a heal.
+fault="${FAULT:-write:after=15,count=1,err=enospc;sync:after=30,count=2}"
+total_ops="${TOTAL_OPS:-40}"
+port=$((20000 + RANDOM % 20000))
+addr="127.0.0.1:$port"
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ]; then
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true # let the drain finish before rm
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+die() { echo "chaos: $*" >&2; exit 1; }
+
+go build -o "$workdir/ehnad" ./cmd/ehnad
+
+boot() {
+  "$workdir/ehnad" -addr "$addr" -wal "$workdir/wal" -dim "$dim" \
+    -index hnsw -fsync always -snapshot-interval 0 "$@" &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    curl -sf "http://$addr/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$daemon_pid" 2>/dev/null || die "daemon died during boot"
+    sleep 0.1
+  done
+  die "daemon never became healthy"
+}
+
+# vec ID -> a distinguishable $dim-dim vector [ID+1, 0, 0, ...]
+vec() {
+  local v="[$(($1 + 1))"
+  for _ in $(seq 2 "$dim"); do v+=",0"; done
+  echo "$v]"
+}
+
+upsert_code() {
+  curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/upsert" \
+    -H 'Content-Type: application/json' -d "{\"id\":$1,\"vector\":$(vec "$1")}"
+}
+
+readyz_code() { curl -s -o /dev/null -w '%{http_code}' "http://$addr/readyz"; }
+
+search_code() {
+  curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/neighbors" \
+    -H 'Content-Type: application/json' -d "{\"id\":$1,\"k\":3}"
+}
+
+healthz() { curl -sf "http://$addr/healthz"; }
+
+echo "== boot with fault injection: $fault =="
+boot -fault "$fault"
+
+faults=0
+id=0
+while [ "$id" -lt "$total_ops" ]; do
+  code="$(upsert_code "$id")"
+  case "$code" in
+  200)
+    id=$((id + 1))
+    ;;
+  503)
+    faults=$((faults + 1))
+    echo "== fault $faults fired at op $id: write path 503, checking the degraded contract =="
+    healthz | grep -q '"read_only":true' || die "healthz does not report read_only after fault $faults"
+    [ "$(readyz_code)" = "503" ] || die "/readyz still ready in read-only mode"
+    [ "$(search_code 0)" = "200" ] || die "search refused in read-only mode (must keep serving)"
+    echo "== waiting for the count-limited fault to clear and the heal loop to recover =="
+    healed=""
+    for _ in $(seq 1 150); do
+      [ "$(readyz_code)" = "200" ] && { healed=1; break; }
+      sleep 0.2
+    done
+    [ -n "$healed" ] || die "write path never healed after fault $faults"
+    # Loop around without incrementing: the ambiguous op retries until
+    # acked (an at-least-once replay — upserts are idempotent by id).
+    ;;
+  *)
+    die "op $id: unexpected status $code"
+    ;;
+  esac
+done
+[ "$faults" -ge 2 ] || die "only $faults injected fault(s) fired in $total_ops ops"
+acked="$id"
+echo "== both drills healed; $acked acked upserts (ids 0..$((acked - 1))) =="
+
+nodes="$(healthz | grep -o '"nodes":[0-9]*' | head -1 | cut -d: -f2)"
+[ "$nodes" = "$acked" ] || die "store holds $nodes nodes, acked prefix is $acked"
+for probe in 0 $((acked / 2)) $((acked - 1)); do
+  [ "$(search_code "$probe")" = "200" ] || die "acked id $probe not searchable after recovery"
+done
+heals="$(healthz | grep -o '"heals":[0-9]*' | cut -d: -f2)"
+[ "$heals" -ge 2 ] || die "expected >=2 heals, got $heals"
+
+echo "== SIGTERM: graceful drain must exit 0 and snapshot everything =="
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || die "daemon exited non-zero after SIGTERM"
+daemon_pid=""
+
+echo "== reboot without faults: clean snapshot, zero replay, same state =="
+boot
+replayed="$(healthz | grep -o '"replayed_records":[0-9]*' | cut -d: -f2)"
+[ "$replayed" = "0" ] || die "replayed $replayed records after a graceful shutdown, want 0"
+nodes2="$(healthz | grep -o '"nodes":[0-9]*' | head -1 | cut -d: -f2)"
+[ "$nodes2" = "$acked" ] || die "rebooted store holds $nodes2 nodes, want $acked"
+[ "$(search_code 0)" = "200" ] || die "rebooted daemon cannot search"
+
+echo "chaos: ok ($acked acked ops survived 2 faults, 2 heals, and a graceful shutdown)"

@@ -23,7 +23,10 @@ addr="127.0.0.1:$port"
 workdir="$(mktemp -d)"
 daemon_pid=""
 cleanup() {
-  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  if [ -n "$daemon_pid" ]; then
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true # SIGTERM drains; let it finish before rm
+  fi
   rm -rf "$workdir"
 }
 trap cleanup EXIT
