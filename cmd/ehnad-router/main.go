@@ -1,0 +1,140 @@
+// Command ehnad-router is the stateless front door of a partitioned
+// ehnad deployment: it owns the shard map, scatter-gathers searches
+// across every shard with per-shard deadlines, routes writes to the
+// owning shard's leader, and degrades to partial results (degraded:true
+// + shards_answered) instead of failing when a shard is dark. With
+// -failover it also promotes the most-caught-up follower of a dead
+// leader via /v1/admin/promote.
+//
+// Shard placement comes either from repeated -shard flags:
+//
+//	ehnad-router -shard a=http://h1:8080,http://h2:8080 -shard b=http://h3:8080
+//
+// or from a JSON map file (-map), the ParseShardMap format:
+//
+//	{"version": 1, "shards": [{"name": "a", "endpoints": ["http://h1:8080"]}]}
+//
+// The router holds no vectors and no log — kill it and start another;
+// only the map matters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ehna/internal/cluster"
+)
+
+// shardFlags collects repeated -shard name=url[,url...] values in
+// declaration order (the first endpoint of each shard is the presumed
+// leader, matching ShardSpec semantics).
+type shardFlags []cluster.ShardSpec
+
+func (s *shardFlags) String() string { return fmt.Sprintf("%d shards", len(*s)) }
+
+func (s *shardFlags) Set(v string) error {
+	name, eps, ok := strings.Cut(v, "=")
+	if !ok || name == "" || eps == "" {
+		return fmt.Errorf("want name=url[,url...], got %q", v)
+	}
+	spec := cluster.ShardSpec{Name: name}
+	for _, u := range strings.Split(eps, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			return fmt.Errorf("shard %q has an empty endpoint", name)
+		}
+		spec.Endpoints = append(spec.Endpoints, u)
+	}
+	*s = append(*s, spec)
+	return nil
+}
+
+func loadShardMap(mapPath string, shards shardFlags, version uint64) (*cluster.ShardMap, error) {
+	switch {
+	case mapPath != "" && len(shards) > 0:
+		return nil, fmt.Errorf("-map and -shard are mutually exclusive")
+	case mapPath != "":
+		data, err := os.ReadFile(mapPath)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.ParseShardMap(data)
+	case len(shards) > 0:
+		return cluster.NewShardMap(version, shards)
+	default:
+		return nil, fmt.Errorf("no shard placement: pass -map FILE or at least one -shard name=url")
+	}
+}
+
+func main() {
+	var shards shardFlags
+	var (
+		addr     = flag.String("listen", ":8090", "listen address")
+		mapPath  = flag.String("map", "", "shard map JSON file ({version, shards:[{name, endpoints}]}); mutually exclusive with -shard")
+		version  = flag.Uint64("map-version", 1, "with -shard: version stamped on the assembled shard map")
+		deadline = flag.Duration("default-deadline", 2*time.Second, "per-request time budget when the client sends none (deadline_ms / X-Ehnad-Deadline-Ms override)")
+		margin   = flag.Duration("merge-margin", 0, "budget reserved for the router's own merge work; each shard gets budget minus this (0 = 10% of budget, clamped to [2ms, 50ms])")
+		interval = flag.Duration("health-interval", time.Second, "endpoint health/role probe period")
+		failN    = flag.Int("fail-after", 3, "consecutive probe failures that mark an endpoint down")
+		failover = flag.Bool("failover", false, "promote the most-caught-up healthy follower when a shard leader goes dark")
+	)
+	flag.Var(&shards, "shard", "shard placement, repeatable: name=url[,url...] (first endpoint is the boot-time leader)")
+	flag.Parse()
+
+	m, err := loadShardMap(*mapPath, shards, *version)
+	if err != nil {
+		log.Fatalf("ehnad-router: %v", err)
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Map:             m,
+		DefaultDeadline: *deadline,
+		MergeMargin:     *margin,
+		HealthInterval:  *interval,
+		FailAfter:       *failN,
+		AutoFailover:    *failover,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("ehnad-router: %v", err)
+	}
+
+	ctx, stop := context.WithCancel(context.Background())
+	go rt.Run(ctx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ehnad-router: %v", err)
+	}
+	for _, s := range m.Shards {
+		log.Printf("ehnad-router: shard %q: %s", s.Name, strings.Join(s.Endpoints, ", "))
+	}
+	log.Printf("ehnad-router: map v%d, %d shards; listening on %s (failover: %v)", m.Version, len(m.Shards), *addr, *failover)
+
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("ehnad-router: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(sctx)
+		stop() // health loop after the listener: probes keep running while requests drain
+		close(done)
+	}()
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("ehnad-router: %v", err)
+	}
+	<-done
+	log.Print("ehnad-router: shutdown complete")
+}

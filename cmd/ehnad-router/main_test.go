@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestShardFlagParsing(t *testing.T) {
+	var s shardFlags
+	if err := s.Set("a=http://h1:8080,http://h2:8080/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("b=http://h3:8080"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 || s[0].Name != "a" || len(s[0].Endpoints) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+	// Trailing slashes are stripped so endpoint URLs join cleanly.
+	if s[0].Endpoints[1] != "http://h2:8080" {
+		t.Fatalf("endpoint not normalized: %q", s[0].Endpoints[1])
+	}
+	for _, bad := range []string{"", "noequals", "=http://h", "a=", "a=http://h1,,http://h2"} {
+		var f shardFlags
+		if err := f.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadShardMap(t *testing.T) {
+	var s shardFlags
+	if err := s.Set("a=http://h1:8080"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadShardMap("", s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 7 || len(m.Shards) != 1 {
+		t.Fatalf("map %+v", m)
+	}
+
+	p := filepath.Join(t.TempDir(), "map.json")
+	if err := os.WriteFile(p, []byte(`{"version":3,"shards":[{"name":"x","endpoints":["http://h:1"]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err = loadShardMap(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 3 || m.Shards[0].Name != "x" {
+		t.Fatalf("map %+v", m)
+	}
+
+	if _, err := loadShardMap(p, s, 1); err == nil {
+		t.Error("-map with -shard accepted")
+	}
+	if _, err := loadShardMap("", nil, 1); err == nil {
+		t.Error("empty placement accepted")
+	}
+}

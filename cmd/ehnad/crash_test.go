@@ -62,7 +62,11 @@ func TestCrashDaemonHelper(t *testing.T) {
 	if os.Getenv("EHNAD_CRASH_HELPER") != "1" {
 		t.Skip("helper-process entry point; driven by TestCrashRecoveryE2E and TestGracefulSIGTERM")
 	}
-	srv, err := buildServer(crashTestConfig(os.Getenv("EHNAD_WAL")))
+	cfg := crashTestConfig(os.Getenv("EHNAD_WAL"))
+	// The cluster failover e2e reuses this helper to spawn replication
+	// followers: EHNAD_FOLLOW carries the leader base URL through.
+	cfg.follow = os.Getenv("EHNAD_FOLLOW")
+	srv, err := buildServer(cfg)
 	if err != nil {
 		fmt.Printf("HELPER_ERR=%v\n", err)
 		os.Exit(1)
@@ -138,11 +142,13 @@ func (op crashOp) applyTo(t *testing.T, s *embstore.Store) {
 
 // startCrashHelper re-execs this test binary into helper mode over
 // walDir and waits for its listen address. The caller owns the
-// process's fate (SIGKILL or SIGTERM + Wait).
-func startCrashHelper(t *testing.T, walDir string) (*exec.Cmd, string) {
+// process's fate (SIGKILL or SIGTERM + Wait). extraEnv entries
+// ("K=V") let the cluster e2e spawn followers (EHNAD_FOLLOW).
+func startCrashHelper(t *testing.T, walDir string, extraEnv ...string) (*exec.Cmd, string) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashDaemonHelper$", "-test.v")
 	cmd.Env = append(os.Environ(), "EHNAD_CRASH_HELPER=1", "EHNAD_WAL="+walDir)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -163,7 +163,12 @@ func newDurable(cfg serverConfig, store *embstore.Store, sw *ann.Swapper, waterm
 	if err != nil {
 		return nil, err
 	}
-	d.walOpts = wal.Options{Sync: policy, Interval: ivl, FS: cfg.fs}
+	// FirstSeq matters only when the directory has no segments yet: a
+	// follower bootstrapped from a leader snapshot at watermark W must
+	// open its empty log at W+1 so replicated records keep the leader's
+	// numbering and Replay(W) finds no gap. (A leader whose log was
+	// rotated always has a live segment, so FirstSeq is ignored there.)
+	d.walOpts = wal.Options{Sync: policy, Interval: ivl, FS: cfg.fs, FirstSeq: watermark + 1}
 	l, err := wal.Open(cfg.walDir, d.walOpts)
 	if err != nil {
 		return nil, fmt.Errorf("wal open: %w", err)
@@ -237,9 +242,12 @@ func (d *durable) heal() {
 // requests group-commit behind one fsync instead of each paying a
 // serialized sync. The read-only gate sits in front of the append so
 // a poisoned log refuses work before mutating anything.
-func (d *durable) upsert(updates []upsertUpdate) error {
+// It returns the last WAL sequence the batch was logged at — the ack
+// token a client (or the shard router) can compare against a new
+// leader's promotion watermark after a failover.
+func (d *durable) upsert(updates []upsertUpdate) (uint64, error) {
 	if d.readOnly.Load() {
-		return errReadOnly
+		return 0, errReadOnly
 	}
 	recs := make([]wal.Record, len(updates))
 	for i, u := range updates {
@@ -259,22 +267,22 @@ func (d *durable) upsert(updates []upsertUpdate) error {
 	if err != nil {
 		err = fmt.Errorf("wal append: %w", err)
 		d.enterReadOnly(err)
-		return err
+		return 0, err
 	}
 	if err := lg.Commit(last); err != nil {
 		err = fmt.Errorf("wal commit: %w", err)
 		d.enterReadOnly(err)
-		return err
+		return 0, err
 	}
-	return nil
+	return last, nil
 }
 
 // delete logs then applies removals, reporting how many were present.
 // Same locking shape as upsert: append+apply inside d.mu, durability
 // wait (group-committed) outside it.
-func (d *durable) delete(ids []graph.NodeID) (int, error) {
+func (d *durable) delete(ids []graph.NodeID) (int, uint64, error) {
 	if d.readOnly.Load() {
-		return 0, errReadOnly
+		return 0, 0, errReadOnly
 	}
 	recs := make([]wal.Record, len(ids))
 	for i, id := range ids {
@@ -295,14 +303,79 @@ func (d *durable) delete(ids []graph.NodeID) (int, error) {
 	if err != nil {
 		err = fmt.Errorf("wal append: %w", err)
 		d.enterReadOnly(err)
-		return 0, err
+		return 0, 0, err
 	}
 	if err := lg.Commit(last); err != nil {
 		err = fmt.Errorf("wal commit: %w", err)
 		d.enterReadOnly(err)
-		return n, err
+		return n, 0, err
 	}
-	return n, nil
+	return n, last, nil
+}
+
+// replicate is the follower apply path: one contiguous batch from the
+// leader's replication stream, appended at the leader's sequence
+// numbers (AppendAt refuses divergence before writing) and applied to
+// the store+index — the same append+apply-under-d.mu shape as upsert
+// and delete, so the applier-lock watermark invariant holds for
+// replicated records exactly as for local ones.
+func (d *durable) replicate(recs []wal.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if d.readOnly.Load() {
+		return errReadOnly
+	}
+	d.mu.Lock()
+	lg := d.wal()
+	last, err := lg.AppendAt(recs)
+	if err == nil {
+		for _, r := range recs {
+			switch r.Op {
+			case wal.OpUpsert:
+				err = d.sw.Add(r.ID, r.Vec)
+			case wal.OpDelete:
+				d.sw.Remove(r.ID)
+			default:
+				err = fmt.Errorf("replicated record %d has unknown op %d", r.Seq, r.Op)
+			}
+			if err != nil {
+				break
+			}
+		}
+	}
+	d.mu.Unlock()
+	if err != nil {
+		if errors.Is(err, wal.ErrDiverged) {
+			// Protocol disagreement, not a persistence failure: nothing was
+			// written, so the log stays healthy and writable.
+			return err
+		}
+		err = fmt.Errorf("replicated apply: %w", err)
+		d.enterReadOnly(err)
+		return err
+	}
+	if err := lg.Commit(last); err != nil {
+		err = fmt.Errorf("wal commit: %w", err)
+		d.enterReadOnly(err)
+		return err
+	}
+	return nil
+}
+
+// applied reports the watermark through which the local state reflects
+// the log — LastSeq, by the applier-lock invariant.
+func (d *durable) applied() uint64 { return d.wal().LastSeq() }
+
+// exportTo streams a store snapshot stamped with the current WAL
+// watermark. Holding d.mu freezes the write path for the duration (a
+// consistent pair of store image + watermark is the point: a follower
+// bootstrapping from it resumes streaming at exactly this sequence);
+// searches keep serving throughout.
+func (d *durable) exportTo(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.store.SaveSnapshot(w, d.wal().LastSeq())
 }
 
 // snapshot rotates the WAL and writes the store (+ graph) snapshot

@@ -9,9 +9,15 @@
 //	                         "queries":[...] batches explicitly
 //	POST /v1/score           pairwise link-prediction score under a Table II
 //	                         edge operator (hadamard sum = dot product)
-//	POST /v1/upsert          insert/replace vectors (WAL-logged, then store + index)
+//	POST /v1/upsert          insert/replace vectors (WAL-logged, then store + index;
+//	                         acks carry the WAL seq)
 //	POST /v1/delete          remove vectors (WAL-logged, then store + index)
+//	GET  /v1/vector          resolve one stored id to its vector (router id-queries)
 //	GET  /v1/export          stream an embstore snapshot of the live store
+//	                         (watermark-stamped with -wal; follower bootstrap source)
+//	GET  /v1/repl/stream     (with -wal) ship framed WAL records to a follower
+//	GET  /v1/repl/status     role + replication watermarks
+//	POST /v1/admin/promote   leave follower mode; returns the applied watermark
 //	POST /v1/admin/snapshot  (with -wal) rotate a snapshot now
 //	POST /v1/admin/compact   (with -wal) rebuild the HNSW graph now, swapping
 //	                         it in under live traffic
@@ -104,6 +110,7 @@ func main() {
 		queueCap  = flag.Int("queue-depth", 0, "micro-batcher admission queue capacity; a full queue sheds with 429 (0 = 4×max-batch)")
 		efFloor   = flag.Int("ef-floor", 16, "hnsw: lowest ef-search the overload degrader may shrink the beam to under sustained queue pressure (0 disables adaptation)")
 		faultSpec = flag.String("fault", "", `wal fault-injection spec for chaos drills, e.g. "sync:after=100,count=3;write:enospc,p=0.01,seed=7" (see internal/faultfs)`)
+		follow    = flag.String("follow", "", "run as a replication follower of this leader base URL (requires -wal): bootstrap from its /v1/export if the WAL dir is empty, tail its /v1/repl/stream, refuse writes until promoted via /v1/admin/promote")
 	)
 	flag.Parse()
 
@@ -155,6 +162,7 @@ func main() {
 		queueDepth:       *queueCap,
 		efFloor:          *efFloor,
 		fs:               fsys,
+		follow:           *follow,
 	})
 	if err != nil {
 		log.Fatalf("ehnad: %v", err)
@@ -233,6 +241,10 @@ type serverConfig struct {
 	queueDepth      int
 	efFloor         int
 	fs              faultfs.FS // nil = the real filesystem
+
+	// follow makes the daemon a replication follower of this leader URL
+	// (requires walDir; see cmd/ehnad/replica.go).
+	follow string
 }
 
 // buildServer assembles store, index and (with a WAL dir) the
@@ -244,11 +256,21 @@ func buildServer(cfg serverConfig) (*server, error) {
 		watermark uint64
 		err       error
 	)
+	if cfg.follow != "" && cfg.walDir == "" {
+		return nil, fmt.Errorf("-follow requires -wal: a follower preserves the leader's log")
+	}
 	if cfg.walDir != "" {
 		// The snapshot pair and the graph land in the log directory,
 		// possibly before wal.Open creates it — make it exist first.
 		if err := os.MkdirAll(cfg.walDir, 0o755); err != nil {
 			return nil, err
+		}
+		// A brand-new follower seeds its snapshot from the leader before
+		// the normal load below.
+		if cfg.follow != "" {
+			if err := bootstrapFollower(cfg); err != nil {
+				return nil, err
+			}
 		}
 		// In WAL mode the rotating snapshot pair lives in the log
 		// directory and takes precedence over any seed artifact.
@@ -310,6 +332,11 @@ func buildServer(cfg serverConfig) (*server, error) {
 			return nil, err
 		}
 		srv.dur.registerMetrics(srv.metrics.reg)
+		if cfg.follow != "" {
+			srv.repl = newReplica(cfg.follow, srv.dur)
+			srv.repl.registerMetrics(srv.metrics.reg)
+			srv.repl.start()
+		}
 	}
 	return srv, nil
 }

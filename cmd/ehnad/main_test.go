@@ -572,10 +572,10 @@ func TestWALModeBootFromSeedSnapshot(t *testing.T) {
 	vec := make([]float64, store.Dim())
 	vec[0] = 9
 	id := graph.NodeID(777777)
-	if err := srv.dur.upsert([]upsertUpdate{{ID: &id, Vector: vec}}); err != nil {
+	if _, err := srv.dur.upsert([]upsertUpdate{{ID: &id, Vector: vec}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.dur.delete([]graph.NodeID{0}); err != nil {
+	if _, _, err := srv.dur.delete([]graph.NodeID{0}); err != nil {
 		t.Fatal(err)
 	}
 	srv.close()

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -311,6 +312,12 @@ func TestInflightLimitSheds(t *testing.T) {
 	}()
 	<-bi.entered // first request holds the only inflight slot
 
+	// Seed the flush-cost EWMA so the shed's Retry-After must reflect
+	// the batcher's predicted wait (3s × 1 flush ahead), pinning that
+	// the inflight path shares the backoff arithmetic with every other
+	// shed path instead of hardcoding one second.
+	srv.batch.flushNs.Store(int64(3 * time.Second))
+
 	resp, err := http.Post(ts.URL+"/v1/neighbors", "application/json",
 		strings.NewReader(`{"id":0,"k":3}`))
 	if err != nil {
@@ -320,9 +327,10 @@ func TestInflightLimitSheds(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("second request got %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 carries no Retry-After")
+	if got, want := resp.Header.Get("Retry-After"), strconv.Itoa(retrySeconds(srv.batch.predictedWait())); got != want {
+		t.Errorf("429 Retry-After = %q, want the predicted wait %q", got, want)
 	}
+	srv.batch.flushNs.Store(0) // don't let the seeded EWMA shed the held request's successors
 
 	close(bi.gate)
 	if status := <-first; status != http.StatusOK {
@@ -380,6 +388,59 @@ func TestNeighborsDeadline(t *testing.T) {
 	}
 	if took := time.Since(start); took > 2*time.Second {
 		t.Errorf("deadline response took %v; must track the 30ms budget, not the search", took)
+	}
+}
+
+// TestDeadlineValidation pins the strict override contract: a
+// malformed or non-positive deadline — header or body field — is a
+// 400, never silently the server default (a client that asked for a
+// budget and got unbounded work would discover the typo as an outage).
+func TestDeadlineValidation(t *testing.T) {
+	store, _ := trainedStore(t)
+	_, ts := newTestServer(t, store, "exact")
+
+	for _, h := range []string{"abc", "-5", "0", "1.5"} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/neighbors",
+			strings.NewReader(`{"id":0,"k":3}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(deadlineHeader, h)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("header %q got %d, want 400", h, resp.StatusCode)
+		}
+	}
+
+	if status, body := postJSON(t, ts.URL+"/v1/neighbors",
+		map[string]any{"id": 0, "k": 3, "deadline_ms": -10}, nil); status != http.StatusBadRequest {
+		t.Errorf("deadline_ms -10 got %d (%s), want 400", status, body)
+	}
+
+	// Valid overrides keep working through both channels.
+	if status, body := postJSON(t, ts.URL+"/v1/neighbors",
+		map[string]any{"id": 0, "k": 3, "deadline_ms": 2000}, nil); status != http.StatusOK {
+		t.Errorf("valid deadline_ms got %d (%s), want 200", status, body)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/neighbors",
+		strings.NewReader(`{"id":0,"k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(deadlineHeader, "2000")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("valid header deadline got %d, want 200", resp.StatusCode)
 	}
 }
 

@@ -56,7 +56,7 @@ func TestCrossPrecisionBoot(t *testing.T) {
 		id := graph.NodeID(i)
 		updates = append(updates, upsertUpdate{ID: &id, Vector: emb.Row(i)})
 	}
-	if err := srv.dur.upsert(updates); err != nil {
+	if _, err := srv.dur.upsert(updates); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := srv.dur.snapshot(); err != nil {
@@ -69,10 +69,10 @@ func TestCrossPrecisionBoot(t *testing.T) {
 	idR, idDel, idNew := graph.NodeID(7), graph.NodeID(8), graph.NodeID(n+100)
 	fresh := make([]float64, dim)
 	fresh[0] = 1.25
-	if err := srv.dur.upsert([]upsertUpdate{{ID: &idR, Vector: replaced}, {ID: &idNew, Vector: fresh}}); err != nil {
+	if _, err := srv.dur.upsert([]upsertUpdate{{ID: &idR, Vector: replaced}, {ID: &idNew, Vector: fresh}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.dur.delete([]graph.NodeID{idDel}); err != nil {
+	if _, _, err := srv.dur.delete([]graph.NodeID{idDel}); err != nil {
 		t.Fatal(err)
 	}
 	srv.close()
@@ -219,7 +219,7 @@ func TestCorruptSnapshotFailsBoot(t *testing.T) {
 	id := graph.NodeID(1)
 	vec := make([]float64, dim)
 	vec[0] = 1
-	if err := srv.dur.upsert([]upsertUpdate{{ID: &id, Vector: vec}}); err != nil {
+	if _, err := srv.dur.upsert([]upsertUpdate{{ID: &id, Vector: vec}}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := srv.dur.snapshot(); err != nil {

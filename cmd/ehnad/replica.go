@@ -1,0 +1,335 @@
+// Replication: the daemon's half of the cluster's WAL-shipping plane.
+//
+// A leader (any daemon with -wal) exposes:
+//
+//	GET  /v1/repl/stream?after=SEQ  — framed WAL records after SEQ, bounded
+//	                                  to the durable watermark (never ship
+//	                                  what a crash could take back); 410 +
+//	                                  the snapshot watermark when SEQ was
+//	                                  truncated away
+//	GET  /v1/repl/status            — role + log watermarks
+//	POST /v1/admin/promote          — leave follower mode; the applied
+//	                                  watermark in the response is the
+//	                                  acked-write survival line
+//
+// A follower (-follow URL, requires -wal) bootstraps from the leader's
+// /v1/export when its directory is empty, then tails the stream through
+// cluster.ReplClient, applying every batch through durable.replicate —
+// the same store+index path boot replay uses, under the same applier
+// lock, preserving the leader's sequence numbers. Promotion just stops
+// the tail and flips the role: the log already is a leader log.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ehna/internal/cluster"
+	"ehna/internal/graph"
+	"ehna/internal/obs"
+	"ehna/internal/wal"
+)
+
+// replStreamPollWait is how long /v1/repl/stream holds a caught-up
+// request open waiting for new records before answering empty — a
+// brief long-poll that keeps follower lag near zero without a tight
+// reconnect loop.
+const replStreamPollWait = 900 * time.Millisecond
+
+// replica is a daemon's follower-mode state: the upstream leader, the
+// stream client, and the role flip promotion performs.
+type replica struct {
+	leader   string
+	dur      *durable
+	follower atomic.Bool
+	client   *cluster.ReplClient
+
+	mu     sync.Mutex // serializes start/stop/promote
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func newReplica(leader string, d *durable) *replica {
+	rp := &replica{leader: leader, dur: d}
+	rp.follower.Store(true)
+	rp.client = &cluster.ReplClient{
+		Leader:  leader,
+		Apply:   d.replicate,
+		Applied: d.applied,
+		OnGap: func(wm uint64) error {
+			// Streaming can never catch up once the leader truncated past
+			// our watermark. Re-bootstrapping would mean discarding local
+			// state — an operator decision, so surface it loudly and keep
+			// retrying (the error path backs off) rather than self-wipe.
+			return fmt.Errorf("leader snapshot watermark %d is past this log: wipe the WAL dir and restart to re-bootstrap from %s/v1/export", wm, leader)
+		},
+		Logf: log.Printf,
+	}
+	return rp
+}
+
+// start begins tailing the leader.
+func (rp *replica) start() {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.cancel != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rp.cancel = cancel
+	done := make(chan struct{})
+	rp.done = done
+	go func() {
+		rp.client.Run(ctx)
+		close(done)
+	}()
+	log.Printf("ehnad: following %s (replication stream)", rp.leader)
+}
+
+// stop halts the stream client and waits for its last apply to finish.
+// Idempotent.
+func (rp *replica) stop() {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.cancel == nil {
+		return
+	}
+	rp.cancel()
+	<-rp.done
+	rp.cancel, rp.done = nil, nil
+}
+
+// promote leaves follower mode and returns the applied watermark the
+// daemon starts accepting writes from: every acked write with seq ≤ it
+// survived the failover; anything later on the dead leader was never
+// replicated here and must be re-driven. Idempotent.
+func (rp *replica) promote() uint64 {
+	rp.stop()
+	if rp.follower.Swap(false) {
+		log.Printf("ehnad: promoted to leader at applied seq %d (was following %s)", rp.dur.applied(), rp.leader)
+	}
+	return rp.dur.applied()
+}
+
+// registerMetrics adds the follower-side replication gauges to the
+// server registry (the router keeps its own cluster-wide view; these
+// are the daemon's ground truth).
+func (rp *replica) registerMetrics(r *obs.Registry) {
+	r.GaugeFunc("ehnad_is_follower", "1 while this daemon is tailing a leader instead of owning writes.",
+		func() float64 {
+			if rp.follower.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("ehnad_repl_applied_seq", "Highest leader sequence applied locally.",
+		func() float64 { return float64(rp.dur.applied()) })
+	r.GaugeFunc("ehnad_repl_leader_seq", "Leader durable watermark as of the last stream round.",
+		func() float64 { return float64(rp.client.LeaderSeq()) })
+	r.GaugeFunc("ehnad_repl_lag_records", "Records the leader has durably logged that this follower has not applied.",
+		func() float64 {
+			leader, applied := rp.client.LeaderSeq(), rp.dur.applied()
+			if leader <= applied {
+				return 0
+			}
+			return float64(leader - applied)
+		})
+}
+
+// isFollower reports whether the daemon currently refuses writes in
+// favor of its upstream leader.
+func (s *server) isFollower() bool {
+	return s.repl != nil && s.repl.follower.Load()
+}
+
+// refuseIfFollower answers mutations with the overload contract's 503 +
+// Retry-After while in follower mode — the shard router reacts by
+// re-probing and redirecting to the actual leader.
+func (s *server) refuseIfFollower(w http.ResponseWriter) bool {
+	if !s.isFollower() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "follower of %s: writes go to the shard leader", s.repl.leader)
+	return true
+}
+
+// bootstrapFollower seeds an empty follower WAL directory from the
+// leader's /v1/export — a store snapshot stamped with the leader's
+// watermark, so the normal boot path loads it and the stream resumes
+// at exactly that sequence. A directory that already has a snapshot or
+// log segments resumes from local state instead (cheaper, and the
+// stream's gap check catches a stale resume).
+func bootstrapFollower(cfg serverConfig) error {
+	snapPath := walSnapshotPath(cfg.walDir)
+	if _, err := os.Stat(snapPath); err == nil {
+		return nil
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	oldest, err := wal.OldestSeq(cfg.walDir)
+	if err != nil {
+		return err
+	}
+	if oldest > 0 {
+		return nil
+	}
+	resp, err := http.Get(cfg.follow + "/v1/export")
+	if err != nil {
+		return fmt.Errorf("bootstrap from %s: %w", cfg.follow, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bootstrap from %s: status %s", cfg.follow, resp.Status)
+	}
+	if err := writeFileAtomic(snapPath, func(w io.Writer) error {
+		_, err := io.Copy(w, resp.Body)
+		return err
+	}); err != nil {
+		return fmt.Errorf("bootstrap snapshot: %w", err)
+	}
+	log.Printf("ehnad: bootstrapped follower snapshot from %s/v1/export", cfg.follow)
+	return nil
+}
+
+// durableThrough reports the watermark the stream may ship up to,
+// syncing first when the log holds buffered records — replication
+// implies durability: a record a crash could take back must never
+// reach a follower.
+func durableThrough(lg *wal.Log) uint64 {
+	if lg.DurableSeq() < lg.LastSeq() {
+		if err := lg.Sync(); err != nil {
+			return lg.DurableSeq()
+		}
+	}
+	return lg.DurableSeq()
+}
+
+// handleReplStream serves the leader side of WAL shipping: framed
+// records after ?after, bounded to the durable watermark, re-encoded
+// through the same codec the on-disk segments use (replay re-validates
+// every CRC on the way out).
+func (s *server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.dur == nil {
+		writeError(w, http.StatusBadRequest, "replication requires -wal")
+		return
+	}
+	after := uint64(0)
+	if q := r.URL.Query().Get("after"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid after %q: %v", q, err)
+			return
+		}
+		after = v
+	}
+	upTo := durableThrough(s.dur.wal())
+	// Caught up: hold the request briefly so a write lands mid-poll
+	// instead of on the next reconnect.
+	deadline := time.Now().Add(replStreamPollWait)
+	for upTo <= after && time.Now().Before(deadline) {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+		upTo = durableThrough(s.dur.wal())
+	}
+	oldest, err := wal.OldestSeq(s.dur.walDir)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "repl stream: %v", err)
+		return
+	}
+	w.Header().Set(cluster.LastSeqHeader, strconv.FormatUint(upTo, 10))
+	if oldest > after+1 {
+		// Records (after, oldest) were truncated by snapshot rotation: the
+		// follower can never stream its way up from here.
+		writeJSON(w, http.StatusGone, map[string]any{
+			"watermark": s.dur.watermark.Load(),
+			"error":     fmt.Sprintf("records after seq %d truncated; oldest surviving seq is %d", after, oldest),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if upTo <= after {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	enc := wal.NewEncoder(w)
+	if _, err := wal.ReplayRange(s.dur.walDir, after, upTo, enc.Encode); err != nil {
+		// Headers are sent; the follower sees a torn stream, applies the
+		// contiguous prefix it got, and resumes from its new watermark.
+		log.Printf("ehnad: repl stream (%d, %d]: %v", after, upTo, err)
+	}
+}
+
+// handleReplStatus reports role + watermarks — what the router's health
+// loop probes to elect leaders and measure lag. Always 200: a daemon
+// without -wal is a zero-watermark leader.
+func (s *server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	st := cluster.ReplStatus{Role: "leader"}
+	if s.isFollower() {
+		st.Role = "follower"
+		st.Leader = s.repl.leader
+	}
+	if s.dur != nil {
+		lg := s.dur.wal()
+		st.LastSeq = lg.LastSeq()
+		st.DurableSeq = lg.DurableSeq()
+		st.Applied = s.dur.applied()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleAdminPromote flips a follower into the shard's write owner,
+// returning the applied watermark writes resume from. Idempotent —
+// promoting a leader (or a daemon that never followed) reports its
+// current watermark and changes nothing.
+func (s *server) handleAdminPromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var applied uint64
+	switch {
+	case s.repl != nil:
+		applied = s.repl.promote()
+	case s.dur != nil:
+		applied = s.dur.applied()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": applied, "role": "leader"})
+}
+
+// handleVector resolves one stored id to its vector — the router uses
+// it to turn an id-query into a vector it can scatter to non-owning
+// shards.
+func (s *server) handleVector(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query().Get("id")
+	id, err := strconv.ParseUint(q, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid id %q", q)
+		return
+	}
+	vec, ok := s.store.Get(graph.NodeID(id))
+	if !ok {
+		writeError(w, http.StatusNotFound, "node %d not in store", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "vector": vec})
+}

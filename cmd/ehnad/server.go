@@ -42,6 +42,7 @@ type server struct {
 	started   time.Time
 	pprof     bool           // mount net/http/pprof on the mux (-pprof)
 	dur       *durable       // nil without -wal; owns the write path when set
+	repl      *replica       // nil unless -follow; see replica.go
 	metrics   *serverMetrics // per-server gauges + HTTP series; see metrics.go
 
 	defaultDeadline time.Duration
@@ -84,6 +85,9 @@ func newServer(store *embstore.Store, index ann.Index, indexName string, maxBatc
 // replays the WAL suffix). Idempotent, and shared with shutdown.
 func (s *server) close() {
 	s.closeOnce.Do(func() {
+		if s.repl != nil {
+			s.repl.stop() // stop applying before the WAL goes away
+		}
 		s.batch.close()
 		if s.dur != nil {
 			s.dur.close()
@@ -97,6 +101,9 @@ func (s *server) close() {
 func (s *server) shutdown() {
 	s.draining.Store(true)
 	s.closeOnce.Do(func() {
+		if s.repl != nil {
+			s.repl.stop()
+		}
 		s.batch.close()
 		if s.dur != nil {
 			s.dur.shutdown()
@@ -125,9 +132,16 @@ func (s *server) handler() http.Handler {
 	route("/v1/score", s.handleScore)
 	route("/v1/upsert", s.handleUpsert)
 	route("/v1/delete", s.handleDelete)
+	route("/v1/vector", s.handleVector)
 	route("/v1/export", s.handleExport)
 	route("/v1/admin/snapshot", s.handleAdminSnapshot)
 	route("/v1/admin/compact", s.handleAdminCompact)
+	// Replication endpoints stay off the instrumented table: the stream
+	// long-polls by design, and its held-open seconds would drown the
+	// request-latency histograms.
+	mux.HandleFunc("/v1/repl/stream", s.handleReplStream)
+	mux.HandleFunc("/v1/repl/status", s.handleReplStatus)
+	mux.HandleFunc("/v1/admin/promote", s.handleAdminPromote)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	// Server gauges first, then the process-wide registry (ann/wal
@@ -181,20 +195,29 @@ const deadlineHeader = "X-Ehnad-Deadline-Ms"
 // (cancel propagates when the client disconnects) bounded by the
 // request's deadline budget — deadline_ms in the body, then the
 // header, then -default-deadline. A budget of 0 means unbounded.
-func (s *server) requestCtx(r *http.Request, deadlineMS int) (context.Context, context.CancelFunc) {
+// Invalid overrides (malformed or non-positive) are an error, not the
+// default: a client that asked for a budget and got silently unbounded
+// work would discover the typo as an outage.
+func (s *server) requestCtx(r *http.Request, deadlineMS int) (context.Context, context.CancelFunc, error) {
 	d := s.defaultDeadline
 	if h := r.Header.Get(deadlineHeader); h != "" {
-		if v, err := strconv.Atoi(h); err == nil && v > 0 {
-			d = time.Duration(v) * time.Millisecond
+		v, err := strconv.Atoi(h)
+		if err != nil || v <= 0 {
+			return nil, nil, fmt.Errorf("invalid %s header %q: want a positive integer of milliseconds", deadlineHeader, h)
 		}
+		d = time.Duration(v) * time.Millisecond
 	}
-	if deadlineMS > 0 {
+	if deadlineMS != 0 {
+		if deadlineMS < 0 {
+			return nil, nil, fmt.Errorf("invalid deadline_ms %d: want a positive number of milliseconds", deadlineMS)
+		}
 		d = time.Duration(deadlineMS) * time.Millisecond
 	}
 	if d <= 0 {
-		return r.Context(), func() {}
+		return r.Context(), func() {}, nil
 	}
-	return context.WithTimeout(r.Context(), d)
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
 }
 
 // acquire claims an inflight slot, shedding with 429 when the server
@@ -208,7 +231,11 @@ func (s *server) acquire(w http.ResponseWriter) bool {
 		return true
 	default:
 		shedInflight.Inc()
-		w.Header().Set("Retry-After", "1")
+		// Same backoff hint as every other shed path: the batcher's
+		// predicted queue wait, not a hardcoded constant — under a real
+		// overload one second is exactly long enough to rejoin the
+		// stampede that caused the shed.
+		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(s.batch.predictedWait())))
 		writeError(w, http.StatusTooManyRequests, "server at -max-inflight capacity")
 		return false
 	}
@@ -312,7 +339,11 @@ func (s *server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
+	ctx, cancel, err := s.requestCtx(r, req.DeadlineMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	defer cancel()
 	if len(req.Queries) > 0 {
 		s.handleNeighborsBatch(ctx, w, req)
@@ -467,6 +498,9 @@ func (s *server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if s.refuseIfFollower(w) {
+		return
+	}
 	var req upsertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -496,11 +530,16 @@ func (s *server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	// pre-validated, so any error past this point is ours: 503 when the
 	// WAL is (or just became) unavailable — the op was not acknowledged
 	// and retrying after the heal is correct — 500 otherwise.
+	out := map[string]any{"upserted": len(updates)}
 	if s.dur != nil {
-		if err := s.dur.upsert(updates); err != nil {
+		seq, err := s.dur.upsert(updates)
+		if err != nil {
 			s.writeDurabilityError(w, err)
 			return
 		}
+		// The ack token: after a failover, writes with seq ≤ the new
+		// leader's promotion watermark provably survived.
+		out["seq"] = seq
 	} else {
 		for i, u := range updates {
 			if err := s.index.Add(*u.ID, u.Vector); err != nil {
@@ -509,7 +548,8 @@ func (s *server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"upserted": len(updates), "nodes": s.store.Len()})
+	out["nodes"] = s.store.Len()
+	writeJSON(w, http.StatusOK, out)
 }
 
 // deleteRequest removes vectors: one id inline, or many under "ids".
@@ -521,6 +561,9 @@ type deleteRequest struct {
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.refuseIfFollower(w) {
 		return
 	}
 	var req deleteRequest
@@ -537,12 +580,15 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var deleted int
+	out := map[string]any{}
 	if s.dur != nil {
-		var err error
-		if deleted, err = s.dur.delete(ids); err != nil {
+		n, seq, err := s.dur.delete(ids)
+		if err != nil {
 			s.writeDurabilityError(w, err)
 			return
 		}
+		deleted = n
+		out["seq"] = seq
 	} else {
 		for _, id := range ids {
 			if s.index.Remove(id) {
@@ -550,7 +596,9 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted, "nodes": s.store.Len()})
+	out["deleted"] = deleted
+	out["nodes"] = s.store.Len()
+	writeJSON(w, http.StatusOK, out)
 }
 
 // writeDurabilityError maps a failed mutation onto the overload
@@ -575,7 +623,17 @@ func (s *server) handleExport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := s.store.Save(w); err != nil {
+	// With a WAL the export is watermark-stamped under the applier lock,
+	// so a follower bootstrapping from it resumes the replication stream
+	// at exactly the exported sequence. Without one there is no sequence
+	// space; the plain store image (watermark 0) is all there is.
+	var err error
+	if s.dur != nil {
+		err = s.dur.exportTo(w)
+	} else {
+		err = s.store.Save(w)
+	}
+	if err != nil {
 		// Headers are gone; all we can do is cut the stream short and
 		// leave the evidence in the daemon log.
 		log.Printf("ehnad: export: %v", err)
@@ -671,6 +729,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.dur != nil {
 		out["durability"] = s.dur.healthz(s.metrics)
+	}
+	if s.repl != nil {
+		role := "leader"
+		if s.isFollower() {
+			role = "follower"
+		}
+		out["replication"] = map[string]any{
+			"role":        role,
+			"leader":      s.repl.leader,
+			"applied_seq": s.dur.applied(),
+			"leader_seq":  s.repl.client.LeaderSeq(),
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -183,7 +183,21 @@ load with an SLO gate (exit code 0 = pass):
   curl -s localhost:8080/metrics
   go run ./cmd/ehnad-loadgen -rate 2000 -duration 30s -read-frac 0.9 \
       -slo "p99<5ms,errors<1%%" -json bench.json
-`, storePath, storePath, graphPath, walDir, storePath, walDir, modelPath, target, k)
+
+scale out: two shards behind the scatter-gather router, shard a
+replicated by a WAL-shipping follower that auto-promotes on leader
+death (see "Distributed serving" in the README; clients only ever
+talk to the router):
+  go run ./cmd/ehnad -addr :8081 -wal %s-a  -dim %d -index hnsw
+  go run ./cmd/ehnad -addr :8082 -wal %s-b  -dim %d -index hnsw
+  go run ./cmd/ehnad -addr :8083 -wal %s-af -dim %d -index hnsw \
+      -follow http://localhost:8081
+  go run ./cmd/ehnad-router -listen :8090 -failover \
+      -shard a=http://localhost:8081,http://localhost:8083 \
+      -shard b=http://localhost:8082
+  curl -s -X POST localhost:8090/v1/neighbors -d '{"id":%d,"k":%d}'
+`, storePath, storePath, graphPath, walDir, storePath, walDir, modelPath, target, k,
+		walDir, cfg.Dim, walDir, cfg.Dim, walDir, cfg.Dim, target, k)
 }
 
 func resultIDs(rs []ann.Result) []graph.NodeID {

@@ -1,0 +1,322 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// collectRange replays (after, upTo] into a slice of records.
+func collectRange(t *testing.T, dir string, after, upTo uint64) []Record {
+	t.Helper()
+	var got []Record
+	if _, err := ReplayRange(dir, after, upTo, func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("ReplayRange(%d, %d): %v", after, upTo, err)
+	}
+	return got
+}
+
+// assertSeqs checks got is exactly the contiguous run [lo, hi] — the
+// follower catch-up contract: nothing dropped, nothing duplicated.
+func assertSeqs(t *testing.T, got []Record, lo, hi uint64) {
+	t.Helper()
+	if hi < lo {
+		if len(got) != 0 {
+			t.Fatalf("want empty range, got %d records", len(got))
+		}
+		return
+	}
+	if uint64(len(got)) != hi-lo+1 {
+		t.Fatalf("got %d records, want %d (seqs %d-%d)", len(got), hi-lo+1, lo, hi)
+	}
+	for i, r := range got {
+		if want := lo + uint64(i); r.Seq != want {
+			t.Fatalf("record %d has seq %d, want %d", i, r.Seq, want)
+		}
+	}
+}
+
+// TestReplayBoundaryAtRotateWatermark pins the exact boundary the
+// snapshot/replication protocol leans on: Replay(after=watermark)
+// after a Rotate yields exactly the records appended since — the
+// watermark record itself is excluded, the first post-rotate record is
+// included, across every off-by-one-tempting offset.
+func TestReplayBoundaryAtRotateWatermark(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, randomOps(rng, 37, 4))
+	wm, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 37 {
+		t.Fatalf("watermark %d, want 37", wm)
+	}
+	appendOps(t, l, randomOps(rng, 23, 4))
+	last := l.LastSeq()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	assertSeqs(t, collectRange(t, dir, wm, last), wm+1, last)   // exactly the suffix
+	assertSeqs(t, collectRange(t, dir, wm-1, last), wm, last)   // one earlier includes the watermark record
+	assertSeqs(t, collectRange(t, dir, wm+1, last), wm+2, last) // one later excludes the first suffix record
+	assertSeqs(t, collectRange(t, dir, last, last), 1, 0)       // after == last: empty
+	assertSeqs(t, collectRange(t, dir, 0, last), 1, last)       // full history
+}
+
+// TestReplayBoundaryAcrossSegments rotates several times and checks
+// that for after == the last seq of each sealed segment, replay yields
+// exactly the following segments' records — the segment boundary is
+// invisible to the watermark arithmetic.
+func TestReplayBoundaryAcrossSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []uint64 // last seq of each sealed segment
+	for round := 0; round < 4; round++ {
+		appendOps(t, l, randomOps(rng, 10+rng.Intn(20), 4))
+		wm, err := l.Rotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, wm)
+	}
+	appendOps(t, l, randomOps(rng, 7, 4)) // active-segment tail
+	last := l.LastSeq()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bounds {
+		assertSeqs(t, collectRange(t, dir, b, last), b+1, last)
+		if b > 1 {
+			// Straddle the boundary: start one before it.
+			assertSeqs(t, collectRange(t, dir, b-1, last), b, last)
+		}
+	}
+}
+
+// TestReplayRangeBounded exercises the upper bound: ranges inside one
+// segment, spanning segments, ending exactly on a sealed boundary, and
+// extending past the log's end.
+func TestReplayRangeBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, randomOps(rng, 20, 4))
+	wm, err := l.Rotate() // sealed segment 1-20
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, randomOps(rng, 15, 4)) // active 21-35
+	last := l.LastSeq()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	assertSeqs(t, collectRange(t, dir, 5, 12), 6, 12)           // inside the sealed segment
+	assertSeqs(t, collectRange(t, dir, 18, 25), 19, 25)         // spans the boundary
+	assertSeqs(t, collectRange(t, dir, 10, wm), 11, wm)         // upTo == sealed boundary
+	assertSeqs(t, collectRange(t, dir, wm, wm+3), wm+1, wm+3)   // starts at the boundary
+	assertSeqs(t, collectRange(t, dir, 30, last+100), 31, last) // upTo past the end
+	assertSeqs(t, collectRange(t, dir, 12, 12), 1, 0)           // empty range
+	assertSeqs(t, collectRange(t, dir, 12, 3), 1, 0)            // inverted range
+}
+
+// TestReplayRangeInfoLastSeq pins Info.LastSeq for bounded replays —
+// the stream handler reports it as the shipped watermark.
+func TestReplayRangeInfoLastSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, randomOps(rng, 30, 4))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := ReplayRange(dir, 5, 17, func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastSeq != 17 || info.Records != 12 {
+		t.Fatalf("info = %+v, want LastSeq 17, Records 12", info)
+	}
+}
+
+// TestReplayGapIsErrGap checks the truncation-gap refusal is typed, so
+// the stream handler can turn it into a re-bootstrap signal.
+func TestReplayGapIsErrGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, randomOps(rng, 10, 4))
+	wm, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, randomOps(rng, 5, 4))
+	if err := l.TruncateThrough(wm); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(dir, 0, func(Record) error { return nil })
+	if !errors.Is(err, ErrGap) {
+		t.Fatalf("replay over truncated prefix: err = %v, want ErrGap", err)
+	}
+	oldest, err := OldestSeq(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldest != wm+1 {
+		t.Fatalf("OldestSeq = %d, want %d", oldest, wm+1)
+	}
+}
+
+// TestStreamCodecRoundTrip pushes records through Encoder/Decoder and
+// checks identity plus clean-EOF framing.
+func TestStreamCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	recs := randomOps(rng, 50, 6)
+	for i := range recs {
+		recs[i].Seq = uint64(i + 1)
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(bytes.NewReader(buf.Bytes()))
+	for i := 0; ; i++ {
+		r, err := dec.Decode()
+		if err == io.EOF {
+			if i != len(recs) {
+				t.Fatalf("EOF after %d records, want %d", i, len(recs))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		want := recs[i]
+		if r.Seq != want.Seq || r.Op != want.Op || r.ID != want.ID || len(r.Vec) != len(want.Vec) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, r, want)
+		}
+		for j := range r.Vec {
+			if r.Vec[j] != want.Vec[j] {
+				t.Fatalf("record %d vec[%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+// TestStreamDecoderTornTail checks a mid-frame cut (a dropped
+// connection) surfaces as ErrTorn, not EOF and not corruption.
+func TestStreamDecoderTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Encode(Record{Seq: 1, Op: OpUpsert, ID: 7, Vec: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Len()
+	if err := enc.Encode(Record{Seq: 2, Op: OpDelete, ID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{whole + 3, whole + frameHeader + 2} {
+		dec := NewDecoder(bytes.NewReader(buf.Bytes()[:cut]))
+		if _, err := dec.Decode(); err != nil {
+			t.Fatalf("first record at cut %d: %v", cut, err)
+		}
+		if _, err := dec.Decode(); !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut %d: err = %v, want ErrTorn", cut, err)
+		}
+	}
+}
+
+// TestAppendAtPreservesLeaderSeqs drives the follower apply path: a
+// log opened at FirstSeq = watermark+1 accepts a contiguous replicated
+// batch keeping leader numbering, refuses divergence, and replays the
+// suffix identically after reopen.
+func TestAppendAtPreservesLeaderSeqs(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	const watermark = 100
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever, FirstSeq: watermark + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastSeq(); got != watermark {
+		t.Fatalf("fresh log LastSeq = %d, want %d", got, watermark)
+	}
+	recs := randomOps(rng, 25, 4)
+	for i := range recs {
+		recs[i].Seq = watermark + 1 + uint64(i)
+	}
+	last, err := l.AppendAt(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(watermark + 25); last != want {
+		t.Fatalf("AppendAt returned %d, want %d", last, want)
+	}
+	if err := l.Commit(last); err != nil {
+		t.Fatal(err)
+	}
+
+	// A non-contiguous batch is refused before a byte lands.
+	if _, err := l.AppendAt([]Record{{Seq: last + 5, Op: OpDelete, ID: 1}}); err == nil {
+		t.Fatal("AppendAt accepted a seq gap")
+	}
+	if got := l.LastSeq(); got != last {
+		t.Fatalf("failed AppendAt moved LastSeq to %d", got)
+	}
+
+	// Local appends continue the same numbering.
+	seq, err := l.Append(OpDelete, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != last+1 {
+		t.Fatalf("Append after AppendAt got seq %d, want %d", seq, last+1)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay(watermark) finds no gap and yields the whole suffix.
+	got := collectRange(t, dir, watermark, seq)
+	assertSeqs(t, got, watermark+1, seq)
+
+	// Reopen continues the sequence.
+	l2, err := Open(dir, Options{Sync: SyncNever, FirstSeq: watermark + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.LastSeq(); got != seq {
+		t.Fatalf("reopened LastSeq = %d, want %d", got, seq)
+	}
+}

@@ -96,6 +96,19 @@ var ErrTorn = errors.New("wal: torn record")
 // unknown op, or an impossible length.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// ErrGap reports that replay cannot start at the requested watermark:
+// the oldest surviving segment begins after it, so the intervening
+// records no longer exist (snapshot truncation moved past the caller).
+// A replication follower that hits it must re-bootstrap from a
+// snapshot instead of streaming.
+var ErrGap = errors.New("wal: records truncated before replay watermark")
+
+// ErrDiverged reports that AppendAt was handed a record whose sequence
+// number does not continue the local log — the replication stream and
+// the log disagree about history. Refused before any byte is written,
+// so it never poisons the log the way a persistence failure does.
+var ErrDiverged = errors.New("wal: replication stream diverged from the local log")
+
 // AppendRecord appends the framed encoding of r to dst and returns the
 // extended slice.
 func AppendRecord(dst []byte, r Record) []byte {
@@ -212,6 +225,12 @@ type Options struct {
 	// FS is the filesystem the log persists through (default the real
 	// one). Fault drills inject a faultfs.Injector here.
 	FS faultfs.FS
+	// FirstSeq is the sequence number the log starts at when the
+	// directory holds no segments yet (default 1). A follower
+	// bootstrapped from a snapshot at watermark W opens its log with
+	// FirstSeq W+1, so replicated records keep the leader's numbering
+	// and a later Replay(W) finds no gap.
+	FirstSeq uint64
 }
 
 func (o *Options) fill() {
@@ -220,6 +239,9 @@ func (o *Options) fill() {
 	}
 	if o.FS == nil {
 		o.FS = faultfs.OS()
+	}
+	if o.FirstSeq == 0 {
+		o.FirstSeq = 1
 	}
 }
 
@@ -396,7 +418,27 @@ func Replay(dir string, after uint64, fn func(Record) error) (Info, error) {
 // ReplayFS is Replay reading through an explicit filesystem, so fault
 // drills can exercise boot-time recovery too.
 func ReplayFS(fsys faultfs.FS, dir string, after uint64, fn func(Record) error) (Info, error) {
+	return ReplayRangeFS(fsys, dir, after, math.MaxUint64, fn)
+}
+
+// ReplayRange is Replay bounded above: it iterates records with
+// after < Seq ≤ upTo and stops cleanly once the bound is passed,
+// without scanning the rest of the log. The replication stream handler
+// uses it to ship exactly the durable prefix while appends continue.
+func ReplayRange(dir string, after, upTo uint64, fn func(Record) error) (Info, error) {
+	return ReplayRangeFS(faultfs.OS(), dir, after, upTo, fn)
+}
+
+// errStopReplay threads the upTo early-stop through scanSegment's
+// fn-error abort path; it never escapes this package.
+var errStopReplay = errors.New("wal: stop replay")
+
+// ReplayRangeFS is ReplayRange reading through an explicit filesystem.
+func ReplayRangeFS(fsys faultfs.FS, dir string, after, upTo uint64, fn func(Record) error) (Info, error) {
 	var info Info
+	if upTo <= after {
+		return info, nil
+	}
 	segs, err := listSegments(fsys, dir)
 	if os.IsNotExist(err) {
 		return info, nil
@@ -409,8 +451,8 @@ func ReplayFS(fsys faultfs.FS, dir string, after uint64, fn func(Record) error) 
 	// log were lost (mismatched snapshot restored over a truncated log,
 	// segments deleted by hand) — refuse to boot on silent data loss.
 	if len(segs) > 0 && segs[0].first > after+1 {
-		return info, fmt.Errorf("wal: oldest segment starts at seq %d but replay begins after %d: records %d-%d are missing",
-			segs[0].first, after, after+1, segs[0].first-1)
+		return info, fmt.Errorf("%w: oldest segment starts at seq %d but replay begins after %d: records %d-%d are missing",
+			ErrGap, segs[0].first, after, after+1, segs[0].first-1)
 	}
 	for i, seg := range segs {
 		final := i == len(segs)-1
@@ -418,13 +460,25 @@ func ReplayFS(fsys faultfs.FS, dir string, after uint64, fn func(Record) error) 
 			return info, fmt.Errorf("wal: gap between segments: %s ends at %d, %s starts at %d",
 				segs[i-1].path, segs[i-1].last, seg.path, seg.first)
 		}
+		if seg.first > upTo {
+			return info, nil
+		}
 		end, last, torn, err := scanSegment(fsys, seg.path, seg.first, func(r Record) error {
 			if r.Seq <= after {
 				return nil
 			}
+			if r.Seq > upTo {
+				return errStopReplay
+			}
 			info.Records++
 			return fn(r)
 		})
+		if errors.Is(err, errStopReplay) {
+			if last >= seg.first {
+				info.LastSeq = last
+			}
+			return info, nil
+		}
 		if err != nil {
 			return info, err
 		}
@@ -444,6 +498,24 @@ func ReplayFS(fsys faultfs.FS, dir string, after uint64, fn func(Record) error) 
 	return info, nil
 }
 
+// OldestSeq reports the first sequence number still present in dir's
+// segments (0 when the directory holds none). The replication stream
+// handler uses it to answer a follower whose watermark predates the
+// log with a bootstrap signal instead of a mid-stream failure.
+func OldestSeq(dir string) (uint64, error) {
+	segs, err := listSegments(faultfs.OS(), dir)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	return segs[0].first, nil
+}
+
 // Open opens (creating if needed) the log directory for appending. The
 // final segment is scanned to find the append position; a torn tail is
 // truncated away so the next record starts at a clean frame boundary.
@@ -460,7 +532,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opts: opts}
 	if len(segs) == 0 {
-		if err := l.openSegment(1); err != nil {
+		if err := l.openSegment(opts.FirstSeq); err != nil {
 			return nil, err
 		}
 	} else {
@@ -573,6 +645,50 @@ func (l *Log) AppendBuffered(recs []Record) (uint64, error) {
 		return l.LastSeq(), nil
 	}
 	return l.appendAll(recs)
+}
+
+// AppendAt buffers records that already carry sequence numbers — the
+// replication apply path, where a follower must preserve the leader's
+// numbering so Replay watermarks stay meaningful across failover. The
+// batch must be contiguous and start exactly at the log's next
+// sequence number; anything else means the stream diverged and is
+// refused before a byte is written. Durability follows the same
+// contract as AppendBuffered: call Commit with the returned sequence.
+func (l *Log) AppendAt(recs []Record) (uint64, error) {
+	if len(recs) == 0 {
+		return l.LastSeq(), nil
+	}
+	start := time.Now()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, errors.New("wal: log closed")
+	}
+	if l.syncErr != nil {
+		err := l.syncErr
+		l.mu.Unlock()
+		return 0, err
+	}
+	for i := range recs {
+		if recs[i].Seq != l.nextSeq {
+			want := l.nextSeq
+			l.mu.Unlock()
+			return 0, fmt.Errorf("%w: replicated record has seq %d, log expects %d", ErrDiverged, recs[i].Seq, want)
+		}
+		l.enc = AppendRecord(l.enc[:0], recs[i])
+		if _, err := l.bw.Write(l.enc); err != nil {
+			l.syncErr = err // buffer state is unknown; poison the log
+			l.mu.Unlock()
+			return 0, err
+		}
+		l.segBytes += int64(len(l.enc))
+		l.nextSeq++
+	}
+	last := l.nextSeq - 1
+	l.mu.Unlock()
+	walRecords.Add(uint64(len(recs)))
+	walAppendHist.ObserveSince(start)
+	return last, nil
 }
 
 // Commit makes records through seq durable per the sync policy: under
