@@ -12,6 +12,9 @@ package ehnabench
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
 	"testing"
 
 	"ehna/internal/ann"
@@ -417,6 +420,124 @@ func BenchmarkWALAppend(b *testing.B) {
 		// ns/op is per 64-record batch; records/op makes that explicit.
 		b.ReportMetric(64, "records/op")
 	})
+}
+
+// BenchmarkSnapshotLoad compares the three ways a daemon can get its
+// store back at boot, at the dim-64 sq8 shape the beyond-RAM serving
+// path targets: decoding the legacy gob snapshot, copying the flat v3
+// format into heap slabs, and mmapping the v3 file (O(1) in dataset
+// size — the header/table parse plus one CRC sweep of the mapping).
+// MB/s is against the on-disk snapshot size.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	const dim = 64
+	for _, n := range []int{100_000, 1_000_000} {
+		n := n
+		s, err := embstore.NewPrecision(dim, embstore.DefaultShards, embstore.SQ8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		vec := make([]float64, dim)
+		for i := 0; i < n; i++ {
+			for j := range vec {
+				vec[j] = rng.NormFloat64()
+			}
+			if err := s.Upsert(graph.NodeID(i), vec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		dir := b.TempDir()
+		gobPath := filepath.Join(dir, "store.gob")
+		v3Path := filepath.Join(dir, "store.snap")
+		writeSnap := func(path string, write func(f *os.File) error) int64 {
+			f, err := os.Create(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := write(f); err != nil {
+				b.Fatal(err)
+			}
+			st, err := f.Stat()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				b.Fatal(err)
+			}
+			return st.Size()
+		}
+		gobSize := writeSnap(gobPath, func(f *os.File) error { return s.SaveSnapshot(f, uint64(n)) })
+		v3Size := writeSnap(v3Path, func(f *os.File) error { return s.SaveSnapshotV3(f, uint64(n)) })
+
+		b.Run(fmt.Sprintf("gob/n=%d", n), func(b *testing.B) {
+			b.SetBytes(gobSize)
+			for i := 0; i < b.N; i++ {
+				f, err := os.Open(gobPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, _, err := embstore.LoadSnapshotAt(f, embstore.DefaultShards, embstore.SQ8)
+				f.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Len() != n {
+					b.Fatal("short load")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("v3copy/n=%d", n), func(b *testing.B) {
+			b.SetBytes(v3Size)
+			for i := 0; i < b.N; i++ {
+				st, _, err := embstore.LoadSnapshotV3(v3Path, embstore.DefaultShards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Len() != n {
+					b.Fatal("short load")
+				}
+			}
+		})
+		if runtime.GOOS == "linux" || runtime.GOOS == "darwin" {
+			// The snapshots were just written, so the file is in page
+			// cache: this is the warm number (restart, rotation).
+			b.Run(fmt.Sprintf("mmap-warm/n=%d", n), func(b *testing.B) {
+				b.SetBytes(v3Size)
+				for i := 0; i < b.N; i++ {
+					st, _, err := embstore.OpenMmap(v3Path)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Len() != n {
+						b.Fatal("short load")
+					}
+					st.Close()
+				}
+			})
+			// Evict the file's pages before each open: first boot on a
+			// machine that has never read the snapshot. The CRC sweep
+			// inside OpenMmap then faults every page in from disk, so
+			// this is bounded by storage bandwidth, not parse cost.
+			b.Run(fmt.Sprintf("mmap-cold/n=%d", n), func(b *testing.B) {
+				b.SetBytes(v3Size)
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					if err := embstore.DropFileCache(v3Path); err != nil {
+						b.Skipf("cannot drop page cache: %v", err)
+					}
+					b.StartTimer()
+					st, _, err := embstore.OpenMmap(v3Path)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Len() != n {
+						b.Fatal("short load")
+					}
+					st.Close()
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkHNSWBuild measures graph construction from a loaded store —

@@ -1,0 +1,469 @@
+//go:build linux || darwin
+
+package main
+
+// Daemon-level tests for beyond-RAM serving: booting the store from a
+// mapped v3 snapshot, folding the write overlay back into the base at
+// rotation, upconverting legacy gob directories, and staying correct
+// across the crash states a rotation can be interrupted in.
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"ehna/internal/embstore"
+	"ehna/internal/faultfs"
+	"ehna/internal/graph"
+	"ehna/internal/tensor"
+)
+
+// mmapConfigAt is walConfigAt in mmap store mode.
+func mmapConfigAt(walDir string, prec embstore.Precision, dim int) serverConfig {
+	cfg := walConfigAt(walDir, prec, dim)
+	cfg.storeMode = "mmap"
+	return cfg
+}
+
+// seedDaemon upserts n seeded random vectors through the durability
+// layer and mirrors them into a reference store.
+func seedDaemon(t *testing.T, srv *server, n, dim int, seed int64) *embstore.Store {
+	t.Helper()
+	emb := tensor.Randn(n, dim, 1, rand.New(rand.NewSource(seed)))
+	ref, err := embstore.New(dim, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updates []upsertUpdate
+	for i := 0; i < n; i++ {
+		id := graph.NodeID(i)
+		updates = append(updates, upsertUpdate{ID: &id, Vector: emb.Row(i)})
+		if err := ref.Upsert(id, emb.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := srv.dur.upsert(updates); err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// TestMmapBootRotateFold walks the cold store through its whole WAL
+// lifecycle: first boot seeds and maps a v3 base, writes accumulate in
+// the overlay, rotation folds them into a fresh base, and a reboot maps
+// that base back with zero WAL replay.
+func TestMmapBootRotateFold(t *testing.T) {
+	const dim, n = 16, 300
+	walDir := t.TempDir()
+
+	srv, err := buildServer(mmapConfigAt(walDir, embstore.SQ8, dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srv.store.Cold() {
+		t.Fatal("mmap-mode store is not cold")
+	}
+	if srv.store.MappedPath() != walSnapshotV3Path(walDir) {
+		t.Fatalf("mapped %s, want %s", srv.store.MappedPath(), walSnapshotV3Path(walDir))
+	}
+	ref := seedDaemon(t, srv, n, dim, 61)
+
+	// Everything so far landed in the overlay: the mapped base was empty.
+	if v, _, _ := srv.store.OverlayStats(); v != n {
+		t.Fatalf("overlay holds %d vectors, want %d", v, n)
+	}
+	if _, err := srv.dur.snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// The rotation folded the overlay into the remapped base.
+	if v, b, m := srv.store.OverlayStats(); v != 0 || b != 0 || m != 0 {
+		t.Fatalf("overlay (%d vectors, %d bytes, %d masked) after fold, want empty", v, b, m)
+	}
+	if srv.store.Len() != n {
+		t.Fatalf("store holds %d after fold, want %d", srv.store.Len(), n)
+	}
+
+	// Post-fold mutations overlay the new base and keep serving truth.
+	id := graph.NodeID(7)
+	vec := make([]float64, dim)
+	vec[3] = 2
+	if _, err := srv.dur.upsert([]upsertUpdate{{ID: &id, Vector: vec}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Upsert(id, vec); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, masked := srv.store.OverlayStats(); masked != 1 {
+		t.Fatalf("overwriting a base row masked %d rows, want 1", masked)
+	}
+	del := graph.NodeID(9)
+	if _, _, err := srv.dur.delete([]graph.NodeID{del}); err != nil {
+		t.Fatal(err)
+	}
+	ref.Delete(del)
+
+	// Searches answer out of the cold store (beam from the graph slab,
+	// re-rank and id reads from the mapping + overlay).
+	ts := httptest.NewServer(srv.handler())
+	var nresp neighborsResponse
+	status, raw := postJSON(t, ts.URL+"/v1/neighbors", map[string]any{"id": 7, "k": 3}, &nresp)
+	if status != http.StatusOK {
+		t.Fatalf("neighbors over cold store: %d %s", status, raw)
+	}
+	// /healthz reports the cold tier.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		StoreMode string `json:"store_mode"`
+		Cold      struct {
+			Snapshot       string `json:"snapshot"`
+			MappedBytes    int64  `json:"mapped_bytes"`
+			OverlayVectors int    `json:"overlay_vectors"`
+			BaseMasked     int    `json:"base_masked"`
+		} `json:"cold_store"`
+		Process map[string]int64 `json:"process"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.StoreMode != "mmap" {
+		t.Fatalf("healthz store_mode %q, want mmap", hz.StoreMode)
+	}
+	if hz.Cold.Snapshot != walSnapshotV3Path(walDir) || hz.Cold.MappedBytes <= 0 {
+		t.Fatalf("healthz cold_store block %+v", hz.Cold)
+	}
+	if hz.Cold.OverlayVectors != 1 || hz.Cold.BaseMasked != 2 {
+		t.Fatalf("healthz overlay_vectors %d (want 1), base_masked %d (want 2)",
+			hz.Cold.OverlayVectors, hz.Cold.BaseMasked)
+	}
+	if hz.Process["resident_bytes"] <= 0 {
+		t.Fatalf("healthz process block missing resident_bytes: %+v", hz.Process)
+	}
+	ts.Close()
+	srv.close()
+
+	// Reboot: the final shutdown-free close leaves a WAL suffix (the
+	// post-fold upsert + delete); the boot maps the base and replays it
+	// into the overlay.
+	srv2, err := buildServer(mmapConfigAt(walDir, embstore.SQ8, dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.close()
+	if !srv2.store.Cold() {
+		t.Fatal("rebooted store is not cold")
+	}
+	refSQ8 := mustConvert(t, ref, embstore.SQ8)
+	if !srv2.store.Equal(refSQ8) {
+		t.Fatalf("rebooted cold store (%d nodes) diverges from reference (%d nodes)",
+			srv2.store.Len(), refSQ8.Len())
+	}
+}
+
+// mustConvert re-encodes every vector of src into a fresh store at the
+// given precision — the expected image of a daemon serving at prec.
+func mustConvert(t *testing.T, src *embstore.Store, prec embstore.Precision) *embstore.Store {
+	t.Helper()
+	out, err := embstore.NewPrecision(src.Dim(), src.NumShards(), prec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range src.IDs() {
+		vec, _ := src.Get(id)
+		if err := out.Upsert(id, vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestGobUpconvertOnRotation: a WAL directory from before the v3 format
+// (legacy gob snapshot) boots, serves, and converts itself — the first
+// rotation writes the v3 base and deletes the gob image; the next boot
+// can then map it.
+func TestGobUpconvertOnRotation(t *testing.T) {
+	const dim, n = 12, 200
+	walDir := t.TempDir()
+
+	// Generation 0 writes its snapshot, then we rewrite it as legacy gob
+	// to simulate a directory inherited from an older daemon.
+	srv, err := buildServer(walConfigAt(walDir, embstore.F64, dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := seedDaemon(t, srv, n, dim, 62)
+	wm, err := srv.dur.snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(walSnapshotPath(walDir), func(w io.Writer) error {
+		return srv.store.SaveSnapshot(w, wm)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv.close()
+	if err := os.Remove(walSnapshotV3Path(walDir)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 1 (ram mode) boots from the gob image...
+	srv1, err := buildServer(walConfigAt(walDir, embstore.F64, dim))
+	if err != nil {
+		t.Fatalf("legacy gob boot: %v", err)
+	}
+	if !srv1.store.Equal(ref) {
+		t.Fatal("legacy gob boot diverges from reference")
+	}
+	// ...and its first rotation upconverts: v3 written, gob gone.
+	if _, err := srv1.dur.snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	srv1.close()
+	if !embstore.IsV3Snapshot(walSnapshotV3Path(walDir)) {
+		t.Fatal("rotation did not write a v3 snapshot")
+	}
+	if _, err := os.Stat(walSnapshotPath(walDir)); !os.IsNotExist(err) {
+		t.Fatalf("legacy gob snapshot still present after v3 rotation (err=%v)", err)
+	}
+
+	// Generation 2 maps the upconverted base.
+	srv2, err := buildServer(mmapConfigAt(walDir, embstore.F64, dim))
+	if err != nil {
+		t.Fatalf("mmap boot after upconvert: %v", err)
+	}
+	defer srv2.close()
+	if !srv2.store.Cold() || !srv2.store.Equal(ref) {
+		t.Fatalf("mapped store cold=%v, equal=%v", srv2.store.Cold(), srv2.store.Equal(ref))
+	}
+	if srv2.dur.replayed != 0 {
+		t.Errorf("replayed %d records after clean upconvert, want 0", srv2.dur.replayed)
+	}
+}
+
+// TestGobSeedBootsMmap: -store=mmap over a WAL directory that has a
+// legacy gob snapshot (no v3) writes the v3 base immediately at boot
+// and serves cold from the first generation.
+func TestGobSeedBootsMmap(t *testing.T) {
+	const dim, n = 12, 150
+	walDir := t.TempDir()
+	srv, err := buildServer(walConfigAt(walDir, embstore.F64, dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := seedDaemon(t, srv, n, dim, 63)
+	wm, err := srv.dur.snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(walSnapshotPath(walDir), func(w io.Writer) error {
+		return srv.store.SaveSnapshot(w, wm)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv.close()
+	if err := os.Remove(walSnapshotV3Path(walDir)); err != nil {
+		t.Fatal(err)
+	}
+
+	srv1, err := buildServer(mmapConfigAt(walDir, embstore.F64, dim))
+	if err != nil {
+		t.Fatalf("mmap boot over gob-only dir: %v", err)
+	}
+	defer srv1.close()
+	if !srv1.store.Cold() || !srv1.store.Equal(ref) {
+		t.Fatalf("cold=%v equal=%v after gob-seeded mmap boot", srv1.store.Cold(), srv1.store.Equal(ref))
+	}
+}
+
+// TestMmapRotationFaultKeepsOldBase: the v3 publish rename fails
+// mid-rotation (injected). The rotation reports the error, the daemon
+// keeps serving from the old mapped base with its overlay intact, and
+// once the fault clears the next rotation folds normally.
+func TestMmapRotationFaultKeepsOldBase(t *testing.T) {
+	const dim, n = 16, 100
+	walDir := t.TempDir()
+
+	inj := faultfs.New(nil)
+	cfg := mmapConfigAt(walDir, embstore.SQ8, dim)
+	cfg.fs = inj
+	srv, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.close()
+	seedDaemon(t, srv, n, dim, 64)
+	if _, err := srv.dur.snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(walSnapshotV3Path(walDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := graph.NodeID(3)
+	vec := make([]float64, dim)
+	vec[0] = 5
+	if _, err := srv.dur.upsert([]upsertUpdate{{ID: &id, Vector: vec}}); err != nil {
+		t.Fatal(err)
+	}
+	inj.Add(faultfs.Rule{Op: faultfs.OpRename, Path: "store.snap", Err: syscall.EIO})
+	if _, err := srv.dur.snapshot(); err == nil {
+		t.Fatal("rotation succeeded through a failing rename")
+	}
+	// Old base untouched, overlay still carrying the write, reads fine.
+	after, err := os.ReadFile(walSnapshotV3Path(walDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed rotation modified the published v3 base")
+	}
+	if v, _, _ := srv.store.OverlayStats(); v != 1 {
+		t.Fatalf("overlay holds %d vectors after failed rotation, want 1", v)
+	}
+	if got, ok := srv.store.Get(id); !ok || got[0] < 4 {
+		t.Fatalf("overlay read after failed rotation: ok=%v vec=%v", ok, got)
+	}
+
+	inj.Clear()
+	if _, err := srv.dur.snapshot(); err != nil {
+		t.Fatalf("rotation after fault cleared: %v", err)
+	}
+	if v, _, _ := srv.store.OverlayStats(); v != 0 {
+		t.Fatalf("overlay holds %d vectors after healed rotation, want 0", v)
+	}
+}
+
+// TestCrashStatesMidRotation: deterministic reconstructions of the two
+// places a crash can interrupt a v3 rotation, both of which must boot.
+//
+//  1. Power loss mid-write: a half-written store.snap.tmp next to the
+//     intact previous base — the torn temp is garbage to be ignored,
+//     never parsed.
+//  2. Crash after publish but before legacy cleanup: both store.snap
+//     and store.gob present — v3 wins, the stale gob is removed by the
+//     next rotation.
+func TestCrashStatesMidRotation(t *testing.T) {
+	const dim, n = 16, 120
+	walDir := t.TempDir()
+	srv, err := buildServer(mmapConfigAt(walDir, embstore.SQ8, dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := seedDaemon(t, srv, n, dim, 65)
+	if _, err := srv.dur.snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	srv.close()
+	refSQ8 := mustConvert(t, ref, embstore.SQ8)
+
+	// State 1: torn temp beside the good base.
+	good, err := os.ReadFile(walSnapshotV3Path(walDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := walSnapshotV3Path(walDir) + ".tmp"
+	if err := os.WriteFile(tmp, good[:len(good)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := buildServer(mmapConfigAt(walDir, embstore.SQ8, dim))
+	if err != nil {
+		t.Fatalf("boot beside torn snapshot temp: %v", err)
+	}
+	if !srv1.store.Equal(refSQ8) {
+		t.Fatal("boot beside torn temp diverges")
+	}
+	// The next rotation overwrites the stray temp on its way through.
+	if _, err := srv1.dur.snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	srv1.close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("rotation left the temp file behind (err=%v)", err)
+	}
+
+	// State 2: v3 and a stale legacy gob side by side.
+	stale, err := embstore.New(dim, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(walSnapshotPath(walDir), func(w io.Writer) error {
+		return stale.SaveSnapshot(w, 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := buildServer(mmapConfigAt(walDir, embstore.SQ8, dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srv2.store.Equal(refSQ8) {
+		t.Fatal("boot preferred the stale gob over the v3 base")
+	}
+	if _, err := srv2.dur.snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(walSnapshotPath(walDir)); !os.IsNotExist(err) {
+		t.Fatalf("rotation kept the stale legacy gob (err=%v)", err)
+	}
+	srv2.close()
+}
+
+// TestCrashMmapMidRotationE2E SIGKILLs a real mmap-mode daemon process
+// while a snapshot rotation is racing, then recovers in-process: the
+// boot must land on either the old or the new base — never a torn one —
+// and serve exactly the acknowledged writes.
+func TestCrashMmapMidRotationE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a process and fsyncs every write; skipped under -short")
+	}
+	walDir := t.TempDir()
+	cmd, base := startCrashHelper(t, walDir, "EHNAD_STORE=mmap")
+
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	reference, err := embstore.New(crashDim, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 40; i++ {
+		op := randomCrashOp(rng)
+		if err := op.post(client, base); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		op.applyTo(t, reference)
+	}
+	// Fire a rotation and kill somewhere inside (or right around) it.
+	go func() {
+		resp, err := client.Post(base+"/v1/admin/snapshot", "application/json", nil)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(time.Duration(rng.Intn(20)) * time.Millisecond)
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+
+	cfg := crashTestConfig(walDir)
+	cfg.storeMode = "mmap"
+	srv, err := buildServer(cfg)
+	if err != nil {
+		t.Fatalf("recovery boot after mid-rotation kill: %v", err)
+	}
+	defer srv.close()
+	if !srv.store.Cold() {
+		t.Fatal("recovered store is not cold")
+	}
+	if !srv.store.Equal(reference) {
+		t.Fatalf("recovered store (%d nodes) diverges from acked reference (%d nodes)",
+			srv.store.Len(), reference.Len())
+	}
+}

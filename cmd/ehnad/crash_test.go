@@ -66,6 +66,8 @@ func TestCrashDaemonHelper(t *testing.T) {
 	// The cluster failover e2e reuses this helper to spawn replication
 	// followers: EHNAD_FOLLOW carries the leader base URL through.
 	cfg.follow = os.Getenv("EHNAD_FOLLOW")
+	// The cold-store crash drill runs the same harness in mmap mode.
+	cfg.storeMode = os.Getenv("EHNAD_STORE")
 	srv, err := buildServer(cfg)
 	if err != nil {
 		fmt.Printf("HELPER_ERR=%v\n", err)

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,7 +77,9 @@ type durable struct {
 
 	walDir    string
 	walOpts   wal.Options
-	snapPath  string
+	fsys      faultfs.FS
+	snapPath  string // the rotating flat v3 snapshot (store.snap)
+	gobPath   string // legacy gob snapshot; removed once a v3 pair is durable
 	graphPath string // "" unless the index is hnsw
 	hnswCfg   ann.HNSWConfig
 	isHNSW    bool
@@ -119,7 +122,8 @@ func newDurable(cfg serverConfig, store *embstore.Store, sw *ann.Swapper, waterm
 		sw:        sw,
 		store:     store,
 		walDir:    cfg.walDir,
-		snapPath:  walSnapshotPath(cfg.walDir),
+		snapPath:  walSnapshotV3Path(cfg.walDir),
+		gobPath:   walSnapshotPath(cfg.walDir),
 		hnswCfg:   hnswConfigOf(cfg.index),
 		isHNSW:    cfg.index.kind == "hnsw",
 		compactAt: cfg.compactAt,
@@ -136,6 +140,7 @@ func newDurable(cfg serverConfig, store *embstore.Store, sw *ann.Swapper, waterm
 	if fsys == nil {
 		fsys = faultfs.OS()
 	}
+	d.fsys = fsys
 	// Recovery: replay the log suffix through the index (graph + store).
 	info, err := wal.ReplayFS(fsys, cfg.walDir, watermark, func(r wal.Record) error {
 		switch r.Op {
@@ -382,6 +387,12 @@ func (d *durable) exportTo(w io.Writer) error {
 // pair, then truncates sealed segments the pair covers. Holding d.mu
 // across the writes stalls mutations — not searches — for the
 // duration; the price of an exactly-consistent pair.
+//
+// The store image is the flat v3 format. When the store serves from a
+// mapped base, the fresh image is remapped in as the new base before
+// the lock drops — folding the overlay back to zero heap — and a
+// legacy gob snapshot, if one is still lying around from before the
+// format switch, is deleted now that a v3 pair covers it.
 func (d *durable) snapshot() (uint64, error) {
 	start := time.Now()
 	wm, err := func() (uint64, error) {
@@ -391,19 +402,31 @@ func (d *durable) snapshot() (uint64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("wal rotate: %w", err)
 		}
-		if err := writeFileAtomic(d.snapPath, func(f io.Writer) error {
-			return d.store.SaveSnapshot(f, wm)
-		}); err != nil {
+		if err := writeStoreSnapshotV3(d.fsys, d.snapPath, d.store, wm); err != nil {
 			return 0, fmt.Errorf("store snapshot: %w", err)
 		}
 		if d.graphPath != "" {
 			if h, ok := d.sw.Current().(*ann.HNSW); ok {
-				if err := writeFileAtomic(d.graphPath, func(f io.Writer) error {
+				if err := writeFileAtomicFS(d.fsys, d.graphPath, func(f faultfs.File) error {
 					return h.SaveGraph(f)
 				}); err != nil {
 					return 0, fmt.Errorf("graph snapshot: %w", err)
 				}
 			}
+		}
+		if d.store.Cold() {
+			// Writers are stalled under d.mu (the applier lock), which is
+			// exactly the quiescence Remap's contract asks for. A failed
+			// fold is survivable: the old base keeps serving and the
+			// overlay simply persists until the next rotation.
+			if err := d.store.Remap(d.snapPath); err != nil {
+				log.Printf("ehnad: overlay fold: remap %s: %v (serving continues on the previous base)", d.snapPath, err)
+			}
+		}
+		if err := d.fsys.Remove(d.gobPath); err == nil {
+			log.Printf("ehnad: legacy snapshot %s removed (superseded by %s)", d.gobPath, d.snapPath)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("ehnad: legacy snapshot %s not removed: %v", d.gobPath, err)
 		}
 		return wm, nil
 	}()

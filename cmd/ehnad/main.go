@@ -87,6 +87,7 @@ func main() {
 		snapshot  = flag.String("snapshot", "", "path to an embstore snapshot (Store.Save)")
 		dim       = flag.Int("dim", 0, "with -wal: boot an empty store of this dimensionality when no snapshot or seed exists yet")
 		precision = flag.String("precision", "f64", "vector slab precision: f64 (full), f32 (half the memory), or sq8 (int8 scalar quantization, ~8x less memory; recall gated >= 0.95). Applies per boot: snapshots of any precision convert to this layout on load, so pass the same value on every restart to keep the layout. WAL records stay full-precision")
+		storeMode = flag.String("store", "ram", "store residency: ram (heap slabs, fastest) or mmap (serve the vector slabs straight from a mapped v3 snapshot; boot is O(1) in dataset size and the OS pages vectors in on demand, so the set can exceed RAM)")
 		shards    = flag.Int("shards", embstore.DefaultShards, "store shard count")
 		indexKind = flag.String("index", "lsh", "ann index: exact, lsh or hnsw")
 		tables    = flag.Int("tables", 16, "lsh: number of hash tables")
@@ -132,11 +133,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("ehnad: %v", err)
 	}
+	if *storeMode != "ram" && *storeMode != "mmap" {
+		log.Fatalf("ehnad: -store=%s: want ram or mmap", *storeMode)
+	}
 	srv, err := buildServer(serverConfig{
 		model:     *model,
 		snapshot:  *snapshot,
 		dim:       *dim,
 		precision: prec,
+		storeMode: *storeMode,
 		shards:    *shards,
 		index: indexOptions{
 			kind:           *indexKind,
@@ -223,6 +228,7 @@ type serverConfig struct {
 	snapshot  string
 	dim       int
 	precision embstore.Precision
+	storeMode string // "" or "ram" (heap slabs) | "mmap" (mapped v3 base + overlay)
 	shards    int
 	index     indexOptions
 	maxBatch  int
@@ -256,8 +262,19 @@ func buildServer(cfg serverConfig) (*server, error) {
 		watermark uint64
 		err       error
 	)
+	bootStart := time.Now()
+	if cfg.storeMode == "" {
+		cfg.storeMode = "ram"
+	}
+	if cfg.storeMode != "ram" && cfg.storeMode != "mmap" {
+		return nil, fmt.Errorf("-store=%s: want ram or mmap", cfg.storeMode)
+	}
 	if cfg.follow != "" && cfg.walDir == "" {
 		return nil, fmt.Errorf("-follow requires -wal: a follower preserves the leader's log")
+	}
+	fsys := cfg.fs
+	if fsys == nil {
+		fsys = faultfs.OS()
 	}
 	if cfg.walDir != "" {
 		// The snapshot pair and the graph land in the log directory,
@@ -278,26 +295,28 @@ func buildServer(cfg serverConfig) (*server, error) {
 			cfg.index.graphPath = filepath.Join(cfg.walDir, "graph.gob")
 		}
 		cfg.index.rebuildOnLoadError = true // a stale graph is survivable, not fatal
-		snapPath := walSnapshotPath(cfg.walDir)
-		if f, ferr := os.Open(snapPath); ferr == nil {
-			// Load at the requested precision whatever precision the
-			// snapshot was written in: a daemon switching to -precision sq8
-			// upconverts its old f64 image on this boot and writes sq8
-			// images from the next rotation on.
-			store, watermark, err = embstore.LoadSnapshotAt(f, cfg.shards, cfg.precision)
-			f.Close()
-			if err != nil {
-				return nil, fmt.Errorf("load wal snapshot %s: %w", snapPath, err)
-			}
-			log.Printf("ehnad: wal snapshot %s loaded: %d nodes at %s, watermark %d",
-				snapPath, store.Len(), store.Precision(), watermark)
-		} else if !os.IsNotExist(ferr) {
-			return nil, ferr
-		} else {
-			store, err = seedStore(cfg)
-			if err != nil {
-				return nil, err
-			}
+		store, watermark, err = loadWALStore(cfg, fsys)
+		if err != nil {
+			return nil, err
+		}
+	} else if cfg.storeMode == "mmap" {
+		// Without a WAL there is no rotation to write a v3 base, so the
+		// seed artifact itself must already be one.
+		if cfg.snapshot == "" {
+			return nil, fmt.Errorf("-store=mmap without -wal requires -snapshot pointing at a v3 snapshot (SaveSnapshotV3 output)")
+		}
+		if !embstore.IsV3Snapshot(cfg.snapshot) {
+			return nil, fmt.Errorf("-store=mmap: %s is not a v3 snapshot (gob snapshots must be converted first, e.g. by booting once with -wal)", cfg.snapshot)
+		}
+		store, _, err = embstore.OpenMmap(cfg.snapshot)
+		if err != nil {
+			return nil, fmt.Errorf("mmap snapshot %s: %w", cfg.snapshot, err)
+		}
+		if store.Precision() != cfg.precision {
+			// A mapped base serves at the precision it was written in; the
+			// flag cannot re-encode a read-only file.
+			log.Printf("ehnad: -store=mmap serves %s at its native precision %s (-precision %s has no effect without -wal)",
+				cfg.snapshot, store.Precision(), cfg.precision)
 		}
 	} else {
 		store, err = loadStore(cfg.model, cfg.snapshot, cfg.shards, cfg.precision)
@@ -305,11 +324,13 @@ func buildServer(cfg serverConfig) (*server, error) {
 			return nil, err
 		}
 	}
+	storeLoaded := time.Now()
 
 	index, err := buildIndex(store, cfg.index)
 	if err != nil {
 		return nil, err
 	}
+	indexBuilt := time.Now()
 	sw := ann.NewSwapper(index)
 	srv := newServer(store, sw, cfg.index.kind, cfg.maxBatch, cfg.window, serveOpts{
 		defaultDeadline: cfg.defaultDeadline,
@@ -338,11 +359,133 @@ func buildServer(cfg serverConfig) (*server, error) {
 			srv.repl.start()
 		}
 	}
+	boot := time.Since(bootStart)
+	srv.metrics.reg.Gauge("ehnad_boot_seconds",
+		"Wall time from process start to ready: store load + index build + WAL recovery.").Set(boot.Seconds())
+	log.Printf("ehnad: boot %v (store %v [%s], index %v, recovery %v)",
+		boot.Round(time.Millisecond), storeLoaded.Sub(bootStart).Round(time.Millisecond), cfg.storeMode,
+		indexBuilt.Sub(storeLoaded).Round(time.Millisecond), time.Since(indexBuilt).Round(time.Millisecond))
 	return srv, nil
 }
 
-// walSnapshotPath is where the rotating store snapshot lives in WAL mode.
+// walSnapshotPath is where the legacy gob store snapshot lives in WAL
+// mode — read at boot for directories written before the v3 format,
+// never written anymore (rotation removes it once a v3 base exists).
 func walSnapshotPath(walDir string) string { return filepath.Join(walDir, "store.gob") }
+
+// walSnapshotV3Path is where the rotating flat v3 snapshot lives in WAL
+// mode: the file the mmap store serves straight out of.
+func walSnapshotV3Path(walDir string) string { return filepath.Join(walDir, "store.snap") }
+
+// loadWALStore loads the store for a WAL directory, preferring the flat
+// v3 snapshot over the legacy gob one and falling back to the seed
+// artifacts. The matrix by mode:
+//
+//	v3 exists:  ram → copy it into heap slabs at -precision;
+//	            mmap → map it (precision mismatch: materialize at the
+//	            requested precision, rewrite the base, map the rewrite).
+//	gob only:   load + convert (the pre-v3 upgrade path); mmap
+//	            additionally writes a v3 base now and maps it, so the
+//	            cold tier exists from the first boot after the upgrade.
+//	neither:    seed from -model/-snapshot/-dim; mmap writes + maps a
+//	            v3 base exactly as in the gob case.
+//
+// Rotation keeps the v3 base fresh from then on and deletes the legacy
+// gob file once a v3 pair is durable.
+func loadWALStore(cfg serverConfig, fsys faultfs.FS) (*embstore.Store, uint64, error) {
+	v3Path := walSnapshotV3Path(cfg.walDir)
+	mmapMode := cfg.storeMode == "mmap"
+	if _, serr := os.Stat(v3Path); serr == nil {
+		if !mmapMode {
+			store, watermark, err := embstore.LoadSnapshotV3At(v3Path, cfg.shards, cfg.precision)
+			if err != nil {
+				return nil, 0, fmt.Errorf("load wal snapshot %s: %w", v3Path, err)
+			}
+			log.Printf("ehnad: wal snapshot %s loaded: %d nodes at %s, watermark %d",
+				v3Path, store.Len(), store.Precision(), watermark)
+			return store, watermark, nil
+		}
+		store, watermark, err := embstore.OpenMmap(v3Path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("load wal snapshot %s: %w", v3Path, err)
+		}
+		if store.Precision() != cfg.precision {
+			// A precision switch cannot re-encode the read-only mapping in
+			// place: materialize at the target precision, publish the
+			// re-encoded base, and map that instead.
+			store.Close()
+			conv, wm, err := embstore.LoadSnapshotV3At(v3Path, cfg.shards, cfg.precision)
+			if err != nil {
+				return nil, 0, fmt.Errorf("load wal snapshot %s: %w", v3Path, err)
+			}
+			if err := writeStoreSnapshotV3(fsys, v3Path, conv, wm); err != nil {
+				return nil, 0, fmt.Errorf("rewrite wal snapshot at %s: %w", conv.Precision(), err)
+			}
+			store, watermark, err = embstore.OpenMmap(v3Path)
+			if err != nil {
+				return nil, 0, fmt.Errorf("load wal snapshot %s: %w", v3Path, err)
+			}
+			log.Printf("ehnad: wal snapshot %s re-encoded at %s and remapped", v3Path, store.Precision())
+		}
+		log.Printf("ehnad: wal snapshot %s mapped: %d nodes at %s, %d bytes resident of %d mapped, watermark %d",
+			v3Path, store.Len(), store.Precision(), store.MappedResidentBytes(), store.MappedBytes(), watermark)
+		return store, watermark, nil
+	} else if !os.IsNotExist(serr) {
+		return nil, 0, serr
+	}
+
+	var (
+		store     *embstore.Store
+		watermark uint64
+	)
+	gobPath := walSnapshotPath(cfg.walDir)
+	if f, ferr := os.Open(gobPath); ferr == nil {
+		// Load at the requested precision whatever precision the snapshot
+		// was written in: a daemon switching to -precision sq8 upconverts
+		// its old f64 image on this boot and writes sq8 images from the
+		// next rotation on.
+		var err error
+		store, watermark, err = embstore.LoadSnapshotAt(f, cfg.shards, cfg.precision)
+		f.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("load wal snapshot %s: %w", gobPath, err)
+		}
+		log.Printf("ehnad: legacy wal snapshot %s loaded: %d nodes at %s, watermark %d (v3 from the next rotation)",
+			gobPath, store.Len(), store.Precision(), watermark)
+	} else if !os.IsNotExist(ferr) {
+		return nil, 0, ferr
+	} else {
+		var err error
+		store, err = seedStore(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	if mmapMode {
+		// mmap mode needs an on-disk v3 base to serve from; write one from
+		// the materialized store and reopen it cold. The WAL suffix past
+		// the (unchanged) watermark replays into the overlay as usual.
+		if err := writeStoreSnapshotV3(fsys, v3Path, store, watermark); err != nil {
+			return nil, 0, fmt.Errorf("write v3 base %s: %w", v3Path, err)
+		}
+		cold, wm, err := embstore.OpenMmap(v3Path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("load wal snapshot %s: %w", v3Path, err)
+		}
+		store, watermark = cold, wm
+		log.Printf("ehnad: v3 base %s written and mapped: %d nodes at %s, watermark %d",
+			v3Path, store.Len(), store.Precision(), watermark)
+	}
+	return store, watermark, nil
+}
+
+// writeStoreSnapshotV3 publishes a flat v3 snapshot of store via the
+// injectable filesystem (tmp+rename, fsynced).
+func writeStoreSnapshotV3(fsys faultfs.FS, path string, store *embstore.Store, watermark uint64) error {
+	return writeFileAtomicFS(fsys, path, func(f faultfs.File) error {
+		return store.SaveSnapshotV3(f, watermark)
+	})
+}
 
 // seedStore builds the initial store for a WAL directory that has no
 // snapshot yet: a seed artifact if one was given, an empty store under
@@ -374,6 +517,10 @@ func loadStore(model, snapshot string, shards int, prec embstore.Precision) (*em
 		defer f.Close()
 		return embstore.FromModelSnapshotPrecision(f, shards, prec)
 	default:
+		if embstore.IsV3Snapshot(snapshot) {
+			s, _, err := embstore.LoadSnapshotV3At(snapshot, shards, prec)
+			return s, err
+		}
 		f, err := os.Open(snapshot)
 		if err != nil {
 			return nil, err
@@ -483,33 +630,44 @@ func loadHNSWGraph(f *os.File, store *embstore.Store, o indexOptions) (*ann.HNSW
 // writeFileAtomic writes via a sibling temp file and renames it into
 // place, so readers only ever see a complete file.
 func writeFileAtomic(path string, write func(w io.Writer) error) error {
+	return writeFileAtomicFS(faultfs.OS(), path, func(f faultfs.File) error {
+		return write(f)
+	})
+}
+
+// writeFileAtomicFS is writeFileAtomic through the injectable
+// filesystem, so chaos drills can break the snapshot publish path
+// (write, fsync, the rename itself) the same way they break the WAL.
+// The write callback gets the full faultfs.File — the v3 snapshot
+// writer seeks back to stamp its header.
+func writeFileAtomicFS(fsys faultfs.FS, path string, write func(f faultfs.File) error) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if err := write(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
 	// Fsync the directory: until the rename itself is durable, nothing
 	// may rely on the new file surviving power loss (the snapshot loop
 	// deletes WAL segments on the strength of this rename).
-	d, err := os.Open(filepath.Dir(path))
+	d, err := fsys.Open(filepath.Dir(path))
 	if err != nil {
 		return err
 	}

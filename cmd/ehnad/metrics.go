@@ -70,6 +70,7 @@ func (m *serverMetrics) gauge(name string) float64 {
 // WAL layer exists (buildServer calls durable.registerMetrics).
 func newServerMetrics(s *server) *serverMetrics {
 	obs.RegisterRuntime() // idempotent; runtime + build info on the default registry
+	obs.RegisterProcess() // idempotent; /proc/self memory + major-fault gauges (linux)
 	m := &serverMetrics{reg: obs.NewRegistry()}
 	r := m.reg
 	r.GaugeFunc("ehnad_store_nodes", "Vectors in the store.",
@@ -80,6 +81,30 @@ func newServerMetrics(s *server) *serverMetrics {
 		func() float64 { return float64(s.store.NumShards()) })
 	r.GaugeFunc("ehnad_store_bytes_per_vector", "Slab bytes per stored vector (payload + sidecars).",
 		func() float64 { return float64(s.store.Precision().BytesPerVector(s.store.Dim())) })
+	// Store residency mode as an info gauge, plus — in mmap mode — the
+	// cold tier's shape: how much of the mapped base the page cache
+	// actually holds right now, and how much heap the write overlay has
+	// accumulated since the last rotation folded it.
+	mode := "ram"
+	if s.store.Cold() {
+		mode = "mmap"
+	}
+	r.Gauge("ehnad_store_mode", "Store residency mode (identity in the mode label): ram or mmap.",
+		obs.L("mode", mode)).Set(1)
+	if s.store.Cold() {
+		r.GaugeFunc("ehnad_store_mapped_bytes", "Bytes of the v3 snapshot currently mmap'd as the cold base.",
+			func() float64 { return float64(s.store.MappedBytes()) })
+		r.GaugeFunc("ehnad_store_mapped_payload_bytes", "Vector-slab bytes inside the mapping (excludes ids, norms, padding).",
+			func() float64 { return float64(s.store.MappedPayloadBytes()) })
+		r.GaugeFunc("ehnad_store_mapped_resident_bytes", "Mapped bytes resident in the page cache right now (mincore; -1 = unknown).",
+			func() float64 { return float64(s.store.MappedResidentBytes()) })
+		r.GaugeFunc("ehnad_store_overlay_vectors", "Vectors in the heap overlay awaiting the next rotation fold.",
+			func() float64 { v, _, _ := s.store.OverlayStats(); return float64(v) })
+		r.GaugeFunc("ehnad_store_overlay_bytes", "Heap bytes the overlay slabs hold.",
+			func() float64 { _, b, _ := s.store.OverlayStats(); return float64(b) })
+		r.GaugeFunc("ehnad_store_base_masked", "Base rows shadowed by an overlay write or delete.",
+			func() float64 { _, _, m := s.store.OverlayStats(); return float64(m) })
+	}
 	r.GaugeFunc("ehnad_uptime_seconds", "Seconds since this server started.",
 		func() float64 { return time.Since(s.started).Seconds() })
 	// Info gauge (constant 1, identity in the label): which vecmath

@@ -227,7 +227,7 @@ func TestCorruptSnapshotFailsBoot(t *testing.T) {
 	}
 	srv.close()
 
-	snap := walSnapshotPath(walDir)
+	snap := walSnapshotV3Path(walDir)
 	b, err := os.ReadFile(snap)
 	if err != nil {
 		t.Fatal(err)

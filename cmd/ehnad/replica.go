@@ -169,6 +169,13 @@ func (s *server) refuseIfFollower(w http.ResponseWriter) bool {
 // log segments resumes from local state instead (cheaper, and the
 // stream's gap check catches a stale resume).
 func bootstrapFollower(cfg serverConfig) error {
+	// Either snapshot generation counts as local state: a rotated v3
+	// base or a legacy (or freshly bootstrapped) gob image.
+	if _, err := os.Stat(walSnapshotV3Path(cfg.walDir)); err == nil {
+		return nil
+	} else if !os.IsNotExist(err) {
+		return err
+	}
 	snapPath := walSnapshotPath(cfg.walDir)
 	if _, err := os.Stat(snapPath); err == nil {
 		return nil

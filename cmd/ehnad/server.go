@@ -706,6 +706,37 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// path.
 		"kernel_backend": vecmath.Backend(),
 		"uptime_s":       g("ehnad_uptime_seconds"),
+		"boot_s":         g("ehnad_boot_seconds"),
+	}
+	// The store residency mode, and — serving cold — the mapped base's
+	// shape: how big it is, how much of it the page cache holds, and
+	// how much write overlay has accumulated since the last fold.
+	if s.store.Cold() {
+		out["store_mode"] = "mmap"
+		out["cold_store"] = map[string]any{
+			"snapshot":              s.store.MappedPath(),
+			"mapped_bytes":          int64(g("ehnad_store_mapped_bytes")),
+			"mapped_payload_bytes":  int64(g("ehnad_store_mapped_payload_bytes")),
+			"mapped_resident_bytes": int64(g("ehnad_store_mapped_resident_bytes")),
+			"overlay_vectors":       int(g("ehnad_store_overlay_vectors")),
+			"overlay_bytes":         int64(g("ehnad_store_overlay_bytes")),
+			"base_masked":           int(g("ehnad_store_base_masked")),
+		}
+	} else {
+		out["store_mode"] = "ram"
+	}
+	// Kernel's view of this process (linux; the gauges are absent
+	// elsewhere): RSS, the file-backed share of it (where the mapped
+	// base shows up), and cumulative major faults — each one a disk
+	// read the cold tier took.
+	if rss, ok := obs.Default().GaugeValue("process_resident_bytes"); ok {
+		shared, _ := obs.Default().GaugeValue("process_shared_resident_bytes")
+		majflt, _ := obs.Default().GaugeValue("process_major_faults_total")
+		out["process"] = map[string]any{
+			"resident_bytes":        int64(rss),
+			"shared_resident_bytes": int64(shared),
+			"major_faults":          int64(majflt),
+		}
 	}
 	if _, ok := s.liveIndex().(*ann.HNSW); ok {
 		// Tombstones accumulate under delete/replace churn and are

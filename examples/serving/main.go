@@ -75,8 +75,20 @@ func main() {
 		log.Fatal(err)
 	}
 	sf.Close()
-	fmt.Printf("artifacts: %s (model), %s (store, %d×%d across %d shards)\n",
-		modelPath, storePath, store.Len(), store.Dim(), store.NumShards())
+
+	// The flat v3 snapshot of the same store: the artifact -store=mmap
+	// serves in place, without copying vectors onto the heap.
+	snapPath := filepath.Join(outDir, "store.snap")
+	vf, err := os.Create(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.SaveSnapshotV3(vf, 0); err != nil {
+		log.Fatal(err)
+	}
+	vf.Close()
+	fmt.Printf("artifacts: %s (model), %s (store, %d×%d across %d shards), %s (flat v3)\n",
+		modelPath, storePath, store.Len(), store.Dim(), store.NumShards(), snapPath)
 
 	// 3. Build all three indexes and answer the same query. The HNSW
 	//    graph is also snapshotted so the daemon can boot without paying
@@ -167,6 +179,12 @@ tombstones compacted in the background (the -snapshot seed is only
 read on the first boot; afterwards %s recovers everything):
   go run ./cmd/ehnad -snapshot %s -index hnsw -wal %s
 
+beyond RAM — mmap the flat v3 snapshot instead of copying it onto the
+heap: boot is O(1) in dataset size and the OS pages vectors in on
+demand, so the set may exceed memory (/healthz reports the mapping
+and overlay sizes; see "Beyond-RAM serving" in the README):
+  go run ./cmd/ehnad -snapshot %s -store=mmap -index hnsw -hnsw-graph %s
+
 or the raw table straight from the model snapshot:
   go run ./cmd/ehnad -model %s
 
@@ -196,7 +214,7 @@ talk to the router):
       -shard a=http://localhost:8081,http://localhost:8083 \
       -shard b=http://localhost:8082
   curl -s -X POST localhost:8090/v1/neighbors -d '{"id":%d,"k":%d}'
-`, storePath, storePath, graphPath, walDir, storePath, walDir, modelPath, target, k,
+`, storePath, storePath, graphPath, walDir, storePath, walDir, snapPath, graphPath, modelPath, target, k,
 		walDir, cfg.Dim, walDir, cfg.Dim, walDir, cfg.Dim, target, k)
 }
 

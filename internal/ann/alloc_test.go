@@ -3,6 +3,8 @@ package ann
 import (
 	"context"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"testing"
@@ -29,13 +31,39 @@ func buildStoreAt(t testing.TB, n, dim int, prec embstore.Precision) *embstore.S
 	return s
 }
 
+// coldStoreOf snapshots src into a flat v3 file and reopens it as an
+// mmap-backed cold store, so the alloc tests can assert the re-rank
+// path stays allocation-free when vectors come from the mapping.
+func coldStoreOf(t *testing.T, src *embstore.Store) *embstore.Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveSnapshotV3(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cold, _, err := embstore.OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cold.Close() })
+	return cold
+}
+
 // TestSearchIntoZeroAlloc asserts the single-query path of every index
-// type is allocation-free in steady state at every slab precision:
-// scratch (including the narrowed/quantized query context) comes from
-// the pool, results land in the caller's buffer. GOMAXPROCS is pinned
-// to 1 so Exact takes its sequential path (the parallel fan-out
-// necessarily allocates goroutine closures), and GC is paused so the
-// scratch pool cannot be emptied mid-measurement.
+// type is allocation-free in steady state at every slab precision —
+// over heap slabs and (where mmap exists) over a mapped cold base, so
+// the asymmetric re-rank reading vectors straight from the mapping is
+// covered too. Scratch (including the narrowed/quantized query
+// context) comes from the pool, results land in the caller's buffer.
+// GOMAXPROCS is pinned to 1 so Exact takes its sequential path (the
+// parallel fan-out necessarily allocates goroutine closures), and GC
+// is paused so the scratch pool cannot be emptied mid-measurement.
 func TestSearchIntoZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector instrumentation allocates")
@@ -58,36 +86,49 @@ func TestSearchIntoZeroAlloc(t *testing.T) {
 	_ = ctx.Done()
 
 	for _, prec := range []embstore.Precision{embstore.F64, embstore.F32, embstore.SQ8} {
-		store := buildStoreAt(t, 2000, 32, prec)
-		exact := NewExact(store, Cosine)
-		lsh, err := NewLSH(store, DefaultLSHConfig())
-		if err != nil {
-			t.Fatal(err)
+		ram := buildStoreAt(t, 2000, 32, prec)
+		backings := []struct {
+			name  string
+			store *embstore.Store
+		}{{"ram", ram}}
+		if runtime.GOOS == "linux" || runtime.GOOS == "darwin" {
+			backings = append(backings, struct {
+				name  string
+				store *embstore.Store
+			}{"mmap", coldStoreOf(t, ram)})
 		}
-		hnsw, err := BuildHNSW(store, DefaultHNSWConfig())
-		if err != nil {
-			t.Fatal(err)
-		}
-		for name, idx := range map[string]Index{"exact": exact, "lsh": lsh, "hnsw": hnsw} {
-			dst := make([]Result, 0, k)
-			// Warm the scratch pool and result buffers.
-			for i := 0; i < 3; i++ {
-				if dst, err = idx.SearchInto(ctx, dst, q, k); err != nil {
-					t.Fatal(err)
-				}
+		for _, b := range backings {
+			store := b.store
+			exact := NewExact(store, Cosine)
+			lsh, err := NewLSH(store, DefaultLSHConfig())
+			if err != nil {
+				t.Fatal(err)
 			}
-			allocs := testing.AllocsPerRun(100, func() {
-				var err error
-				dst, err = idx.SearchInto(ctx, dst, q, k)
-				if err != nil {
-					t.Fatal(err)
-				}
-			})
-			if allocs != 0 {
-				t.Errorf("%s/%s SearchInto allocated %v times per query", name, prec, allocs)
+			hnsw, err := BuildHNSW(store, DefaultHNSWConfig())
+			if err != nil {
+				t.Fatal(err)
 			}
-			if len(dst) != k {
-				t.Errorf("%s/%s SearchInto returned %d results, want %d", name, prec, len(dst), k)
+			for name, idx := range map[string]Index{"exact": exact, "lsh": lsh, "hnsw": hnsw} {
+				dst := make([]Result, 0, k)
+				// Warm the scratch pool and result buffers.
+				for i := 0; i < 3; i++ {
+					if dst, err = idx.SearchInto(ctx, dst, q, k); err != nil {
+						t.Fatal(err)
+					}
+				}
+				allocs := testing.AllocsPerRun(100, func() {
+					var err error
+					dst, err = idx.SearchInto(ctx, dst, q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs != 0 {
+					t.Errorf("%s/%s/%s SearchInto allocated %v times per query", name, prec, b.name, allocs)
+				}
+				if len(dst) != k {
+					t.Errorf("%s/%s/%s SearchInto returned %d results, want %d", name, prec, b.name, len(dst), k)
+				}
 			}
 		}
 	}

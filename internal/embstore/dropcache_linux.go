@@ -1,0 +1,31 @@
+//go:build linux && (amd64 || arm64)
+
+package embstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// DropFileCache asks the kernel to evict path's clean pages from the
+// page cache (posix_fadvise POSIX_FADV_DONTNEED), so the next open
+// faults its reads in from disk. No privilege needed — unlike
+// /proc/sys/vm/drop_caches it touches only this file. Benchmarks use
+// it to label mmap numbers as warm- vs cold-page-cache; dirty pages
+// are flushed first because DONTNEED silently skips them.
+func DropFileCache(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	const posixFadvDontneed = 4
+	_, _, errno := syscall.Syscall6(syscall.SYS_FADVISE64, f.Fd(), 0, 0, posixFadvDontneed, 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+//go:build !(linux && (amd64 || arm64))
+
+package embstore
+
+import "errors"
+
+// DropFileCache is unavailable without fadvise; cold-cache benchmarks
+// skip on this platform.
+func DropFileCache(path string) error {
+	return errors.ErrUnsupported
+}

@@ -28,8 +28,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ehna/internal/ehna"
 	"ehna/internal/graph"
@@ -181,9 +183,40 @@ type sq8Meta struct {
 	codeSum             int32
 }
 
+// baseSection is the immutable half of a cold (mmap-backed) shard: its
+// slices alias a read-only v3 snapshot mapping, ids ascending so
+// membership is a binary search instead of a heap-resident id→slot
+// map. Mutations never touch it — an upsert lands in the shard's
+// overlay slab and masks the base row via dead, a delete just masks —
+// so the mapping stays clean and the overlay folds into a fresh base
+// at the next snapshot rotation. Exactly one payload family is set,
+// per store precision.
+type baseSection struct {
+	ids    []graph.NodeID
+	norms  []float64
+	vecs   []float64
+	vecs32 []float32
+	codes  []int8
+	meta   []sq8Meta
+	dead   map[graph.NodeID]struct{} // masked rows (deleted or overridden by the overlay)
+	deadN  int
+}
+
+// maskedBase reports whether id's base row is masked. Callers hold the
+// shard lock.
+func (b *baseSection) maskedBase(id graph.NodeID) bool {
+	_, masked := b.dead[id]
+	return masked
+}
+
+// liveLen returns the number of unmasked base rows.
+func (b *baseSection) liveLen() int { return len(b.ids) - b.deadN }
+
 // shard is one lock domain of the store: a dense slab of vectors with
 // an id→slot index. Deletes swap-remove so the slab stays dense.
 // Exactly one of vecs/vecs32/codes is populated, per store precision.
+// Cold stores additionally carry a base: the dense slab then acts as
+// the delta overlay on top of the mapped image.
 type shard struct {
 	mu     sync.RWMutex
 	slot   map[graph.NodeID]int
@@ -193,6 +226,45 @@ type shard struct {
 	vecs32 []float32 // F32
 	codes  []int8    // SQ8
 	meta   []sq8Meta // SQ8
+	base   *baseSection
+}
+
+// lookupLocked finds id in the overlay first (it wins by the mask
+// invariant), then among the base's live rows. Caller holds sh.mu.
+func (sh *shard) lookupLocked(id graph.NodeID) (slot int, inBase, ok bool) {
+	if slot, ok := sh.slot[id]; ok {
+		return slot, false, true
+	}
+	b := sh.base
+	if b == nil {
+		return 0, false, false
+	}
+	i, found := slices.BinarySearch(b.ids, id)
+	if !found || b.maskedBase(id) {
+		return 0, false, false
+	}
+	return i, true, true
+}
+
+// maskBase hides id's base row, if any: every overlay insert and every
+// delete of a base-resident id routes through here so the base never
+// shadows newer state. Caller holds sh.mu for writing.
+func (sh *shard) maskBase(id graph.NodeID) {
+	b := sh.base
+	if b == nil {
+		return
+	}
+	if _, found := slices.BinarySearch(b.ids, id); !found {
+		return
+	}
+	if b.maskedBase(id) {
+		return
+	}
+	if b.dead == nil {
+		b.dead = make(map[graph.NodeID]struct{})
+	}
+	b.dead[id] = struct{}{}
+	b.deadN++
 }
 
 // Store is a sharded in-memory map from node ID to embedding vector.
@@ -202,6 +274,70 @@ type Store struct {
 	dim    int
 	prec   Precision
 	shards []shard
+
+	// cold is non-nil for mmap-backed stores (see OpenMmap): it owns
+	// the snapshot mapping the shard bases alias. Swapped atomically by
+	// Remap so stats readers never race the rotation fold.
+	cold atomic.Pointer[coldInfo]
+}
+
+// coldInfo describes the mapped snapshot backing a cold store.
+type coldInfo struct {
+	path         string
+	data         []byte // whole-file mapping
+	payloadBytes int64  // vector-slab bytes within it
+}
+
+// Cold reports whether the store serves its base tier from an mmap'd
+// snapshot rather than heap slabs.
+func (s *Store) Cold() bool { return s.cold.Load() != nil }
+
+// MappedBytes returns the size of the snapshot mapping backing a cold
+// store (0 for RAM stores).
+func (s *Store) MappedBytes() int64 {
+	if c := s.cold.Load(); c != nil {
+		return int64(len(c.data))
+	}
+	return 0
+}
+
+// MappedPayloadBytes returns the vector-slab bytes within the mapping
+// (0 for RAM stores): the denominator of the cold tier's residency
+// ratio.
+func (s *Store) MappedPayloadBytes() int64 {
+	if c := s.cold.Load(); c != nil {
+		return c.payloadBytes
+	}
+	return 0
+}
+
+// MappedPath returns the path of the snapshot backing a cold store.
+func (s *Store) MappedPath() string {
+	if c := s.cold.Load(); c != nil {
+		return c.path
+	}
+	return ""
+}
+
+// OverlayStats reports the delta overlay of a cold store: vectors
+// resident in heap slabs on top of the base, their approximate slab
+// bytes, and base rows masked by deletes or overwrites. All zero for
+// RAM stores (the slab is the store, not an overlay).
+func (s *Store) OverlayStats() (vectors int, bytes int64, masked int) {
+	if !s.Cold() {
+		return 0, 0, 0
+	}
+	per := int64(s.prec.BytesPerVector(s.dim))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		vectors += len(sh.ids)
+		if sh.base != nil {
+			masked += sh.base.deadN
+		}
+		sh.mu.RUnlock()
+	}
+	return vectors, int64(vectors) * per, masked
 }
 
 // DefaultShards is the shard count used when a non-positive count is
@@ -321,6 +457,9 @@ func (s *Store) Len() int {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		n += len(sh.ids)
+		if sh.base != nil {
+			n += sh.base.liveLen()
+		}
 		sh.mu.RUnlock()
 	}
 	return n
@@ -343,6 +482,34 @@ func (s *Store) fillView(sh *shard, slot int, v *VecView) {
 	default:
 		v.F64 = sh.vecs[slot*dim : (slot+1)*dim]
 		v.Norm = sh.norms[slot]
+	}
+}
+
+// fillBaseView is fillView against a shard's mapped base: the view
+// aliases the snapshot mapping directly (zero-copy — this is cold
+// mode's whole point), so the same lifetime rules apply.
+func (s *Store) fillBaseView(b *baseSection, slot int, v *VecView) {
+	dim := s.dim
+	switch s.prec {
+	case F32:
+		v.F32 = b.vecs32[slot*dim : (slot+1)*dim]
+		v.Norm = b.norms[slot]
+	case SQ8:
+		m := &b.meta[slot]
+		v.Code = b.codes[slot*dim : (slot+1)*dim]
+		v.Scale, v.Offset, v.CodeSum, v.Norm = m.scale, m.offset, m.codeSum, m.norm
+	default:
+		v.F64 = b.vecs[slot*dim : (slot+1)*dim]
+		v.Norm = b.norms[slot]
+	}
+}
+
+// fillAt dispatches between the overlay slab and the mapped base.
+func (s *Store) fillAt(sh *shard, slot int, inBase bool, v *VecView) {
+	if inBase {
+		s.fillBaseView(sh.base, slot, v)
+	} else {
+		s.fillView(sh, slot, v)
 	}
 }
 
@@ -387,6 +554,7 @@ func (sh *shard) ensureSlot(s *Store, id graph.NodeID) int {
 // original full-precision value the cosine path divides by). Caller
 // holds sh.mu.
 func (sh *shard) upsertLocked(s *Store, id graph.NodeID, vec []float64, norm float64) {
+	sh.maskBase(id)
 	slot := sh.ensureSlot(s, id)
 	dim := s.dim
 	switch s.prec {
@@ -496,6 +664,14 @@ func (s *Store) Delete(id graph.NodeID) bool {
 	defer sh.mu.Unlock()
 	slot, ok := sh.slot[id]
 	if !ok {
+		// Not in the overlay: a live base row is deleted by masking it
+		// (the mapping is read-only).
+		if b := sh.base; b != nil {
+			if _, found := slices.BinarySearch(b.ids, id); found && !b.maskedBase(id) {
+				sh.maskBase(id)
+				return true
+			}
+		}
 		return false
 	}
 	dim := s.dim
@@ -537,14 +713,14 @@ func (s *Store) Delete(id graph.NodeID) bool {
 func (s *Store) Get(id graph.NodeID) ([]float64, bool) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	slot, ok := sh.slot[id]
+	slot, inBase, ok := sh.lookupLocked(id)
 	if !ok {
 		sh.mu.RUnlock()
 		return nil, false
 	}
 	out := make([]float64, s.dim)
 	v := getView()
-	s.fillView(sh, slot, v)
+	s.fillAt(sh, slot, inBase, v)
 	v.DequantizeInto(out)
 	viewPool.Put(v)
 	sh.mu.RUnlock()
@@ -558,10 +734,10 @@ func (s *Store) Get(id graph.NodeID) ([]float64, bool) {
 func (s *Store) With(id graph.NodeID, fn func(v *VecView)) bool {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	slot, ok := sh.slot[id]
+	slot, inBase, ok := sh.lookupLocked(id)
 	if ok {
 		v := getView()
-		s.fillView(sh, slot, v)
+		s.fillAt(sh, slot, inBase, v)
 		fn(v)
 		viewPool.Put(v)
 	}
@@ -611,6 +787,49 @@ func (s *Store) RangeShard(i int, fn func(id graph.NodeID, v *VecView) bool) {
 			}
 		}
 	}
+	b := sh.base
+	if b == nil {
+		return
+	}
+	// Cold stores continue into the mapped base, skipping masked rows;
+	// the per-precision loops stay as tight as the overlay's, the only
+	// added work the (usually empty) mask probe.
+	switch s.prec {
+	case F32:
+		for slot, id := range b.ids {
+			if b.maskedBase(id) {
+				continue
+			}
+			v.F32 = b.vecs32[slot*dim : (slot+1)*dim]
+			v.Norm = b.norms[slot]
+			if !fn(id, v) {
+				return
+			}
+		}
+	case SQ8:
+		for slot, id := range b.ids {
+			if b.maskedBase(id) {
+				continue
+			}
+			m := &b.meta[slot]
+			v.Code = b.codes[slot*dim : (slot+1)*dim]
+			v.Scale, v.Offset, v.CodeSum, v.Norm = m.scale, m.offset, m.codeSum, m.norm
+			if !fn(id, v) {
+				return
+			}
+		}
+	default:
+		for slot, id := range b.ids {
+			if b.maskedBase(id) {
+				continue
+			}
+			v.F64 = b.vecs[slot*dim : (slot+1)*dim]
+			v.Norm = b.norms[slot]
+			if !fn(id, v) {
+				return
+			}
+		}
+	}
 }
 
 // WithShard looks up each of ids (all of which must hash to shard i —
@@ -625,8 +844,8 @@ func (s *Store) WithShard(i int, ids []graph.NodeID, fn func(id graph.NodeID, v 
 	v := getView()
 	defer viewPool.Put(v)
 	for _, id := range ids {
-		if slot, ok := sh.slot[id]; ok {
-			s.fillView(sh, slot, v)
+		if slot, inBase, ok := sh.lookupLocked(id); ok {
+			s.fillAt(sh, slot, inBase, v)
 			fn(id, v)
 		}
 	}
@@ -639,6 +858,13 @@ func (s *Store) IDs() []graph.NodeID {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		out = append(out, sh.ids...)
+		if b := sh.base; b != nil {
+			for _, id := range b.ids {
+				if !b.maskedBase(id) {
+					out = append(out, id)
+				}
+			}
+		}
 		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -1,0 +1,12 @@
+//go:build darwin
+
+package embstore
+
+import "syscall"
+
+func mincore(b, vec []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Mincore(b, vec)
+}

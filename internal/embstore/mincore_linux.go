@@ -1,0 +1,24 @@
+//go:build linux
+
+package embstore
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// mincore fills vec with one byte per page of b, bit 0 set when the
+// page is resident. The linux syscall package has no wrapper, so this
+// issues the raw syscall (x/sys/unix would, but the module is
+// dependency-free by design).
+func mincore(b, vec []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+//go:build !linux && !darwin
+
+package embstore
+
+import "fmt"
+
+var errNoMmap = fmt.Errorf("embstore: mmap-backed stores are only supported on linux and darwin")
+
+// OpenMmap is unavailable on this platform; use LoadSnapshotV3 (RAM
+// mode) instead.
+func OpenMmap(path string) (*Store, uint64, error) { return nil, 0, errNoMmap }
+
+// Remap is unavailable on this platform.
+func (s *Store) Remap(path string) error { return errNoMmap }
+
+// Close is a no-op: only mmap-backed stores hold a mapping.
+func (s *Store) Close() error { return nil }
+
+// MappedResidentBytes reports 0: no mapping exists on this platform.
+func (s *Store) MappedResidentBytes() int64 { return 0 }

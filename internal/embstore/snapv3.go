@@ -1,0 +1,718 @@
+// v3 snapshot format ("EHNASNP3"): the flat, page-aligned successor to
+// the gob storeWire encoding, designed so the same file serves two
+// loaders. The copy loader (RAM mode) reads it once and materializes
+// slabs, like the gob path but without decoder allocation churn; the
+// mmap loader (cold mode, mmapstore_unix.go) maps it read-only and
+// serves VecViews straight out of the mapping, so boot cost is a page
+// table — not a heap — and the resident set is whatever the access
+// pattern actually touches.
+//
+// Layout (all integers little-endian; the format is defined LE and the
+// casting loaders refuse to run on big-endian hosts):
+//
+//	header (64 B, CRC32C-terminated)
+//	  [0:8)   magic "EHNASNP3"
+//	  [8:12)  version u32 = 3
+//	  [12:16) dim u32
+//	  [16:20) precision u32 (Precision enum)
+//	  [20:24) shard count u32
+//	  [24:32) vector count u64
+//	  [32:40) WAL watermark u64
+//	  [40:44) section alignment u32 = 4096
+//	  [44:48) section count u32 (= 3 × shards)
+//	  [48:56) section table offset u64
+//	  [56:60) reserved u32 = 0
+//	  [60:64) CRC32C of bytes [0:60)
+//	sections, each padded to the section alignment:
+//	  per shard, in shard order: ids | payload | norms (f64/f32) or
+//	  sq8 sidecar (sq8)
+//	section table: sectionCount × 40 B entries, then CRC32C of the
+//	  entry bytes
+//	  entry: kind u32 | shard u32 | rows u64 | offset u64 | length u64 |
+//	         CRC32C u32 | reserved u32
+//
+// Sections hold the slab representations verbatim: ids are ascending
+// uint32 per shard (so the mmap loader resolves membership by binary
+// search instead of materializing an id→slot map), payload is the
+// native-precision row data, norms are float64, and the sq8 sidecar is
+// the 32-byte sq8Meta record. 4096-byte alignment makes every cast
+// pointer alignment-safe and lets madvise target vector slabs
+// precisely. Every section carries its own CRC32C so a single flipped
+// bit anywhere in the file is rejected at open, not served as a
+// garbage vector.
+package embstore
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"slices"
+	"unsafe"
+
+	"ehna/internal/graph"
+	"ehna/internal/vecmath"
+)
+
+const (
+	v3Magic        = "EHNASNP3"
+	v3Version      = 3
+	v3HeaderSize   = 64
+	v3SectionAlign = 4096
+	v3EntrySize    = 40
+)
+
+type v3Kind uint32
+
+const (
+	v3KindIDs     v3Kind = 1
+	v3KindPayload v3Kind = 2
+	v3KindNorms   v3Kind = 3
+	v3KindMeta    v3Kind = 4
+)
+
+var v3CRC = crc32.MakeTable(crc32.Castagnoli)
+
+// The casting loaders and writer reinterpret slab memory as raw bytes,
+// so the on-disk format inherits the host byte order; it is defined as
+// little-endian and refused elsewhere (the gob format remains the
+// portable interchange).
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// The sq8 sidecar section is the in-memory sq8Meta record written
+// verbatim; these asserts pin the layout the format depends on.
+var (
+	_ [unsafe.Sizeof(sq8Meta{})]byte           = [32]byte{}
+	_ [unsafe.Offsetof(sq8Meta{}.offset)]byte  = [8]byte{}
+	_ [unsafe.Offsetof(sq8Meta{}.norm)]byte    = [16]byte{}
+	_ [unsafe.Offsetof(sq8Meta{}.codeSum)]byte = [24]byte{}
+	_ [unsafe.Sizeof(graph.NodeID(0))]byte     = [4]byte{}
+)
+
+// sliceBytes reinterprets a slice's backing array as raw bytes.
+func sliceBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(s[0])))
+}
+
+// castSlice reinterprets raw bytes as a []T. b must be a whole number
+// of elements and aligned for T (section alignment guarantees both).
+func castSlice[T any](b []byte) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/int(unsafe.Sizeof(*new(T))))
+}
+
+// v3PayloadRow returns the payload bytes one row occupies at prec.
+func v3PayloadRow(prec Precision, dim int) int {
+	switch prec {
+	case F32:
+		return 4 * dim
+	case SQ8:
+		return dim
+	default:
+		return 8 * dim
+	}
+}
+
+// v3RowBytes returns the expected section length for rows rows of kind k.
+func v3RowBytes(k v3Kind, prec Precision, dim int, rows uint64) (uint64, bool) {
+	var per uint64
+	switch k {
+	case v3KindIDs:
+		per = 4
+	case v3KindPayload:
+		per = uint64(v3PayloadRow(prec, dim))
+	case v3KindNorms:
+		if prec == SQ8 {
+			return 0, false
+		}
+		per = 8
+	case v3KindMeta:
+		if prec != SQ8 {
+			return 0, false
+		}
+		per = 32
+	default:
+		return 0, false
+	}
+	return rows * per, true
+}
+
+type v3Section struct {
+	kind   v3Kind
+	shard  uint32
+	rows   uint64
+	off    uint64
+	length uint64
+	crc    uint32
+}
+
+type v3Layout struct {
+	dim       int
+	prec      Precision
+	shards    int
+	count     uint64
+	watermark uint64
+	tableOff  uint64
+	sections  []v3Section
+}
+
+// shardSections groups a shard's sections by kind: [ids, payload,
+// norms-or-meta].
+func (l *v3Layout) shardSections(shard int) (ids, payload, extra *v3Section) {
+	for i := range l.sections {
+		sec := &l.sections[i]
+		if int(sec.shard) != shard {
+			continue
+		}
+		switch sec.kind {
+		case v3KindIDs:
+			ids = sec
+		case v3KindPayload:
+			payload = sec
+		case v3KindNorms, v3KindMeta:
+			extra = sec
+		}
+	}
+	return ids, payload, extra
+}
+
+func le32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+func le64(b []byte, off int) uint64 {
+	return uint64(le32(b, off)) | uint64(le32(b, off+4))<<32
+}
+func putLE32(b []byte, off int, v uint32) {
+	b[off], b[off+1], b[off+2], b[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+func putLE64(b []byte, off int, v uint64) {
+	putLE32(b, off, uint32(v))
+	putLE32(b, off+4, uint32(v>>32))
+}
+
+// parseV3 validates the header and section table of a v3 snapshot image
+// and returns its layout. It checks structure and the header/table CRCs
+// only — touching O(table) bytes, so an mmap open faults in a handful
+// of pages — and leaves per-section payload CRCs to verifySections.
+// Every field is bounds- and overflow-checked before use: this is the
+// surface FuzzV3Parse hammers.
+func parseV3(data []byte) (*v3Layout, error) {
+	fail := func(format string, args ...any) (*v3Layout, error) {
+		return nil, fmt.Errorf("embstore: v3 snapshot: "+format, args...)
+	}
+	if len(data) < v3HeaderSize {
+		return fail("%d bytes, want at least the %d-byte header", len(data), v3HeaderSize)
+	}
+	if string(data[:8]) != v3Magic {
+		return fail("bad magic %q", data[:8])
+	}
+	if got := crc32.Checksum(data[:60], v3CRC); got != le32(data, 60) {
+		return fail("header CRC mismatch (got %08x, stored %08x)", got, le32(data, 60))
+	}
+	if v := le32(data, 8); v != v3Version {
+		return fail("version %d, want %d", v, v3Version)
+	}
+	l := &v3Layout{
+		dim:       int(le32(data, 12)),
+		prec:      Precision(le32(data, 16)),
+		shards:    int(le32(data, 20)),
+		count:     le64(data, 24),
+		watermark: le64(data, 32),
+		tableOff:  le64(data, 48),
+	}
+	if l.dim < 1 || l.dim > 1<<20 {
+		return fail("dim %d out of range", l.dim)
+	}
+	if l.prec != F64 && l.prec != F32 && l.prec != SQ8 {
+		return fail("unknown precision %d", int(l.prec))
+	}
+	if l.shards < 1 || l.shards > 1<<16 {
+		return fail("shard count %d out of range", l.shards)
+	}
+	if a := le32(data, 40); a != v3SectionAlign {
+		return fail("section alignment %d, want %d", a, v3SectionAlign)
+	}
+	secCount := le32(data, 44)
+	if secCount != uint32(3*l.shards) {
+		return fail("%d sections for %d shards, want %d", secCount, l.shards, 3*l.shards)
+	}
+	tableLen := uint64(secCount)*v3EntrySize + 4
+	if l.tableOff < v3HeaderSize || l.tableOff%8 != 0 ||
+		l.tableOff > uint64(len(data)) || tableLen > uint64(len(data))-l.tableOff {
+		return fail("section table [%d, +%d) outside %d-byte file", l.tableOff, tableLen, len(data))
+	}
+	table := data[l.tableOff : l.tableOff+tableLen]
+	entries := table[:len(table)-4]
+	if got := crc32.Checksum(entries, v3CRC); got != le32(table, len(entries)) {
+		return fail("section table CRC mismatch")
+	}
+	l.sections = make([]v3Section, secCount)
+	// seen[shard] bit-tracks which kinds that shard has contributed; a
+	// valid file has exactly ids+payload+extra per shard.
+	seen := make([]uint8, l.shards)
+	var total uint64
+	var rowsPerShard = make([]uint64, l.shards)
+	for i := range l.sections {
+		e := entries[i*v3EntrySize:]
+		sec := v3Section{
+			kind:   v3Kind(le32(e, 0)),
+			shard:  le32(e, 4),
+			rows:   le64(e, 8),
+			off:    le64(e, 16),
+			length: le64(e, 24),
+			crc:    le32(e, 32),
+		}
+		if int(sec.shard) >= l.shards {
+			return fail("section %d: shard %d out of range", i, sec.shard)
+		}
+		want, ok := v3RowBytes(sec.kind, l.prec, l.dim, sec.rows)
+		if !ok || sec.rows > 1<<40 {
+			return fail("section %d: kind %d invalid for precision %s", i, sec.kind, l.prec)
+		}
+		if sec.length != want {
+			return fail("section %d: %d bytes for %d rows, want %d", i, sec.length, sec.rows, want)
+		}
+		if sec.off < v3HeaderSize || sec.off%8 != 0 ||
+			sec.off > l.tableOff || sec.length > l.tableOff-sec.off {
+			return fail("section %d: [%d, +%d) outside data region", i, sec.off, sec.length)
+		}
+		var bit uint8
+		switch sec.kind {
+		case v3KindIDs:
+			bit = 1
+		case v3KindPayload:
+			bit = 2
+		default:
+			bit = 4
+		}
+		if seen[sec.shard]&bit != 0 {
+			return fail("section %d: duplicate kind %d for shard %d", i, sec.kind, sec.shard)
+		}
+		seen[sec.shard] |= bit
+		if sec.kind == v3KindIDs {
+			rowsPerShard[sec.shard] = sec.rows
+			total += sec.rows
+		}
+		l.sections[i] = sec
+	}
+	for sh, bits := range seen {
+		if bits != 7 {
+			return fail("shard %d is missing sections (have mask %03b)", sh, bits)
+		}
+	}
+	for i := range l.sections {
+		if sec := &l.sections[i]; sec.rows != rowsPerShard[sec.shard] {
+			return fail("section %d: %d rows, ids section has %d", i, sec.rows, rowsPerShard[sec.shard])
+		}
+	}
+	if total != l.count {
+		return fail("header count %d, sections hold %d", l.count, total)
+	}
+	return l, nil
+}
+
+// verifySections checks every section's CRC32C against the image and
+// that each shard's id section is strictly ascending (the mmap loader
+// binary-searches them). O(file) reads — callers on an mmap image
+// should advise sequential first and drop the pages after.
+func (l *v3Layout) verifySections(data []byte) error {
+	for i := range l.sections {
+		sec := &l.sections[i]
+		b := data[sec.off : sec.off+sec.length]
+		if got := crc32.Checksum(b, v3CRC); got != sec.crc {
+			return fmt.Errorf("embstore: v3 snapshot: section %d (kind %d, shard %d) CRC mismatch (got %08x, stored %08x)",
+				i, sec.kind, sec.shard, got, sec.crc)
+		}
+		if sec.kind == v3KindIDs {
+			ids := castSlice[graph.NodeID](b)
+			for r := 1; r < len(ids); r++ {
+				if ids[r] <= ids[r-1] {
+					return fmt.Errorf("embstore: v3 snapshot: shard %d ids not strictly ascending at row %d", sec.shard, r)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rowRef locates one live row of a shard for the snapshot writer.
+type rowRef struct {
+	id     graph.NodeID
+	slot   int32
+	inBase bool
+}
+
+// sortedRowsLocked returns every live row of the shard in ascending id
+// order — the merge of the (sorted copy of the) overlay and the base's
+// unmasked rows. The mask invariant (an overlay id is never live in
+// the base) makes this a strict two-way merge. Caller holds sh.mu.
+func (sh *shard) sortedRowsLocked(dst []rowRef) []rowRef {
+	dst = dst[:0]
+	ov := make([]graph.NodeID, len(sh.ids))
+	copy(ov, sh.ids)
+	slices.Sort(ov)
+	var base []graph.NodeID
+	if sh.base != nil {
+		base = sh.base.ids
+	}
+	bi := 0
+	appendBase := func(limit graph.NodeID, all bool) {
+		for bi < len(base) && (all || base[bi] < limit) {
+			id := base[bi]
+			if !sh.base.maskedBase(id) {
+				dst = append(dst, rowRef{id: id, slot: int32(bi), inBase: true})
+			}
+			bi++
+		}
+	}
+	for _, id := range ov {
+		appendBase(id, false)
+		dst = append(dst, rowRef{id: id, slot: int32(sh.slot[id])})
+	}
+	appendBase(0, true)
+	return dst
+}
+
+// v3Writer tracks the write offset and per-section CRC over a buffered
+// writer, sticky-erroring so call sites stay linear.
+type v3Writer struct {
+	w   *bufio.Writer
+	off uint64
+	crc uint32
+	err error
+}
+
+func (vw *v3Writer) write(b []byte) {
+	if vw.err != nil {
+		return
+	}
+	n, err := vw.w.Write(b)
+	vw.off += uint64(n)
+	vw.crc = crc32.Update(vw.crc, v3CRC, b[:n])
+	vw.err = err
+}
+
+var v3Zeros [v3SectionAlign]byte
+
+// pad advances to the next section-alignment boundary. Padding is
+// outside sections: not CRC'd, never read back.
+func (vw *v3Writer) pad() {
+	if rem := vw.off % v3SectionAlign; rem != 0 {
+		crc := vw.crc
+		vw.write(v3Zeros[:v3SectionAlign-rem])
+		vw.crc = crc
+	}
+}
+
+// SaveSnapshotV3 writes a v3 snapshot of the store to ws, stamped with
+// a WAL watermark (same contract as SaveSnapshot). The header lands
+// last — a zero placeholder goes out first and is patched by seeking
+// back once every section CRC is known — so a torn write is never
+// parseable. Each shard is serialized under one acquisition of its
+// read lock: per-shard-consistent, like the gob writer's per-vector
+// atomicity, and cold stores fold their overlay over the mapped base
+// as they serialize.
+func (s *Store) SaveSnapshotV3(ws io.WriteSeeker, watermark uint64) error {
+	if !hostLittleEndian {
+		return fmt.Errorf("embstore: v3 snapshots require a little-endian host (use the gob format)")
+	}
+	vw := &v3Writer{w: bufio.NewWriterSize(ws, 1<<16)}
+	vw.write(make([]byte, v3HeaderSize))
+	vw.pad()
+
+	sections := make([]v3Section, 0, 3*len(s.shards))
+	var total uint64
+	var rows []rowRef
+	var norms []float64
+	var metas []sq8Meta
+	begin := func(kind v3Kind, shard, n int) *v3Section {
+		vw.crc = 0
+		sections = append(sections, v3Section{kind: kind, shard: uint32(shard), rows: uint64(n), off: vw.off})
+		return &sections[len(sections)-1]
+	}
+	end := func(sec *v3Section) {
+		sec.length = vw.off - sec.off
+		sec.crc = vw.crc
+		vw.pad()
+	}
+	dim := s.dim
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		rows = sh.sortedRowsLocked(rows)
+		n := len(rows)
+		total += uint64(n)
+
+		sec := begin(v3KindIDs, i, n)
+		for _, r := range rows {
+			var idb [4]byte
+			putLE32(idb[:], 0, uint32(r.id))
+			vw.write(idb[:])
+		}
+		end(sec)
+
+		sec = begin(v3KindPayload, i, n)
+		for _, r := range rows {
+			slot := int(r.slot)
+			switch s.prec {
+			case F32:
+				src := sh.vecs32
+				if r.inBase {
+					src = sh.base.vecs32
+				}
+				vw.write(sliceBytes(src[slot*dim : (slot+1)*dim]))
+			case SQ8:
+				src := sh.codes
+				if r.inBase {
+					src = sh.base.codes
+				}
+				vw.write(sliceBytes(src[slot*dim : (slot+1)*dim]))
+			default:
+				src := sh.vecs
+				if r.inBase {
+					src = sh.base.vecs
+				}
+				vw.write(sliceBytes(src[slot*dim : (slot+1)*dim]))
+			}
+		}
+		end(sec)
+
+		if s.prec == SQ8 {
+			metas = metas[:0]
+			for _, r := range rows {
+				if r.inBase {
+					metas = append(metas, sh.base.meta[r.slot])
+				} else {
+					metas = append(metas, sh.meta[r.slot])
+				}
+			}
+			sec = begin(v3KindMeta, i, n)
+			vw.write(sliceBytes(metas))
+			end(sec)
+		} else {
+			norms = norms[:0]
+			for _, r := range rows {
+				if r.inBase {
+					norms = append(norms, sh.base.norms[r.slot])
+				} else {
+					norms = append(norms, sh.norms[r.slot])
+				}
+			}
+			sec = begin(v3KindNorms, i, n)
+			vw.write(sliceBytes(norms))
+			end(sec)
+		}
+		sh.mu.RUnlock()
+	}
+
+	tableOff := vw.off
+	table := make([]byte, len(sections)*v3EntrySize+4)
+	for i, sec := range sections {
+		e := table[i*v3EntrySize:]
+		putLE32(e, 0, uint32(sec.kind))
+		putLE32(e, 4, sec.shard)
+		putLE64(e, 8, sec.rows)
+		putLE64(e, 16, sec.off)
+		putLE64(e, 24, sec.length)
+		putLE32(e, 32, sec.crc)
+	}
+	putLE32(table, len(table)-4, crc32.Checksum(table[:len(table)-4], v3CRC))
+	vw.write(table)
+	if vw.err == nil {
+		vw.err = vw.w.Flush()
+	}
+	if vw.err != nil {
+		return fmt.Errorf("embstore: v3 save: %v", vw.err)
+	}
+
+	hdr := make([]byte, v3HeaderSize)
+	copy(hdr, v3Magic)
+	putLE32(hdr, 8, v3Version)
+	putLE32(hdr, 12, uint32(s.dim))
+	putLE32(hdr, 16, uint32(s.prec))
+	putLE32(hdr, 20, uint32(len(s.shards)))
+	putLE64(hdr, 24, total)
+	putLE64(hdr, 32, watermark)
+	putLE32(hdr, 40, v3SectionAlign)
+	putLE32(hdr, 44, uint32(len(sections)))
+	putLE64(hdr, 48, tableOff)
+	putLE32(hdr, 60, crc32.Checksum(hdr[:60], v3CRC))
+	if _, err := ws.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("embstore: v3 save: %v", err)
+	}
+	if _, err := ws.Write(hdr); err != nil {
+		return fmt.Errorf("embstore: v3 save: %v", err)
+	}
+	return nil
+}
+
+// IsV3Snapshot reports whether the file at path starts with the v3
+// magic — the format sniff boot uses to route a -snapshot argument to
+// the right loader.
+func IsV3Snapshot(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return string(magic[:]) == v3Magic
+}
+
+// LoadSnapshotV3 reads a v3 snapshot into a heap-resident store at the
+// snapshot's native precision — the RAM-mode replacement for the gob
+// decode — returning the WAL watermark it was stamped with.
+func LoadSnapshotV3(path string, shards int) (*Store, uint64, error) {
+	return loadSnapshotV3(path, shards, nil)
+}
+
+// LoadSnapshotV3At is LoadSnapshotV3 at an explicit target precision;
+// cross-precision loads dequantize and re-encode row by row, like
+// LoadSnapshotAt.
+func LoadSnapshotV3At(path string, shards int, prec Precision) (*Store, uint64, error) {
+	return loadSnapshotV3(path, shards, &prec)
+}
+
+func loadSnapshotV3(path string, shards int, prec *Precision) (*Store, uint64, error) {
+	if !hostLittleEndian {
+		return nil, 0, fmt.Errorf("embstore: v3 snapshots require a little-endian host")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("embstore: v3 load: %v", err)
+	}
+	l, err := parseV3(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := l.verifySections(data); err != nil {
+		return nil, 0, err
+	}
+	target := l.prec
+	if prec != nil {
+		target = *prec
+	}
+	s, err := NewPrecision(l.dim, shards, target)
+	if err != nil {
+		return nil, 0, err
+	}
+	dim := l.dim
+	var buf []float64
+	if target != l.prec {
+		buf = make([]float64, dim)
+	}
+	for shard := 0; shard < l.shards; shard++ {
+		idsSec, paySec, extraSec := l.shardSections(shard)
+		ids := castSlice[graph.NodeID](data[idsSec.off : idsSec.off+idsSec.length])
+		pay := data[paySec.off : paySec.off+paySec.length]
+		extra := data[extraSec.off : extraSec.off+extraSec.length]
+		rowB := v3PayloadRow(l.prec, dim)
+		for r, id := range ids {
+			row := pay[r*rowB : (r+1)*rowB]
+			if target == l.prec {
+				// Lossless path: move the disk representation straight into
+				// the slabs, like the gob loader's same-precision path.
+				sh := s.shardFor(id)
+				sh.mu.Lock()
+				slot := sh.ensureSlot(s, id)
+				switch l.prec {
+				case F64:
+					copy(sh.vecs[slot*dim:(slot+1)*dim], castSlice[float64](row))
+					sh.norms[slot] = castSlice[float64](extra)[r]
+				case F32:
+					copy(sh.vecs32[slot*dim:(slot+1)*dim], castSlice[float32](row))
+					sh.norms[slot] = castSlice[float64](extra)[r]
+				case SQ8:
+					copy(sh.codes[slot*dim:(slot+1)*dim], castSlice[int8](row))
+					sh.meta[slot] = castSlice[sq8Meta](extra)[r]
+				}
+				sh.mu.Unlock()
+				continue
+			}
+			var norm float64
+			switch l.prec {
+			case F64:
+				copy(buf, castSlice[float64](row))
+				norm = castSlice[float64](extra)[r]
+			case F32:
+				vecmath.F32To64(buf, castSlice[float32](row))
+				norm = castSlice[float64](extra)[r]
+			case SQ8:
+				m := castSlice[sq8Meta](extra)[r]
+				vecmath.DecodeSQ8(buf, castSlice[int8](row), m.scale, m.offset)
+				norm = m.norm
+			}
+			if err := s.upsertNorm(id, buf, norm); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if s.Len() != int(l.count) && l.count <= math.MaxInt {
+		return nil, 0, fmt.Errorf("embstore: v3 load: %d rows materialized, header says %d", s.Len(), l.count)
+	}
+	return s, l.watermark, nil
+}
+
+// attachColdBase points every shard's base at the mapped image and
+// resets the overlays: the structural half of an mmap open or a
+// rotation fold, shared by OpenMmap (no contention possible yet) and
+// Remap (which wraps it in the shard locks). The caller owns locking
+// and the lifetime of data.
+func (s *Store) attachColdBase(l *v3Layout, data []byte) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		idsSec, paySec, extraSec := l.shardSections(i)
+		b := &baseSection{
+			ids: castSlice[graph.NodeID](data[idsSec.off : idsSec.off+idsSec.length]),
+		}
+		pay := data[paySec.off : paySec.off+paySec.length]
+		extra := data[extraSec.off : extraSec.off+extraSec.length]
+		switch s.prec {
+		case F64:
+			b.vecs = castSlice[float64](pay)
+			b.norms = castSlice[float64](extra)
+		case F32:
+			b.vecs32 = castSlice[float32](pay)
+			b.norms = castSlice[float64](extra)
+		case SQ8:
+			b.codes = castSlice[int8](pay)
+			b.meta = castSlice[sq8Meta](extra)
+		}
+		sh.base = b
+		if len(sh.slot) > 0 {
+			clear(sh.slot)
+		}
+		sh.ids = sh.ids[:0]
+		sh.vecs = sh.vecs[:0]
+		sh.vecs32 = sh.vecs32[:0]
+		sh.codes = sh.codes[:0]
+		sh.norms = sh.norms[:0]
+		sh.meta = sh.meta[:0]
+	}
+}
+
+// payloadBytes sums the vector-slab section lengths — the bytes
+// madvise(MADV_RANDOM) covers and the denominator of the cold tier's
+// residency ratio.
+func (l *v3Layout) payloadBytes() int64 {
+	var n int64
+	for i := range l.sections {
+		if l.sections[i].kind == v3KindPayload {
+			n += int64(l.sections[i].length)
+		}
+	}
+	return n
+}

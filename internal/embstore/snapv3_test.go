@@ -1,0 +1,309 @@
+package embstore
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ehna/internal/graph"
+)
+
+// gid abbreviates the NodeID conversions the v3 tests make constantly.
+func gid(id uint32) graph.NodeID { return graph.NodeID(id) }
+
+// fillRandom populates s with n random vectors under ids 0..n-1 (plus
+// a few sparse high ids so shard occupancy is uneven) and returns the
+// rng-seeded source for reproducibility.
+func fillRandom(t testing.TB, s *Store, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vec := make([]float64, s.Dim())
+	for i := 0; i < n; i++ {
+		for j := range vec {
+			vec[j] = rng.NormFloat64()
+		}
+		id := uint32(i)
+		if i%17 == 0 {
+			id = uint32(1_000_000 + i) // sparse high ids
+		}
+		if err := s.Upsert(gid(id), vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func writeV3(t testing.TB, s *Store, watermark uint64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSnapshotV3(f, watermark); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestV3RoundTrip(t *testing.T) {
+	for _, prec := range []Precision{F64, F32, SQ8} {
+		t.Run(prec.String(), func(t *testing.T) {
+			s, err := NewPrecision(7, 5, prec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fillRandom(t, s, 300, 1)
+			s.Delete(gid(5))
+			s.Delete(gid(250))
+			path := writeV3(t, s, 42)
+
+			if !IsV3Snapshot(path) {
+				t.Fatal("IsV3Snapshot = false for a v3 file")
+			}
+
+			// Reload at a different shard count: contents must match
+			// bit for bit regardless of sharding.
+			got, wm, err := LoadSnapshotV3(path, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wm != 42 {
+				t.Fatalf("watermark = %d, want 42", wm)
+			}
+			if !got.Equal(s) {
+				t.Fatal("round-tripped store differs")
+			}
+		})
+	}
+}
+
+func TestV3EmptyStore(t *testing.T) {
+	s, err := NewPrecision(4, 3, SQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeV3(t, s, 7)
+	got, wm, err := LoadSnapshotV3(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 7 || got.Len() != 0 {
+		t.Fatalf("empty store round trip: wm=%d len=%d", wm, got.Len())
+	}
+}
+
+func TestV3CrossPrecisionLoad(t *testing.T) {
+	src, err := NewPrecision(6, 4, F64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, src, 200, 2)
+	path := writeV3(t, src, 0)
+
+	for _, target := range []Precision{F32, SQ8} {
+		got, _, err := LoadSnapshotV3At(path, 4, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Precision() != target || got.Len() != src.Len() {
+			t.Fatalf("%s: prec=%s len=%d", target, got.Precision(), got.Len())
+		}
+		// The converted store must equal a direct conversion through
+		// the upsert path.
+		want, _ := NewPrecision(6, 4, target)
+		for _, id := range src.IDs() {
+			vec, _ := src.Get(id)
+			if err := want.Upsert(id, vec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: cross-precision load differs from upsert conversion", target)
+		}
+	}
+}
+
+// TestV3GobParity checks the v3 copy loader and the gob loader
+// materialize identical stores from the same source.
+func TestV3GobParity(t *testing.T) {
+	s, err := NewPrecision(5, 4, SQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, s, 150, 3)
+	path := writeV3(t, s, 9)
+	fromV3, wm3, err := LoadSnapshotV3(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobPath := filepath.Join(t.TempDir(), "store.gob")
+	f, _ := os.Create(gobPath)
+	if err := s.SaveSnapshot(f, 9); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g, _ := os.Open(gobPath)
+	fromGob, wmG, err := LoadSnapshot(g, 4)
+	g.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm3 != wmG {
+		t.Fatalf("watermarks differ: v3=%d gob=%d", wm3, wmG)
+	}
+	if !fromV3.Equal(fromGob) {
+		t.Fatal("v3 and gob loads differ")
+	}
+}
+
+// corruptV3 flips one byte at off in a copy of the file and returns
+// the copy's path.
+func corruptV3(t *testing.T, path string, off int64) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off += int64(len(data))
+	}
+	data[off] ^= 0x40
+	out := filepath.Join(t.TempDir(), "corrupt.snap")
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestV3CorruptionRejected walks the corruption matrix the issue
+// demands: a bit flip in the header, the section table, and every
+// section body must be rejected at open — by both loaders.
+func TestV3CorruptionRejected(t *testing.T) {
+	s, err := NewPrecision(4, 2, SQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, s, 64, 4)
+	path := writeV3(t, s, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := parseV3(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]int64{
+		"header-magic":     0,
+		"header-dim":       12,
+		"header-count":     24,
+		"header-crc":       60,
+		"table-entry":      int64(l.tableOff) + 8,
+		"table-crc":        -1,
+		"truncated-header": 0, // handled below
+	}
+	for i := range l.sections {
+		sec := l.sections[i]
+		if sec.length == 0 {
+			continue
+		}
+		name := map[v3Kind]string{v3KindIDs: "ids", v3KindPayload: "payload", v3KindNorms: "norms", v3KindMeta: "meta"}[sec.kind]
+		cases[name+"-sec"] = int64(sec.off)
+		cases[name+"-sec-end"] = int64(sec.off + sec.length - 1)
+	}
+
+	for name, off := range cases {
+		t.Run(name, func(t *testing.T) {
+			var bad string
+			if name == "truncated-header" {
+				bad = filepath.Join(t.TempDir(), "trunc.snap")
+				if err := os.WriteFile(bad, data[:40], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				bad = corruptV3(t, path, off)
+			}
+			if _, _, err := LoadSnapshotV3(bad, 2); err == nil {
+				t.Fatal("copy loader accepted corrupt snapshot")
+			}
+			if st, _, err := OpenMmap(bad); err == nil {
+				st.Close()
+				t.Fatal("mmap loader accepted corrupt snapshot")
+			}
+		})
+	}
+
+	// Truncated mid-file: the table offset points past EOF.
+	trunc := filepath.Join(t.TempDir(), "trunc2.snap")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadSnapshotV3(trunc, 2); err == nil {
+		t.Fatal("copy loader accepted truncated snapshot")
+	}
+	if st, _, err := OpenMmap(trunc); err == nil {
+		st.Close()
+		t.Fatal("mmap loader accepted truncated snapshot")
+	}
+}
+
+// FuzzV3Parse hammers the header/section-table decoder: arbitrary
+// bytes must never panic, and anything parseV3 accepts must survive
+// verifySections without faulting.
+func FuzzV3Parse(f *testing.F) {
+	s, err := NewPrecision(3, 2, SQ8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	fillRandom(f, s, 20, 5)
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.snap")
+	file, err := os.Create(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := s.SaveSnapshotV3(file, 3); err != nil {
+		f.Fatal(err)
+	}
+	file.Close()
+	seed, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:v3HeaderSize])
+	f.Add([]byte(v3Magic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := parseV3(data)
+		if err != nil {
+			return
+		}
+		_ = l.verifySections(data)
+	})
+}
+
+func BenchmarkV3Save(b *testing.B) {
+	s, err := NewPrecision(64, 0, SQ8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fillRandom(b, s, 10_000, 6)
+	path := filepath.Join(b.TempDir(), "bench.snap")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.SaveSnapshotV3(f, 0); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}

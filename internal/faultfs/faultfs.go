@@ -44,6 +44,7 @@ const (
 	OpSync   Op = "sync"   // File.Sync (files and directories)
 	OpRemove Op = "remove" // Remove
 	OpMkdir  Op = "mkdir"  // MkdirAll
+	OpRename Op = "rename" // Rename
 )
 
 // File is the subset of *os.File the WAL needs.
@@ -64,6 +65,7 @@ type FS interface {
 	ReadDir(name string) ([]os.DirEntry, error)
 	Remove(name string) error
 	MkdirAll(path string, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
 }
 
 // osFS passes everything straight to the os package.
@@ -81,6 +83,7 @@ func (osFS) Remove(name string) error                   { return os.Remove(name)
 func (osFS) MkdirAll(path string, perm os.FileMode) error {
 	return os.MkdirAll(path, perm)
 }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 
 // Rule describes one fault: which operations it matches and when it
 // fires. Exactly one of the deterministic (After/Count) or
@@ -254,6 +257,15 @@ func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
 	return in.base.MkdirAll(path, perm)
 }
 
+func (in *Injector) Rename(oldpath, newpath string) error {
+	// Matched against the destination: that's the name the atomic
+	// tmp+rename publish pattern cares about.
+	if err := fault(in.check(OpRename, newpath)); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
 // injFile routes per-file operations back through the injector.
 type injFile struct {
 	f  File
@@ -315,7 +327,7 @@ func Parse(spec string, base FS) (*Injector, error) {
 		op, params, ok := strings.Cut(clause, ":")
 		r := Rule{Op: Op(strings.TrimSpace(op))}
 		switch r.Op {
-		case OpOpen, OpRead, OpWrite, OpSync, OpRemove, OpMkdir:
+		case OpOpen, OpRead, OpWrite, OpSync, OpRemove, OpMkdir, OpRename:
 		default:
 			return nil, fmt.Errorf("faultfs: unknown op %q in clause %q", op, clause)
 		}

@@ -1,0 +1,39 @@
+//go:build linux
+
+package obs
+
+import "testing"
+
+func TestReadProcStats(t *testing.T) {
+	s := readProcStats()
+	if !s.ok {
+		t.Fatal("statm not readable")
+	}
+	if s.residentBytes <= 0 || s.virtualBytes < s.residentBytes {
+		t.Fatalf("resident %f, virtual %f", s.residentBytes, s.virtualBytes)
+	}
+	if s.sharedBytes < 0 || s.sharedBytes > s.residentBytes {
+		t.Fatalf("shared %f outside [0, resident %f]", s.sharedBytes, s.residentBytes)
+	}
+	if s.majorFaults < 0 {
+		t.Fatalf("majorFaults %f", s.majorFaults)
+	}
+}
+
+func TestRegisterProcess(t *testing.T) {
+	RegisterProcess()
+	RegisterProcess() // idempotent
+	for _, name := range []string{
+		"process_resident_bytes",
+		"process_shared_resident_bytes",
+		"process_virtual_bytes",
+		"process_major_faults_total",
+	} {
+		if _, ok := Default().GaugeValue(name); !ok {
+			t.Fatalf("%s not registered", name)
+		}
+	}
+	if v, _ := Default().GaugeValue("process_resident_bytes"); v <= 0 {
+		t.Fatalf("process_resident_bytes = %f", v)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package obs
+
+// RegisterProcess is a no-op where /proc/self is unavailable; the
+// process-memory series are simply absent rather than zero-valued
+// lies.
+func RegisterProcess() {}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the repo's key performance benchmarks and merge the
 # results under a label into a JSON trajectory file (default
-# BENCH_PR7.json) via cmd/benchjson.
+# BENCH_PR10.json) via cmd/benchjson.
 #
 # Usage:
 #   scripts/bench.sh before            # before a change
@@ -18,12 +18,17 @@
 #     the active vecmath backend) / BenchmarkEmbstoreBulkLoad /
 #     BenchmarkHNSWBuild / BenchmarkWALAppend: the serving and ingest
 #     paths
+#   - BenchmarkSnapshotLoad: boot-path store recovery (legacy gob
+#     decode vs flat-v3 copy vs mmap at 100k/1M); mmap rows carry
+#     warm-/cold-page-cache labels (mmap-warm = file still cached,
+#     e.g. restart after rotation; mmap-cold = pages evicted first,
+#     e.g. first boot on a fresh machine)
 # Micro benchmarks run time-based for stable ns/op; the macro
 # experiment benchmarks run a fixed 2 iterations (each is seconds).
 set -euo pipefail
 
 label="${1:?usage: scripts/bench.sh <label> [out.json]}"
-out="${2:-BENCH_PR7.json}"
+out="${2:-BENCH_PR10.json}"
 cd "$(dirname "$0")/.."
 
 tmp="$(mktemp)"
@@ -32,7 +37,7 @@ trap 'rm -f "$tmp"' EXIT
 echo "== micro (serving + ingest paths) =="
 # The precision matrix runs six 100k-node index builds; give the
 # harness room well past go test's default 10m timeout.
-go test -run=NONE -timeout=120m -bench='BenchmarkANNTopK$|BenchmarkKernels$|BenchmarkEmbstoreBulkLoad$|BenchmarkHNSWBuild$|BenchmarkWALAppend$' \
+go test -run=NONE -timeout=120m -bench='BenchmarkANNTopK$|BenchmarkKernels$|BenchmarkEmbstoreBulkLoad$|BenchmarkHNSWBuild$|BenchmarkWALAppend$|BenchmarkSnapshotLoad$' \
   -benchtime=1s -benchmem -count=1 . | tee -a "$tmp"
 
 echo "== macro (training path) =="
